@@ -1,0 +1,40 @@
+// Ablation: rewriting effort (the paper fixes effort = 5 for all
+// experiments). Sweeps the cycle budget and reports convergence of gate
+// count, complemented edges, and the compiled costs — justifying the paper's
+// choice.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mig/rewriting.hpp"
+
+int main() {
+  using namespace rlim;
+
+  std::cout << "Ablation — rewriting effort sweep (Algorithm 2, full "
+               "endurance compilation)\n\n";
+
+  const char* names[] = {"adder", "sin", "cavlc", "router"};
+  for (const auto* name : names) {
+    const auto& spec = bench::find_benchmark(name);
+    const auto original = spec.build();
+    util::Table table({"effort", "cycles run", "gates", "compl. edges", "#I",
+                       "STDEV"});
+    for (const int effort : {0, 1, 2, 3, 5, 8}) {
+      mig::RewriteStats stats;
+      const auto rewritten = mig::rewrite_endurance(original, effort, &stats);
+      const auto report = core::compile_prepared(
+          rewritten, core::make_config(core::Strategy::FullEndurance), spec.name);
+      table.add_row({std::to_string(effort), std::to_string(stats.cycles_run),
+                     std::to_string(rewritten.num_gates()),
+                     std::to_string(rewritten.complement_edge_count()),
+                     std::to_string(report.instructions),
+                     util::Table::fixed(report.writes.stdev)});
+    }
+    std::cout << spec.name << ":\n" << table.to_string() << '\n';
+  }
+  std::cout << "expected shape: most of the reduction lands in the first 1-2 "
+               "cycles; the early-exit fixpoint makes effort > 5 free — the "
+               "paper's effort = 5 is safely converged\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation (extension beyond the paper): cell-to-cell endurance variability.
+// Real RRAM endurance is distributed, not uniform — the weakest cell under
+// the heaviest traffic dies first, which punishes unbalanced write traffic
+// even harder than the paper's uniform-endurance analysis suggests. This
+// binary Monte-Carlos arrays with log-normal per-cell endurance and measures
+// executions until the first wrong output, naive flow vs full endurance
+// management.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/lifetime.hpp"
+
+int main() {
+  using namespace rlim;
+  using core::Strategy;
+
+  constexpr std::uint64_t kEndurance = 400;  // scaled-down for simulation
+  constexpr unsigned kTrials = 15;
+  constexpr std::uint64_t kMaxRuns = 500;
+
+  std::cout << "Endurance variability study — log-normal per-cell limits "
+               "(median " << kEndurance << " writes, " << kTrials
+            << " Monte-Carlo arrays, executions until first wrong output, "
+               "capped at " << kMaxRuns << ")\n\n";
+
+  util::Table table({"benchmark", "sigma", "naive min/median", "full min/median",
+                     "median gain"});
+
+  for (const auto* name : {"int2float", "router", "ctrl"}) {
+    const auto& spec = bench::find_benchmark(name);
+    const auto prepared = benchharness::prepare_benchmark(spec);
+    const auto naive = benchharness::run(prepared, Strategy::Naive);
+    const auto full = benchharness::run(prepared, Strategy::FullEndurance, 20);
+
+    for (const double sigma : {0.0, 0.3, 0.6}) {
+      const auto naive_study = core::lifetime_under_variability(
+          naive.program, prepared.original, kEndurance, sigma, kTrials, kMaxRuns,
+          11);
+      const auto full_study = core::lifetime_under_variability(
+          full.program, prepared.rewritten_endurance, kEndurance, sigma, kTrials,
+          kMaxRuns, 11);
+      const auto gain = static_cast<double>(full_study.median) /
+                        static_cast<double>(std::max<std::uint64_t>(
+                            1, naive_study.median));
+      table.add_row({spec.name, util::Table::fixed(sigma, 1),
+                     std::to_string(naive_study.min) + "/" +
+                         std::to_string(naive_study.median),
+                     std::to_string(full_study.min) + "/" +
+                         std::to_string(full_study.median),
+                     util::Table::fixed(gain, 1) + "x"});
+    }
+    table.add_separator();
+  }
+  std::cout << table.to_string() << '\n';
+  std::cout << "expected shape: variability shortens everyone's life, but "
+               "balanced traffic keeps its relative advantage (or grows it): "
+               "hotspots and weak cells compound\n";
+  return 0;
+}

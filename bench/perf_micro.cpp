@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks: throughput of the three pipeline stages
+// (MIG rewriting, RM3 compilation, crossbar execution) plus the simulation
+// substrate. Sizes are kept small so the whole binary finishes in seconds.
+
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/arithmetic.hpp"
+#include "core/endurance.hpp"
+#include "mig/rewriting.hpp"
+#include "mig/simulate.hpp"
+#include "plim/compiler.hpp"
+#include "plim/controller.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rlim;
+
+const mig::Mig& adder_graph(unsigned bits) {
+  static std::map<unsigned, mig::Mig> cache;
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    it = cache.emplace(bits, bench::make_adder(bits)).first;
+  }
+  return it->second;
+}
+
+void BM_RewritePlim21(benchmark::State& state) {
+  const auto& graph = adder_graph(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mig::rewrite_plim21(graph, 2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          graph.num_gates());
+}
+BENCHMARK(BM_RewritePlim21)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_RewriteEndurance(benchmark::State& state) {
+  const auto& graph = adder_graph(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mig::rewrite_endurance(graph, 2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          graph.num_gates());
+}
+BENCHMARK(BM_RewriteEndurance)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_Compile(benchmark::State& state) {
+  const auto& graph = adder_graph(static_cast<unsigned>(state.range(0)));
+  const plim::PlimCompiler compiler(
+      {plim::SelectionPolicy::EnduranceAware, plim::AllocPolicy::MinWrite, {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.compile(graph));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          graph.num_gates());
+}
+BENCHMARK(BM_Compile)->Arg(16)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_CompileNaive(benchmark::State& state) {
+  const auto& graph = adder_graph(static_cast<unsigned>(state.range(0)));
+  const plim::PlimCompiler compiler(
+      {plim::SelectionPolicy::NaiveOrder, plim::AllocPolicy::Lifo, {}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.compile(graph));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          graph.num_gates());
+}
+BENCHMARK(BM_CompileNaive)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_CrossbarExecute(benchmark::State& state) {
+  const auto& graph = adder_graph(static_cast<unsigned>(state.range(0)));
+  const auto compiled =
+      plim::PlimCompiler(plim::CompilerOptions{}).compile(graph);
+  util::Xoshiro256 rng(1);
+  std::vector<std::uint64_t> pi_values(graph.num_pis());
+  for (auto& word : pi_values) {
+    word = rng();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plim::evaluate(compiled.program, pi_values));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(compiled.num_instructions()));
+}
+BENCHMARK(BM_CrossbarExecute)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_MigSimulate(benchmark::State& state) {
+  const auto& graph = adder_graph(static_cast<unsigned>(state.range(0)));
+  util::Xoshiro256 rng(2);
+  std::vector<std::uint64_t> pi_values(graph.num_pis());
+  for (auto& word : pi_values) {
+    word = rng();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mig::simulate(graph, pi_values));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          graph.num_gates());
+}
+BENCHMARK(BM_MigSimulate)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto& graph = adder_graph(32);
+  const auto config = core::make_config(core::Strategy::FullEndurance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_pipeline(graph, config, "adder32"));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Ablation (extension beyond the paper): compile-time write balancing vs
+// Start-Gap [8], the memory-level runtime wear-leveling the paper cites from
+// the PCM literature. Start-Gap rotates the logical-to-physical mapping
+// underneath the write trace; we replay each compiled program's trace
+// through it and compare the resulting distributions.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/startgap.hpp"
+
+int main() {
+  using namespace rlim;
+  using core::Strategy;
+
+  std::cout << "Start-Gap [8] vs compile-time endurance management\n"
+            << "(gap interval 16; Start-Gap counts include gap-move "
+               "overhead writes)\n\n";
+
+  util::Table table({"benchmark", "naive STDEV", "naive+start-gap",
+                     "full-endurance STDEV", "full+start-gap"});
+
+  double sums[4] = {};
+  std::size_t count = 0;
+  for (const auto& spec : benchharness::selected_suite()) {
+    const auto prepared = benchharness::prepare_benchmark(spec);
+    const auto naive = benchharness::run(prepared, Strategy::Naive);
+    const auto full = benchharness::run(prepared, Strategy::FullEndurance);
+
+    const auto replay = [](const core::EnduranceReport& report) {
+      const auto trace = core::write_trace(report.program);
+      const auto counts =
+          core::replay_with_start_gap(trace, report.program.num_cells(), 16);
+      return util::compute_stats(counts).stdev;
+    };
+    const double values[4] = {naive.writes.stdev, replay(naive),
+                              full.writes.stdev, replay(full)};
+    table.add_row({spec.name, util::Table::fixed(values[0]),
+                   util::Table::fixed(values[1]), util::Table::fixed(values[2]),
+                   util::Table::fixed(values[3])});
+    for (int i = 0; i < 4; ++i) {
+      sums[i] += values[i];
+    }
+    ++count;
+  }
+
+  const auto denom = static_cast<double>(count);
+  table.add_separator();
+  table.add_row({"AVG", util::Table::fixed(sums[0] / denom),
+                 util::Table::fixed(sums[1] / denom),
+                 util::Table::fixed(sums[2] / denom),
+                 util::Table::fixed(sums[3] / denom)});
+  std::cout << table.to_string() << '\n';
+  std::cout << "expected shape: Start-Gap softens the naive flow's hotspots "
+               "but a single program execution is too short for full "
+               "rotation; compile-time balancing wins, and combining both "
+               "helps little once traffic is already balanced\n";
+  return 0;
+}

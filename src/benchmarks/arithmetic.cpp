@@ -1,0 +1,294 @@
+#include "benchmarks/arithmetic.hpp"
+
+#include "benchmarks/wordlib.hpp"
+#include "util/error.hpp"
+
+namespace rlim::bench {
+
+using mig::Mig;
+using mig::Signal;
+
+namespace {
+
+unsigned log2_ceil(unsigned value) {
+  unsigned bits = 0;
+  while ((1u << bits) < value) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+Mig make_adder(unsigned bits) {
+  require(bits >= 1, "make_adder: bits must be positive");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 1u);
+  const auto a = builder.input(bits, "a");
+  const auto b = builder.input(bits, "b");
+  Signal carry = Mig::get_constant(false);
+  auto sum = builder.add(a, b, Mig::get_constant(false), &carry);
+  sum.push_back(carry);
+  builder.output(sum, "s");
+  return graph;
+}
+
+Mig make_barrel_shifter(unsigned bits) {
+  require(bits >= 2 && (bits & (bits - 1)) == 0,
+          "make_barrel_shifter: bits must be a power of two");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 2u);
+  const auto data = builder.input(bits, "d");
+  const auto amount = builder.input(log2_ceil(bits), "sh");
+  builder.output(builder.shift_left_var(data, amount), "q");
+  return graph;
+}
+
+Mig make_divider(unsigned bits) {
+  require(bits >= 1, "make_divider: bits must be positive");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 3u);
+  const auto n = builder.input(bits, "n");
+  const auto d = builder.input(bits, "d");
+
+  // Restoring long division, MSB first. The remainder register needs one
+  // extra bit to hold (rem << 1 | n_i) before the trial subtraction.
+  const auto d_ext = builder.resize(d, bits + 1);
+  Word rem = builder.constant_word(0, bits + 1);
+  Word quotient(bits, Mig::get_constant(false));
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    rem = builder.shift_left_const(rem, 1);
+    rem[0] = n[static_cast<std::size_t>(i)];
+    Signal borrow = Mig::get_constant(false);
+    const auto diff = builder.sub(rem, d_ext, &borrow);
+    quotient[static_cast<std::size_t>(i)] = !borrow;
+    rem = builder.mux_word(!borrow, diff, rem);
+  }
+  builder.output(quotient, "q");
+  builder.output(builder.resize(rem, bits), "r");
+  return graph;
+}
+
+Mig make_log2(unsigned bits) {
+  require(bits >= 4, "make_log2: bits must be at least 4");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 4u);
+  const auto x = builder.input(bits, "x");
+  const unsigned pos_bits = log2_ceil(bits);
+  const unsigned frac_bits = bits - 1;
+
+  Signal any = Mig::get_constant(false);
+  const auto pos = builder.leading_one_position(x, &any);
+
+  // Normalize so the leading one lands on the MSB, then drop it: the
+  // remaining bits are the fraction f with log2(x) = pos + log2(1 + f).
+  const auto max_pos = builder.constant_word(bits - 1, pos_bits);
+  Signal ignored = Mig::get_constant(false);
+  const auto shift = builder.sub(max_pos, pos, &ignored);
+  const auto normalized = builder.shift_left_var(x, shift);
+  Word f(normalized.begin(), normalized.end() - 1);  // frac_bits wide
+
+  // log2(1+f) ≈ f + 0.34375·(f − f²)   (0.34375 = 2⁻² + 2⁻⁴ + 2⁻⁵)
+  const auto f_squared_full = builder.mul(f, f);
+  Word f_squared(f_squared_full.begin() + frac_bits, f_squared_full.end());
+  const auto correction = builder.sub(f, f_squared, &ignored);
+  auto frac = builder.add(f, builder.shift_right_const(correction, 2),
+                          Mig::get_constant(false));
+  frac = builder.add(frac, builder.shift_right_const(correction, 4),
+                     Mig::get_constant(false));
+  frac = builder.add(frac, builder.shift_right_const(correction, 5),
+                     Mig::get_constant(false));
+
+  // Output layout: [ pos | top bits of frac ], zero when x == 0.
+  Word out(bits, Mig::get_constant(false));
+  const unsigned out_frac_bits = bits - pos_bits;
+  for (unsigned i = 0; i < out_frac_bits; ++i) {
+    out[i] = frac[frac_bits - out_frac_bits + i];
+  }
+  for (unsigned i = 0; i < pos_bits; ++i) {
+    out[out_frac_bits + i] = pos[i];
+  }
+  out = builder.mux_word(any, out, builder.constant_word(0, bits));
+  builder.output(out, "y");
+  return graph;
+}
+
+std::uint64_t reference_log2(std::uint64_t x, unsigned bits) {
+  require(bits >= 4 && bits <= 32, "reference_log2: supported width 4..32");
+  if (x == 0) {
+    return 0;
+  }
+  const unsigned pos_bits = log2_ceil(bits);
+  const unsigned frac_bits = bits - 1;
+  unsigned pos = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    if ((x >> i) & 1u) {
+      pos = i;
+    }
+  }
+  const auto pos_mask = (1ULL << pos_bits) - 1;
+  const auto shift = ((bits - 1) - pos) & pos_mask;
+  const auto normalized = (x << shift) & ((1ULL << bits) - 1);
+  const auto f = normalized & ((1ULL << frac_bits) - 1);
+  const auto f_squared = (f * f) >> frac_bits;
+  const auto correction = (f - f_squared) & ((1ULL << frac_bits) - 1);
+  const auto frac_mask = (1ULL << frac_bits) - 1;
+  std::uint64_t frac = f;
+  frac = (frac + (correction >> 2)) & frac_mask;
+  frac = (frac + (correction >> 4)) & frac_mask;
+  frac = (frac + (correction >> 5)) & frac_mask;
+  const unsigned out_frac_bits = bits - pos_bits;
+  return (static_cast<std::uint64_t>(pos) << out_frac_bits) |
+         (frac >> (frac_bits - out_frac_bits));
+}
+
+Mig make_max(unsigned words, unsigned bits) {
+  require(words >= 2 && (words & (words - 1)) == 0,
+          "make_max: words must be a power of two");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 5u);
+  const unsigned index_bits = log2_ceil(words);
+
+  struct Entry {
+    Word value;
+    Word index;
+  };
+  std::vector<Entry> entries;
+  for (unsigned w = 0; w < words; ++w) {
+    Entry entry;
+    entry.value = builder.input(bits, "w" + std::to_string(w));
+    entry.index = builder.constant_word(w, index_bits);
+    entries.push_back(std::move(entry));
+  }
+  while (entries.size() > 1) {
+    std::vector<Entry> next;
+    for (std::size_t i = 0; i + 1 < entries.size(); i += 2) {
+      const auto right_wins = builder.ult(entries[i].value, entries[i + 1].value);
+      Entry merged;
+      merged.value =
+          builder.mux_word(right_wins, entries[i + 1].value, entries[i].value);
+      merged.index =
+          builder.mux_word(right_wins, entries[i + 1].index, entries[i].index);
+      next.push_back(std::move(merged));
+    }
+    entries = std::move(next);
+  }
+  builder.output(entries[0].value, "max");
+  builder.output(entries[0].index, "idx");
+  return graph;
+}
+
+Mig make_multiplier(unsigned bits) {
+  require(bits >= 1, "make_multiplier: bits must be positive");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 6u);
+  const auto a = builder.input(bits, "a");
+  const auto b = builder.input(bits, "b");
+  builder.output(builder.mul(a, b), "p");
+  return graph;
+}
+
+Mig make_sin(unsigned bits) {
+  require(bits >= 4 && bits <= 24, "make_sin: supported width 4..24");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 7u);
+  const auto x = builder.input(bits, "x");
+
+  // x is a fraction of the quarter wave; out ≈ sin(x·π/2) in bits+1 bits via
+  // the odd polynomial c1·x − c3·x³ + c5·x⁵ with shift-add coefficients:
+  //   c1 ≈ π/2     ≈ 1.5703125  = 1 + 2⁻¹ + 2⁻⁴ + 2⁻⁷
+  //   c3 ≈ π³/48   ≈ 0.6455078  = 2⁻¹ + 2⁻³ + 2⁻⁶ + 2⁻⁸ + 2⁻¹⁰
+  //   c5 ≈ π⁵/3840 ≈ 0.0800781  = 2⁻⁴ + 2⁻⁶ + 2⁻⁹
+  const auto square_full = builder.mul(x, x);
+  Word square(square_full.begin() + bits, square_full.end());
+  const auto cube_full = builder.mul(square, x);
+  Word cube(cube_full.begin() + bits, cube_full.end());
+  const auto quint_full = builder.mul(cube, square);
+  Word quint(quint_full.begin() + bits, quint_full.end());
+
+  const auto ext = [&](const Word& word) { return builder.resize(word, bits + 1); };
+  const auto zero = Mig::get_constant(false);
+  auto positive = ext(x);
+  for (const unsigned shift : {1u, 4u, 7u}) {
+    positive = builder.add(positive, builder.shift_right_const(ext(x), shift), zero);
+  }
+  for (const unsigned shift : {4u, 6u, 9u}) {
+    positive =
+        builder.add(positive, builder.shift_right_const(ext(quint), shift), zero);
+  }
+  auto c3cube = builder.shift_right_const(ext(cube), 1);
+  for (const unsigned shift : {3u, 6u, 8u, 10u}) {
+    c3cube = builder.add(c3cube, builder.shift_right_const(ext(cube), shift), zero);
+  }
+  const auto out = builder.sub(positive, c3cube);
+  builder.output(out, "y");
+  return graph;
+}
+
+std::uint64_t reference_sin(std::uint64_t x, unsigned bits) {
+  require(bits >= 4 && bits <= 24, "reference_sin: supported width 4..24");
+  const auto mask = (1ULL << (bits + 1)) - 1;
+  const auto square = (x * x) >> bits;
+  const auto cube = (square * x) >> bits;
+  const auto quint = (cube * square) >> bits;
+  std::uint64_t positive = x;
+  for (const unsigned shift : {1u, 4u, 7u}) {
+    positive = (positive + (x >> shift)) & mask;
+  }
+  for (const unsigned shift : {4u, 6u, 9u}) {
+    positive = (positive + (quint >> shift)) & mask;
+  }
+  std::uint64_t c3cube = cube >> 1;
+  for (const unsigned shift : {3u, 6u, 8u, 10u}) {
+    c3cube = (c3cube + (cube >> shift)) & mask;
+  }
+  return (positive - c3cube) & mask;
+}
+
+Mig make_sqrt(unsigned output_bits) {
+  require(output_bits >= 1, "make_sqrt: output_bits must be positive");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 8u);
+  const unsigned input_bits = 2 * output_bits;
+  const auto n = builder.input(input_bits, "n");
+
+  // Digit-by-digit (restoring) square root, two radicand bits per step.
+  const unsigned rem_bits = output_bits + 4;
+  Word rem = builder.constant_word(0, rem_bits);
+  Word root = builder.constant_word(0, output_bits);
+  for (int i = static_cast<int>(output_bits) - 1; i >= 0; --i) {
+    rem = builder.shift_left_const(rem, 2);
+    rem[1] = n[static_cast<std::size_t>(2 * i + 1)];
+    rem[0] = n[static_cast<std::size_t>(2 * i)];
+    auto trial = builder.shift_left_const(builder.resize(root, rem_bits), 2);
+    trial[0] = Mig::get_constant(true);  // (root << 2) | 1
+    Signal borrow = Mig::get_constant(false);
+    const auto diff = builder.sub(rem, trial, &borrow);
+    const auto fits = !borrow;
+    rem = builder.mux_word(fits, diff, rem);
+    root = builder.shift_left_const(root, 1);
+    root[0] = fits;
+  }
+  builder.output(root, "r");
+  return graph;
+}
+
+Mig make_square(unsigned bits) {
+  require(bits >= 1, "make_square: bits must be positive");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 9u);
+  const auto a = builder.input(bits, "a");
+  builder.output(builder.mul(a, a), "p");
+  return graph;
+}
+
+}  // namespace rlim::bench

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "mig/mig.hpp"
+
+namespace rlim::bench {
+
+/// Structural re-creations of the EPFL arithmetic benchmarks (the originals
+/// are not redistributable offline; see DESIGN.md §4). Widths are
+/// parameterized so tests can exercise small instances exhaustively; the
+/// paper-profile instances are listed in suite.hpp.
+
+/// Ripple-carry adder: 2n PIs, n+1 POs (paper: n=128 → 256/129).
+[[nodiscard]] mig::Mig make_adder(unsigned bits);
+
+/// Logarithmic barrel left-shifter: n + log2(n) PIs, n POs
+/// (paper: n=128 → 135/128).
+[[nodiscard]] mig::Mig make_barrel_shifter(unsigned bits);
+
+/// Restoring divider: quotient and remainder, 2n PIs, 2n POs
+/// (paper: n=64 → 128/128). Semantics for d > 0: q = n/d, r = n%d.
+[[nodiscard]] mig::Mig make_divider(unsigned bits);
+
+/// Fixed-point log2: n PIs, n POs (paper: n=32 → 32/32).
+/// out = integer part (leading-one position) concatenated with a fractional
+/// approximation log2(1+f) ≈ f + f²·(f-1)/2 evaluated in fixed point.
+[[nodiscard]] mig::Mig make_log2(unsigned bits);
+
+/// Max of `words` n-bit operands plus the index of the maximum:
+/// words*n PIs, n + log2(words) POs (paper: 4×128 → 512/130).
+[[nodiscard]] mig::Mig make_max(unsigned words, unsigned bits);
+
+/// Array multiplier: 2n PIs, 2n POs (paper: n=64 → 128/128).
+[[nodiscard]] mig::Mig make_multiplier(unsigned bits);
+
+/// Polynomial sine over quarter-wave fixed point: n PIs, n+1 POs
+/// (paper: n=24 → 24/25). out = c1·x − c3·x³ + c5·x⁵ with shift-add constant
+/// multipliers (c1 ≈ π/2, c3 ≈ π³/48, c5 ≈ π⁵/3840); exact bit-level
+/// semantics are mirrored by `reference_sin` below. Width 4..24.
+[[nodiscard]] mig::Mig make_sin(unsigned bits);
+
+/// Non-restoring integer square root: 2n PIs, n POs
+/// (paper: n=64 → 128/64). out = floor(sqrt(input)).
+[[nodiscard]] mig::Mig make_sqrt(unsigned output_bits);
+
+/// Squarer: n PIs, 2n POs (paper: n=64 → 64/128).
+[[nodiscard]] mig::Mig make_square(unsigned bits);
+
+/// Bit-exact software references for the approximate generators (used by the
+/// test suite to pin the circuits' semantics).
+[[nodiscard]] std::uint64_t reference_sin(std::uint64_t x, unsigned bits);
+[[nodiscard]] std::uint64_t reference_log2(std::uint64_t x, unsigned bits);
+
+}  // namespace rlim::bench

@@ -1,0 +1,183 @@
+#include "benchmarks/control.hpp"
+
+#include <vector>
+
+#include "benchmarks/wordlib.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rlim::bench {
+
+using mig::Mig;
+using mig::Signal;
+
+namespace {
+
+std::vector<Signal> decode_recursive(WordBuilder& builder,
+                                     std::span<const Signal> sel) {
+  if (sel.size() == 1) {
+    return {!sel[0], sel[0]};
+  }
+  const auto half = sel.size() / 2;
+  const auto low = decode_recursive(builder, sel.first(half));
+  const auto high = decode_recursive(builder, sel.subspan(half));
+  std::vector<Signal> out;
+  out.reserve(low.size() * high.size());
+  for (const auto hi : high) {
+    for (const auto lo : low) {
+      out.push_back(builder.land(hi, lo));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Mig make_decoder(unsigned sel_bits) {
+  require(sel_bits >= 1 && sel_bits <= 16, "make_decoder: 1..16 select bits");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 5u);
+  std::vector<Signal> sel;
+  for (unsigned i = 0; i < sel_bits; ++i) {
+    sel.push_back(graph.create_pi("s" + std::to_string(i)));
+  }
+  const auto outputs = decode_recursive(builder, sel);
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    graph.create_po(outputs[i], "d" + std::to_string(i));
+  }
+  return graph;
+}
+
+Mig make_priority_encoder(unsigned width) {
+  require(width >= 2, "make_priority_encoder: width must be at least 2");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 1u);
+  const auto requests = builder.input(width, "r");
+  Signal valid = Mig::get_constant(false);
+  auto index = builder.leading_one_position(requests, &valid);
+  index.push_back(valid);
+  builder.output(index, "g");
+  return graph;
+}
+
+Mig make_int2float() {
+  constexpr unsigned kBits = 11;
+  constexpr unsigned kMantissa = 3;
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 2u);
+  const auto x = builder.input(kBits, "x");
+
+  Signal any = Mig::get_constant(false);
+  const auto pos = builder.leading_one_position(x, &any);  // 4 bits (0..10)
+
+  // Normalize the leading one to bit kBits-1, mantissa = next 3 bits.
+  const auto max_pos = builder.constant_word(kBits - 1, pos.size());
+  mig::Signal ignored = Mig::get_constant(false);
+  const auto shift = builder.sub(max_pos, pos, &ignored);
+  const auto normalized = builder.shift_left_var(x, shift);
+  Word mantissa(normalized.end() - 1 - kMantissa, normalized.end() - 1);
+
+  Word out;
+  out.insert(out.end(), mantissa.begin(), mantissa.end());
+  out.insert(out.end(), pos.begin(), pos.end());
+  out = builder.mux_word(any, out, builder.constant_word(0, out.size()));
+  builder.output(out, "f");
+  return graph;
+}
+
+std::uint64_t reference_int2float(std::uint64_t x) {
+  constexpr unsigned kBits = 11;
+  constexpr unsigned kMantissa = 3;
+  x &= (1ULL << kBits) - 1;
+  if (x == 0) {
+    return 0;
+  }
+  unsigned pos = 0;
+  for (unsigned i = 0; i < kBits; ++i) {
+    if ((x >> i) & 1u) {
+      pos = i;
+    }
+  }
+  const auto normalized = x << ((kBits - 1) - pos);
+  const auto mantissa = (normalized >> (kBits - 1 - kMantissa)) & ((1u << kMantissa) - 1);
+  return (static_cast<std::uint64_t>(pos) << kMantissa) | mantissa;
+}
+
+Mig make_voter(unsigned inputs) {
+  require(inputs >= 3 && inputs % 2 == 1, "make_voter: odd input count >= 3");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 3u);
+  const auto votes = builder.input(inputs, "v");
+  const auto count = builder.popcount(votes);
+  const auto threshold = builder.constant_word((inputs + 1) / 2, count.size());
+  // majority ⇔ count >= threshold ⇔ NOT (count < threshold)
+  graph.create_po(!builder.ult(count, threshold), "maj");
+  return graph;
+}
+
+Mig make_random_control(unsigned pis, unsigned pos, std::size_t target_gates,
+                        std::uint64_t seed) {
+  require(pis >= 2 && pos >= 1, "make_random_control: need >= 2 PIs, >= 1 PO");
+  Mig graph;
+  WordBuilder builder(graph);
+  builder.enable_redundancy(0x5eed0000u + 4u);
+  util::Xoshiro256 rng(seed);
+
+  std::vector<Signal> pool;
+  for (unsigned i = 0; i < pis; ++i) {
+    pool.push_back(graph.create_pi());
+  }
+
+  const auto pick = [&]() -> Signal {
+    // Recency bias: half the picks come from the most recent window, which
+    // yields the depth profile of sequentialized control logic.
+    std::size_t index;
+    if (rng.chance(1, 2) && pool.size() > 32) {
+      index = pool.size() - 1 - rng.below(32);
+    } else {
+      index = rng.below(pool.size());
+    }
+    return pool[index] ^ rng.chance(1, 4);
+  };
+
+  std::size_t guard = 0;
+  while (graph.num_gates() < target_gates && guard < 16 * target_gates + 256) {
+    ++guard;
+    const auto kind = rng.below(100);
+    Signal out;
+    if (kind < 30) {
+      out = builder.land(pick(), pick());
+    } else if (kind < 55) {
+      out = builder.lor(pick(), pick());
+    } else if (kind < 72) {
+      out = builder.lxor(pick(), pick());
+    } else if (kind < 94) {
+      out = builder.lmux(pick(), pick(), pick());
+    } else {
+      // Comparator block: a small equality against a random constant —
+      // control logic is full of these.
+      const auto width = 3 + rng.below(4);
+      Word word;
+      for (std::size_t i = 0; i < width; ++i) {
+        word.push_back(pick());
+      }
+      out = builder.eq(word, builder.constant_word(rng(), static_cast<unsigned>(width)));
+    }
+    if (!out.is_constant()) {
+      pool.push_back(out);
+    }
+  }
+
+  for (unsigned i = 0; i < pos; ++i) {
+    // Outputs come from the deep end of the pool.
+    const auto index = pool.size() - 1 - rng.below((pool.size() + 3) / 4);
+    graph.create_po(pool[index] ^ rng.chance(1, 5));
+  }
+  return graph;
+}
+
+}  // namespace rlim::bench

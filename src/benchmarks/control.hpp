@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mig/mig.hpp"
+
+namespace rlim::bench {
+
+/// Structural re-creations of the EPFL "random/control" benchmarks.
+/// Exact functions are built for the specified ones (decoder, priority
+/// encoder, int2float, voter); the remaining control blocks (cavlc, ctrl,
+/// i2c, router, mem_ctrl) are seeded pseudo-random control netlists with the
+/// paper's PI/PO profile and size class (see DESIGN.md §4).
+
+/// Full binary decoder: sel_bits PIs → 2^sel_bits one-hot POs
+/// (paper: 8 → 8/256).
+[[nodiscard]] mig::Mig make_decoder(unsigned sel_bits);
+
+/// Priority encoder over `width` request lines: index of the
+/// highest-numbered active line plus a valid flag
+/// (paper: 128 → 128/8 = 7 index bits + valid).
+[[nodiscard]] mig::Mig make_priority_encoder(unsigned width);
+
+/// 11-bit unsigned integer to a tiny float: 4-bit exponent (leading-one
+/// position) and 3-bit mantissa (paper: 11/7).
+[[nodiscard]] mig::Mig make_int2float();
+[[nodiscard]] std::uint64_t reference_int2float(std::uint64_t x);
+
+/// Majority voter over an odd number of inputs: popcount ≥ (n+1)/2
+/// (paper: 1001/1).
+[[nodiscard]] mig::Mig make_voter(unsigned inputs);
+
+/// Seeded pseudo-random control netlist: AND/OR/XOR/MUX layers with recency
+/// bias plus occasional comparator blocks — the shallow-wide irregular
+/// structure of real control logic. Deterministic for a given seed.
+[[nodiscard]] mig::Mig make_random_control(unsigned pis, unsigned pos,
+                                           std::size_t target_gates,
+                                           std::uint64_t seed);
+
+}  // namespace rlim::bench

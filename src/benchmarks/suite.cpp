@@ -1,0 +1,76 @@
+#include "benchmarks/suite.hpp"
+
+#include "benchmarks/arithmetic.hpp"
+#include "benchmarks/control.hpp"
+#include "util/error.hpp"
+
+namespace rlim::bench {
+
+const std::vector<BenchmarkSpec>& paper_suite() {
+  static const std::vector<BenchmarkSpec> suite = {
+      {"adder", 256, 129, true, [] { return make_adder(128); }},
+      {"bar", 135, 128, true, [] { return make_barrel_shifter(128); }},
+      {"div", 128, 128, true, [] { return make_divider(64); }},
+      {"log2", 32, 32, true, [] { return make_log2(32); }},
+      {"max", 512, 130, true, [] { return make_max(4, 128); }},
+      {"multiplier", 128, 128, true, [] { return make_multiplier(64); }},
+      {"sin", 24, 25, true, [] { return make_sin(24); }},
+      {"sqrt", 128, 64, true, [] { return make_sqrt(64); }},
+      {"square", 64, 128, true, [] { return make_square(64); }},
+      {"cavlc", 10, 11, false,
+       [] { return make_random_control(10, 11, 1000, 0xCA71Cu); }},
+      {"ctrl", 7, 26, false,
+       [] { return make_random_control(7, 26, 260, 0xC791u); }},
+      {"dec", 8, 256, false, [] { return make_decoder(8); }},
+      {"i2c", 147, 142, false,
+       [] { return make_random_control(147, 142, 1700, 0x12Cu); }},
+      {"int2float", 11, 7, false, [] { return make_int2float(); }},
+      {"mem_ctrl", 1204, 1231, false,
+       [] { return make_random_control(1204, 1231, 46000, 0x3E3C791u); }},
+      {"priority", 128, 8, false, [] { return make_priority_encoder(128); }},
+      {"router", 60, 30, false,
+       [] { return make_random_control(60, 30, 270, 0x907E9u); }},
+      {"voter", 1001, 1, false, [] { return make_voter(1001); }},
+  };
+  return suite;
+}
+
+const std::vector<BenchmarkSpec>& mini_suite() {
+  static const std::vector<BenchmarkSpec> suite = {
+      {"adder", 16, 9, true, [] { return make_adder(8); }},
+      {"bar", 11, 8, true, [] { return make_barrel_shifter(8); }},
+      {"div", 12, 12, true, [] { return make_divider(6); }},
+      {"log2", 8, 8, true, [] { return make_log2(8); }},
+      {"max", 16, 6, true, [] { return make_max(4, 4); }},
+      {"multiplier", 12, 12, true, [] { return make_multiplier(6); }},
+      {"sin", 8, 9, true, [] { return make_sin(8); }},
+      {"sqrt", 12, 6, true, [] { return make_sqrt(6); }},
+      {"square", 6, 12, true, [] { return make_square(6); }},
+      {"cavlc", 10, 11, false,
+       [] { return make_random_control(10, 11, 120, 0xCA71Cu); }},
+      {"ctrl", 7, 26, false,
+       [] { return make_random_control(7, 26, 60, 0xC791u); }},
+      {"dec", 4, 16, false, [] { return make_decoder(4); }},
+      {"i2c", 20, 18, false,
+       [] { return make_random_control(20, 18, 150, 0x12Cu); }},
+      {"int2float", 11, 7, false, [] { return make_int2float(); }},
+      {"mem_ctrl", 32, 28, false,
+       [] { return make_random_control(32, 28, 400, 0x3E3C791u); }},
+      {"priority", 16, 5, false, [] { return make_priority_encoder(16); }},
+      {"router", 12, 8, false,
+       [] { return make_random_control(12, 8, 70, 0x907E9u); }},
+      {"voter", 31, 1, false, [] { return make_voter(31); }},
+  };
+  return suite;
+}
+
+const BenchmarkSpec& find_benchmark(const std::string& name) {
+  for (const auto& spec : paper_suite()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  throw Error("find_benchmark: unknown benchmark '" + name + "'");
+}
+
+}  // namespace rlim::bench

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+namespace rlim::bench {
+
+/// One benchmark function of the evaluation suite.
+struct BenchmarkSpec {
+  std::string name;
+  unsigned pis = 0;   ///< expected primary input count (paper profile)
+  unsigned pos = 0;   ///< expected primary output count
+  bool arithmetic = false;
+  std::function<mig::Mig()> build;
+};
+
+/// The 18-function suite with exactly the paper's PI/PO profile
+/// (adder 256/129 ... voter 1001/1). Building the large entries takes a
+/// moment; callers should cache the graphs.
+[[nodiscard]] const std::vector<BenchmarkSpec>& paper_suite();
+
+/// Scaled-down instances of the same generators for fast tests and smoke
+/// benches (identical code paths, small widths).
+[[nodiscard]] const std::vector<BenchmarkSpec>& mini_suite();
+
+/// Looks a benchmark up by name in `paper_suite()`; throws rlim::Error for
+/// unknown names.
+[[nodiscard]] const BenchmarkSpec& find_benchmark(const std::string& name);
+
+}  // namespace rlim::bench

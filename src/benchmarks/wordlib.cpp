@@ -1,0 +1,297 @@
+#include "benchmarks/wordlib.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rlim::bench {
+
+using mig::Mig;
+using mig::Signal;
+
+bool WordBuilder::variant() {
+  return redundancy_.has_value() && redundancy_->chance(1, 2);
+}
+
+Signal WordBuilder::land(Signal a, Signal b) {
+  if (variant()) {
+    return !mig_->create_or(!a, !b);  // DeMorgan dual: ¬(¬a ∨ ¬b)
+  }
+  return mig_->create_and(a, b);
+}
+
+Signal WordBuilder::lor(Signal a, Signal b) {
+  if (variant()) {
+    return !mig_->create_and(!a, !b);  // ¬(¬a ∧ ¬b)
+  }
+  return mig_->create_or(a, b);
+}
+
+Signal WordBuilder::lxor(Signal a, Signal b) {
+  if (variant()) {
+    // ¬XNOR: ¬((a∧b) ∨ (¬a∧¬b))
+    return !lor(land(a, b), land(!a, !b));
+  }
+  return lor(land(a, !b), land(!a, b));
+}
+
+Signal WordBuilder::lmux(Signal sel, Signal t, Signal e) {
+  if (variant()) {
+    // NAND-NAND form: ¬(¬(sel∧t) ∧ ¬(¬sel∧e))
+    return !land(!land(sel, t), !land(!sel, e));
+  }
+  return lor(land(sel, t), land(!sel, e));
+}
+
+Word WordBuilder::input(unsigned bits, const std::string& prefix) {
+  Word word;
+  word.reserve(bits);
+  for (unsigned i = 0; i < bits; ++i) {
+    word.push_back(mig_->create_pi(prefix + "[" + std::to_string(i) + "]"));
+  }
+  return word;
+}
+
+void WordBuilder::output(const Word& word, const std::string& prefix) {
+  for (unsigned i = 0; i < word.size(); ++i) {
+    mig_->create_po(word[i], prefix + "[" + std::to_string(i) + "]");
+  }
+}
+
+Word WordBuilder::constant_word(std::uint64_t value, unsigned bits) const {
+  Word word;
+  word.reserve(bits);
+  for (unsigned i = 0; i < bits; ++i) {
+    word.push_back(Mig::get_constant(i < 64 && ((value >> i) & 1u) != 0));
+  }
+  return word;
+}
+
+Word WordBuilder::resize(const Word& word, unsigned bits) const {
+  Word result = word;
+  result.resize(bits, Mig::get_constant(false));
+  return result;
+}
+
+Word WordBuilder::shift_right_const(const Word& word, unsigned amount) const {
+  Word result(word.size(), Mig::get_constant(false));
+  for (std::size_t i = 0; i + amount < word.size(); ++i) {
+    result[i] = word[i + amount];
+  }
+  return result;
+}
+
+Word WordBuilder::shift_left_const(const Word& word, unsigned amount) const {
+  Word result(word.size(), Mig::get_constant(false));
+  for (std::size_t i = amount; i < word.size(); ++i) {
+    result[i] = word[i - amount];
+  }
+  return result;
+}
+
+Word WordBuilder::bitwise_and(const Word& a, const Word& b) {
+  require(a.size() == b.size(), "WordBuilder: width mismatch");
+  Word result;
+  result.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    result.push_back(land(a[i], b[i]));
+  }
+  return result;
+}
+
+Word WordBuilder::bitwise_xor(const Word& a, const Word& b) {
+  require(a.size() == b.size(), "WordBuilder: width mismatch");
+  Word result;
+  result.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    result.push_back(lxor(a[i], b[i]));
+  }
+  return result;
+}
+
+Word WordBuilder::bitwise_not(const Word& a) const {
+  Word result;
+  result.reserve(a.size());
+  for (const auto bit : a) {
+    result.push_back(!bit);
+  }
+  return result;
+}
+
+Signal WordBuilder::reduce_or(const Word& word) {
+  auto acc = Mig::get_constant(false);
+  for (const auto bit : word) {
+    acc = lor(acc, bit);
+  }
+  return acc;
+}
+
+Signal WordBuilder::reduce_and(const Word& word) {
+  auto acc = Mig::get_constant(true);
+  for (const auto bit : word) {
+    acc = land(acc, bit);
+  }
+  return acc;
+}
+
+Signal WordBuilder::full_adder(Signal a, Signal b, Signal c, Signal& carry_out) {
+  const auto sum = lxor(lxor(a, b), c);
+  carry_out = lor(lor(land(a, b), land(a, c)), land(b, c));
+  return sum;
+}
+
+Word WordBuilder::add(const Word& a, const Word& b, Signal carry_in,
+                      Signal* carry_out) {
+  require(a.size() == b.size(), "WordBuilder::add: width mismatch");
+  Word sum;
+  sum.reserve(a.size());
+  auto carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    Signal next_carry = Mig::get_constant(false);
+    sum.push_back(full_adder(a[i], b[i], carry, next_carry));
+    carry = next_carry;
+  }
+  if (carry_out != nullptr) {
+    *carry_out = carry;
+  }
+  return sum;
+}
+
+Word WordBuilder::sub(const Word& a, const Word& b, Signal* borrow_out) {
+  Signal carry = Mig::get_constant(false);
+  const auto diff = add(a, bitwise_not(b), Mig::get_constant(true), &carry);
+  if (borrow_out != nullptr) {
+    *borrow_out = !carry;  // no carry out of a + ~b + 1 means a < b
+  }
+  return diff;
+}
+
+Signal WordBuilder::ult(const Word& a, const Word& b) {
+  Signal borrow = Mig::get_constant(false);
+  sub(a, b, &borrow);
+  return borrow;
+}
+
+Signal WordBuilder::eq(const Word& a, const Word& b) {
+  require(a.size() == b.size(), "WordBuilder::eq: width mismatch");
+  Word diffs;
+  diffs.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diffs.push_back(lxor(a[i], b[i]));
+  }
+  return !reduce_or(diffs);
+}
+
+Word WordBuilder::mux_word(Signal sel, const Word& t, const Word& e) {
+  require(t.size() == e.size(), "WordBuilder::mux_word: width mismatch");
+  Word result;
+  result.reserve(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    result.push_back(lmux(sel, t[i], e[i]));
+  }
+  return result;
+}
+
+Word WordBuilder::shift_left_var(const Word& word, const Word& amount) {
+  Word current = word;
+  for (std::size_t stage = 0; stage < amount.size(); ++stage) {
+    const unsigned distance = 1u << stage;
+    if (distance >= current.size()) {
+      // Shifting by the full width zeroes the word when the bit is set.
+      const auto keep = !amount[stage];
+      for (auto& bit : current) {
+        bit = land(keep, bit);
+      }
+      continue;
+    }
+    current = mux_word(amount[stage], shift_left_const(current, distance), current);
+  }
+  return current;
+}
+
+Word WordBuilder::shift_right_var(const Word& word, const Word& amount) {
+  Word current = word;
+  for (std::size_t stage = 0; stage < amount.size(); ++stage) {
+    const unsigned distance = 1u << stage;
+    if (distance >= current.size()) {
+      const auto keep = !amount[stage];
+      for (auto& bit : current) {
+        bit = land(keep, bit);
+      }
+      continue;
+    }
+    current = mux_word(amount[stage], shift_right_const(current, distance), current);
+  }
+  return current;
+}
+
+Word WordBuilder::mul(const Word& a, const Word& b) {
+  const auto product_bits = static_cast<unsigned>(a.size() + b.size());
+  // Row-by-row array multiplier: accumulate partial products.
+  Word acc = constant_word(0, product_bits);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    Word partial(product_bits, Mig::get_constant(false));
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      partial[i + j] = land(a[j], b[i]);
+    }
+    acc = add(acc, partial, Mig::get_constant(false));
+  }
+  return acc;
+}
+
+Word WordBuilder::popcount(const Word& bits) {
+  // Column compression: weight w columns feed 3:2 compressors until at most
+  // two summands remain, then one ripple add.
+  std::vector<std::vector<Signal>> columns(1);
+  columns[0].assign(bits.begin(), bits.end());
+  std::size_t weight = 0;
+  while (weight < columns.size()) {
+    while (columns[weight].size() >= 3) {
+      const auto a = columns[weight][columns[weight].size() - 1];
+      const auto b = columns[weight][columns[weight].size() - 2];
+      const auto c = columns[weight][columns[weight].size() - 3];
+      columns[weight].resize(columns[weight].size() - 3);
+      Signal carry = Mig::get_constant(false);
+      const auto sum = full_adder(a, b, c, carry);
+      columns[weight].push_back(sum);
+      if (weight + 1 >= columns.size()) {
+        columns.emplace_back();
+      }
+      columns[weight + 1].push_back(carry);
+    }
+    ++weight;
+  }
+  // At most two signals per column: assemble two words and add them; the
+  // final carry is a real result bit (e.g. popcount(33 ones) needs 6 bits).
+  Word first;
+  Word second;
+  for (const auto& column : columns) {
+    first.push_back(column.size() > 0 ? column[0] : Mig::get_constant(false));
+    second.push_back(column.size() > 1 ? column[1] : Mig::get_constant(false));
+  }
+  Signal carry = Mig::get_constant(false);
+  auto total = add(first, second, Mig::get_constant(false), &carry);
+  total.push_back(carry);
+  return total;
+}
+
+Word WordBuilder::leading_one_position(const Word& word, Signal* any_set) {
+  unsigned position_bits = 1;
+  while ((1u << position_bits) < word.size()) {
+    ++position_bits;
+  }
+  Word position = constant_word(0, position_bits);
+  auto found = Mig::get_constant(false);
+  // Scan from LSB to MSB; later (more significant) hits override.
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    const auto here = constant_word(static_cast<std::uint64_t>(i), position_bits);
+    position = mux_word(word[i], here, position);
+    found = lor(found, word[i]);
+  }
+  if (any_set != nullptr) {
+    *any_set = found;
+  }
+  return position;
+}
+
+}  // namespace rlim::bench

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mig/mig.hpp"
+#include "util/rng.hpp"
+
+namespace rlim::bench {
+
+/// A little-endian word of signals (bit 0 first).
+using Word = std::vector<mig::Signal>;
+
+/// Word-level netlist construction helpers.
+///
+/// All arithmetic is deliberately built from AND/OR/XOR/MUX expansions (the
+/// structure AIG-derived benchmark suites such as EPFL have), NOT from native
+/// majority gates: discovering the majority structure is exactly the job of
+/// the MIG rewriting flows under test.
+class WordBuilder {
+public:
+  explicit WordBuilder(mig::Mig& mig) : mig_(&mig) {}
+
+  [[nodiscard]] mig::Mig& graph() { return *mig_; }
+
+  /// Enables seeded structural-variant redundancy: the logic helpers below
+  /// randomly emit DeMorgan-dual / NAND-NAND equivalents of their canonical
+  /// forms. This reproduces the inverter-heavy redundancy of unoptimized
+  /// synthesis netlists (the EPFL suite is distributed unoptimized), which
+  /// is precisely what the MIG rewriting flows under test clean up: the Ω.I
+  /// passes re-normalize the complements and structural hashing then merges
+  /// the dual forms.
+  void enable_redundancy(std::uint64_t seed) { redundancy_.emplace(seed); }
+
+  /// Logic AND / OR / XOR / MUX with optional variant forms (canonical when
+  /// redundancy is off).
+  mig::Signal land(mig::Signal a, mig::Signal b);
+  mig::Signal lor(mig::Signal a, mig::Signal b);
+  mig::Signal lxor(mig::Signal a, mig::Signal b);
+  mig::Signal lmux(mig::Signal sel, mig::Signal t, mig::Signal e);
+
+  // ---- I/O -----------------------------------------------------------------
+  Word input(unsigned bits, const std::string& prefix);
+  void output(const Word& word, const std::string& prefix);
+
+  // ---- constants / wiring ----------------------------------------------------
+  [[nodiscard]] Word constant_word(std::uint64_t value, unsigned bits) const;
+  /// Truncates or zero-extends to `bits`.
+  [[nodiscard]] Word resize(const Word& word, unsigned bits) const;
+  /// word >> amount (constant), zero fill.
+  [[nodiscard]] Word shift_right_const(const Word& word, unsigned amount) const;
+  /// word << amount (constant), zero fill, width preserved.
+  [[nodiscard]] Word shift_left_const(const Word& word, unsigned amount) const;
+
+  // ---- bitwise ----------------------------------------------------------------
+  Word bitwise_and(const Word& a, const Word& b);
+  Word bitwise_xor(const Word& a, const Word& b);
+  [[nodiscard]] Word bitwise_not(const Word& a) const;
+  mig::Signal reduce_or(const Word& word);
+  mig::Signal reduce_and(const Word& word);
+
+  // ---- arithmetic --------------------------------------------------------------
+  /// Full adder in sum-of-products netlist style: sum = (a⊕b)⊕c,
+  /// carry = (a∧b) ∨ (a∧c) ∨ (b∧c) — the redundant form synthesis
+  /// front-ends emit, which Ω.D can fuse toward the majority carry.
+  mig::Signal full_adder(mig::Signal a, mig::Signal b, mig::Signal c,
+                         mig::Signal& carry_out);
+  /// Ripple-carry addition; widths must match. carry_out may be null.
+  Word add(const Word& a, const Word& b, mig::Signal carry_in,
+           mig::Signal* carry_out = nullptr);
+  /// a - b (two's complement); borrow_out = 1 when a < b.
+  Word sub(const Word& a, const Word& b, mig::Signal* borrow_out = nullptr);
+  /// Unsigned comparison a < b.
+  mig::Signal ult(const Word& a, const Word& b);
+  mig::Signal eq(const Word& a, const Word& b);
+
+  /// sel ? t : e, bitwise.
+  Word mux_word(mig::Signal sel, const Word& t, const Word& e);
+
+  /// Logarithmic barrel shifter by a variable amount (zero filling).
+  Word shift_left_var(const Word& word, const Word& amount);
+  Word shift_right_var(const Word& word, const Word& amount);
+
+  /// Array multiplier (unsigned), product has a.size() + b.size() bits.
+  Word mul(const Word& a, const Word& b);
+
+  /// Population count (3:2 compressor tree + final ripple add).
+  Word popcount(const Word& bits);
+
+  /// Position of the most significant set bit (0 when none) and a valid flag.
+  Word leading_one_position(const Word& word, mig::Signal* any_set);
+
+private:
+  [[nodiscard]] bool variant();
+
+  mig::Mig* mig_;
+  std::optional<util::Xoshiro256> redundancy_;
+};
+
+}  // namespace rlim::bench

@@ -1,0 +1,95 @@
+#include "core/endurance.hpp"
+
+#include "util/error.hpp"
+
+namespace rlim::core {
+
+std::string to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::Naive: return "naive";
+    case Strategy::Plim21: return "plim21-compiler";
+    case Strategy::MinWrite: return "min-write";
+    case Strategy::MinWriteEnduranceRewrite: return "min-write+endurance-rewrite";
+    case Strategy::FullEndurance: return "full-endurance";
+  }
+  return "?";
+}
+
+PipelineConfig make_config(Strategy strategy,
+                           std::optional<std::uint64_t> max_writes) {
+  PipelineConfig config;
+  config.max_writes = max_writes;
+  switch (strategy) {
+    case Strategy::Naive:
+      config.rewrite = mig::RewriteKind::None;
+      config.selection = plim::SelectionPolicy::NaiveOrder;
+      config.allocation = plim::AllocPolicy::Lifo;
+      break;
+    case Strategy::Plim21:
+      config.rewrite = mig::RewriteKind::Plim21;
+      config.selection = plim::SelectionPolicy::Plim21;
+      // [21] does not publish its free-list discipline; we model it as a
+      // rotating scan over the free devices (round-robin), distinct from the
+      // worst-case LIFO of the naive baseline and from this paper's
+      // min-write strategy. See EXPERIMENTS.md for the sensitivity of the
+      // Table-I "[21]" column to this choice.
+      config.allocation = plim::AllocPolicy::RoundRobin;
+      break;
+    case Strategy::MinWrite:
+      config.rewrite = mig::RewriteKind::Plim21;
+      config.selection = plim::SelectionPolicy::Plim21;
+      config.allocation = plim::AllocPolicy::MinWrite;
+      break;
+    case Strategy::MinWriteEnduranceRewrite:
+      config.rewrite = mig::RewriteKind::Endurance;
+      config.selection = plim::SelectionPolicy::Plim21;
+      config.allocation = plim::AllocPolicy::MinWrite;
+      break;
+    case Strategy::FullEndurance:
+      config.rewrite = mig::RewriteKind::Endurance;
+      config.selection = plim::SelectionPolicy::EnduranceAware;
+      config.allocation = plim::AllocPolicy::MinWrite;
+      break;
+  }
+  return config;
+}
+
+mig::Mig prepare(const mig::Mig& graph, const PipelineConfig& config) {
+  return mig::rewrite(graph, config.rewrite, config.effort);
+}
+
+EnduranceReport compile_prepared(const mig::Mig& prepared,
+                                 const PipelineConfig& config,
+                                 std::string benchmark_name,
+                                 std::size_t gates_before) {
+  plim::CompilerOptions options;
+  options.selection = config.selection;
+  options.allocation = config.allocation;
+  options.max_writes = config.max_writes;
+  auto compiled = plim::PlimCompiler(options).compile(prepared);
+
+  EnduranceReport report;
+  report.benchmark = std::move(benchmark_name);
+  report.config = config;
+  report.instructions = compiled.num_instructions();
+  report.rrams = compiled.num_cells;
+  report.writes = compiled.write_stats;
+  report.gates_before_rewrite = gates_before != 0 ? gates_before : prepared.num_gates();
+  report.gates_after_rewrite = prepared.num_gates();
+  report.program = std::move(compiled.program);
+  return report;
+}
+
+EnduranceReport run_pipeline(const mig::Mig& graph, const PipelineConfig& config,
+                             std::string benchmark_name) {
+  const auto prepared = prepare(graph, config);
+  return compile_prepared(prepared, config, std::move(benchmark_name),
+                          graph.num_gates());
+}
+
+double stdev_improvement(const EnduranceReport& baseline,
+                         const EnduranceReport& ours) {
+  return util::improvement_percent(baseline.writes.stdev, ours.writes.stdev);
+}
+
+}  // namespace rlim::core

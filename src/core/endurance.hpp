@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mig/mig.hpp"
+#include "mig/rewriting.hpp"
+#include "plim/compiler.hpp"
+#include "util/stats.hpp"
+
+namespace rlim::core {
+
+/// The incremental endurance-management configurations evaluated in the
+/// paper (Table I columns; FullEndurance + max_writes gives Table III).
+enum class Strategy {
+  /// Node translation only: no MIG rewriting, creation-order selection,
+  /// LIFO cell reuse. The paper's baseline.
+  Naive,
+  /// The PLiM compiler of [21]: Algorithm 1 rewriting + area-greedy node
+  /// selection (still LIFO reuse).
+  Plim21,
+  /// + the minimum write count strategy (least-written free cell first).
+  MinWrite,
+  /// + endurance-aware MIG rewriting (Algorithm 2 replaces Algorithm 1).
+  MinWriteEnduranceRewrite,
+  /// + endurance-aware node selection (Algorithm 3) — the full flow.
+  FullEndurance,
+};
+
+[[nodiscard]] std::string to_string(Strategy strategy);
+
+/// Everything needed to run one pipeline: rewriting flow, selection policy,
+/// allocation policy, optional write cap.
+struct PipelineConfig {
+  mig::RewriteKind rewrite = mig::RewriteKind::None;
+  plim::SelectionPolicy selection = plim::SelectionPolicy::NaiveOrder;
+  plim::AllocPolicy allocation = plim::AllocPolicy::Lifo;
+  std::optional<std::uint64_t> max_writes;
+  int effort = 5;  ///< rewriting cycles (paper: 5)
+};
+
+/// Maps a strategy to its pipeline configuration.
+[[nodiscard]] PipelineConfig make_config(
+    Strategy strategy, std::optional<std::uint64_t> max_writes = std::nullopt);
+
+/// Result of one benchmark × configuration run — one cell of the paper's
+/// tables.
+struct EnduranceReport {
+  std::string benchmark;
+  PipelineConfig config;
+  std::size_t instructions = 0;       ///< #I
+  std::size_t rrams = 0;              ///< #R
+  util::WriteStats writes;            ///< min / max / STDEV
+  std::size_t gates_before_rewrite = 0;
+  std::size_t gates_after_rewrite = 0;
+  plim::Program program;              ///< for execution / trace replay
+};
+
+/// Rewrites `graph` per the config (the expensive step — cache the result
+/// when sweeping compile-side options).
+[[nodiscard]] mig::Mig prepare(const mig::Mig& graph, const PipelineConfig& config);
+
+/// Compiles an already-rewritten graph.
+[[nodiscard]] EnduranceReport compile_prepared(const mig::Mig& prepared,
+                                               const PipelineConfig& config,
+                                               std::string benchmark_name = {},
+                                               std::size_t gates_before = 0);
+
+/// prepare + compile in one call.
+[[nodiscard]] EnduranceReport run_pipeline(const mig::Mig& graph,
+                                           const PipelineConfig& config,
+                                           std::string benchmark_name = {});
+
+/// Paper's "impr." column: STDEV improvement of `ours` relative to `baseline`
+/// in percent (negative when worse).
+[[nodiscard]] double stdev_improvement(const EnduranceReport& baseline,
+                                       const EnduranceReport& ours);
+
+}  // namespace rlim::core

@@ -1,0 +1,42 @@
+#include "core/imp.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rlim::core {
+
+ImpReport imp_wear(const mig::Mig& graph, ImpOptions options) {
+  require(options.work_devices >= 1, "imp_wear: need at least one work device");
+
+  ImpReport report;
+  report.input_devices = graph.num_pis();
+  report.work_devices = options.work_devices;
+
+  const auto reachable = graph.reachable_from_pos();
+  std::size_t nands = 0;
+  for (std::uint32_t gate = graph.first_gate(); gate < graph.num_nodes(); ++gate) {
+    if (!reachable[gate]) {
+      continue;
+    }
+    nands += 6;  // maj(a,b,c) = NAND(AND(NAND(a,b), NAND(a,c)... ) — 6 NAND2
+    nands += static_cast<std::size_t>(graph.complement_count(gate));
+  }
+  for (const auto po : graph.pos()) {
+    if (!po.is_constant() && po.is_complemented()) {
+      ++nands;
+    }
+  }
+  report.nand_gates = nands;
+  report.operations = 3 * nands;
+
+  // 3 writes per NAND, round-robin over the work pool; inputs pre-loaded.
+  std::vector<std::uint64_t> writes(report.input_devices + options.work_devices, 0);
+  for (std::size_t i = 0; i < nands; ++i) {
+    writes[report.input_devices + (i % options.work_devices)] += 3;
+  }
+  report.writes = util::compute_stats(writes);
+  return report;
+}
+
+}  // namespace rlim::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mig/mig.hpp"
+#include "util/stats.hpp"
+
+namespace rlim::core {
+
+/// Wear model of IMPLY-based in-memory computing (paper §II).
+///
+/// The stateful-implication NAND gate [16] computes NAND(p, q) in three
+/// steps — FALSE(s); p IMP s; q IMP s — all three writing the same work
+/// device s. Synthesis schemes in the style of [17] use a fixed small pool
+/// of work devices beside the N input devices, so the write traffic
+/// concentrates entirely on the pool. This module decomposes an MIG into a
+/// NAND netlist and charges the resulting writes round-robin across the
+/// pool: a *wear accounting* model (not a functional simulator) that
+/// reproduces the §II observation that IMP work devices "suffer from short
+/// lifetime" relative to PLiM's spread-out RM3 traffic.
+struct ImpOptions {
+  /// Size of the work-device pool ([17] shows two suffice).
+  unsigned work_devices = 2;
+};
+
+struct ImpReport {
+  std::size_t input_devices = 0;   ///< PI devices (pre-loaded, zero writes)
+  std::size_t work_devices = 0;
+  std::size_t nand_gates = 0;      ///< NAND2 count after decomposition
+  std::size_t operations = 0;      ///< 3 per NAND (FALSE + 2 × IMP)
+  util::WriteStats writes;         ///< over input + work devices
+};
+
+/// Counts NAND gates of the decomposition:
+///   maj(a,b,c) → 6 NAND2 (three pairwise NANDs, AND-recombine, final NAND)
+///   complemented non-constant edge → 1 NAND2 (NOT via NAND(v,v))
+/// and accumulates 3 writes per NAND on the round-robin work pool.
+[[nodiscard]] ImpReport imp_wear(const mig::Mig& graph, ImpOptions options = {});
+
+}  // namespace rlim::core

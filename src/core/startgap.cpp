@@ -1,0 +1,74 @@
+#include "core/startgap.hpp"
+
+#include "util/error.hpp"
+
+namespace rlim::core {
+
+StartGapRemapper::StartGapRemapper(std::size_t num_logical,
+                                   std::size_t gap_interval)
+    : num_logical_(num_logical), gap_interval_(gap_interval), gap_(num_logical) {
+  require(num_logical >= 1, "StartGapRemapper: need at least one line");
+  require(gap_interval >= 1, "StartGapRemapper: interval must be positive");
+}
+
+std::size_t StartGapRemapper::physical(std::size_t logical) const {
+  require(logical < num_logical_, "StartGapRemapper: logical address out of range");
+  const auto slots = num_logical_ + 1;
+  // Logical lines occupy the cyclic sequence starting at `start_`, skipping
+  // the gap slot: addresses at or past the gap shift by one.
+  const auto gap_offset = (gap_ + slots - start_) % slots;
+  const auto base = (start_ + logical) % slots;
+  if (logical >= gap_offset) {
+    return (base + 1) % slots;
+  }
+  return base;
+}
+
+void StartGapRemapper::move_gap() {
+  const auto slots = num_logical_ + 1;
+  const auto new_gap = (gap_ + slots - 1) % slots;
+  // The line in the slot below the gap moves into the gap slot: one write.
+  ++gap_move_writes_;
+  gap_ = new_gap;
+  if (gap_ == num_logical_) {
+    // Full revolution: rotate the whole mapping by one.
+    start_ = (start_ + 1) % slots;
+  }
+}
+
+std::size_t StartGapRemapper::on_write(std::size_t logical) {
+  const auto target = physical(logical);
+  if (++writes_since_move_ >= gap_interval_) {
+    writes_since_move_ = 0;
+    move_gap();
+  }
+  return target;
+}
+
+std::vector<plim::Cell> write_trace(const plim::Program& program) {
+  std::vector<plim::Cell> trace;
+  trace.reserve(program.size());
+  for (const auto& instruction : program.instructions()) {
+    trace.push_back(instruction.z);
+  }
+  return trace;
+}
+
+std::vector<std::uint64_t> replay_with_start_gap(std::span<const plim::Cell> trace,
+                                                 std::size_t num_cells,
+                                                 std::size_t gap_interval) {
+  require(num_cells >= 1, "replay_with_start_gap: need at least one cell");
+  StartGapRemapper remapper(num_cells, gap_interval);
+  std::vector<std::uint64_t> counts(num_cells + 1, 0);
+  for (const auto logical : trace) {
+    require(logical < num_cells, "replay_with_start_gap: trace address out of range");
+    const auto before_gap = remapper.gap_position();
+    ++counts[remapper.on_write(logical)];
+    if (remapper.gap_position() != before_gap) {
+      ++counts[before_gap];  // the gap-move copy wrote the old gap slot
+    }
+  }
+  return counts;
+}
+
+}  // namespace rlim::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "plim/program.hpp"
+
+namespace rlim::core {
+
+/// Start-Gap wear leveling (Qureshi et al., MICRO 2009 — the paper's
+/// reference [8]): a *runtime, memory-level* alternative to the paper's
+/// compile-time write balancing, implemented here as an ablation baseline.
+///
+/// N logical lines live in N+1 physical lines with one roving gap. Every
+/// `gap_interval` writes the gap moves one slot (costing one extra physical
+/// write); after a full revolution the start pointer advances, slowly
+/// rotating the logical-to-physical mapping underneath the traffic.
+class StartGapRemapper {
+public:
+  StartGapRemapper(std::size_t num_logical, std::size_t gap_interval);
+
+  /// Current logical → physical mapping (a bijection into the N+1 slots
+  /// that skips the gap).
+  [[nodiscard]] std::size_t physical(std::size_t logical) const;
+
+  /// Accounts one logical write; returns the physical cell written.
+  /// Periodically triggers a gap move (recorded in `gap_move_writes`).
+  std::size_t on_write(std::size_t logical);
+
+  [[nodiscard]] std::size_t num_physical() const { return num_logical_ + 1; }
+  [[nodiscard]] std::size_t gap_position() const { return gap_; }
+  [[nodiscard]] std::size_t start() const { return start_; }
+  /// Extra writes spent moving the gap (the scheme's overhead traffic).
+  [[nodiscard]] std::uint64_t gap_move_writes() const { return gap_move_writes_; }
+
+private:
+  void move_gap();
+
+  std::size_t num_logical_;
+  std::size_t gap_interval_;
+  std::size_t gap_;
+  std::size_t start_ = 0;
+  std::size_t writes_since_move_ = 0;
+  std::uint64_t gap_move_writes_ = 0;
+};
+
+/// Destination sequence of a program — the write trace Start-Gap would see.
+[[nodiscard]] std::vector<plim::Cell> write_trace(const plim::Program& program);
+
+/// Replays a write trace through Start-Gap; returns per-physical-cell write
+/// counts (size num_cells + 1), including gap-move overhead writes.
+[[nodiscard]] std::vector<std::uint64_t> replay_with_start_gap(
+    std::span<const plim::Cell> trace, std::size_t num_cells,
+    std::size_t gap_interval);
+
+}  // namespace rlim::core

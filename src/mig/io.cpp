@@ -1,0 +1,449 @@
+#include "mig/io.hpp"
+
+#include <fstream>
+#include <map>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rlim::mig {
+
+// ---- .mig text format -------------------------------------------------------
+
+void write_mig(const Mig& mig, std::ostream& os) {
+  os << "# rlim MIG text format; raw signal = 2*node_index + complement\n";
+  os << ".mig " << mig.num_pis() << ' ' << mig.num_pos() << ' ' << mig.num_gates()
+     << '\n';
+  for (std::uint32_t pi = 0; pi < mig.num_pis(); ++pi) {
+    os << ".pi " << mig.pi_name(pi) << '\n';
+  }
+  for (std::uint32_t gate = mig.first_gate(); gate < mig.num_nodes(); ++gate) {
+    const auto& fanin = mig.fanins(gate);
+    os << ".gate " << fanin[0].raw() << ' ' << fanin[1].raw() << ' '
+       << fanin[2].raw() << '\n';
+  }
+  for (std::uint32_t po = 0; po < mig.num_pos(); ++po) {
+    os << ".po " << mig.po_at(po).raw() << ' ' << mig.po_name(po) << '\n';
+  }
+  os << ".end\n";
+}
+
+Mig read_mig(std::istream& is) {
+  Mig mig;
+  std::string line;
+  std::size_t line_no = 0;
+  bool seen_header = false;
+  std::uint32_t expect_pis = 0;
+  std::uint32_t expect_pos = 0;
+  std::uint32_t expect_gates = 0;
+  std::vector<Signal> node_of;  // node index -> signal in the new graph
+  node_of.push_back(Signal::constant(false));
+
+  const auto fail = [&](const std::string& message) {
+    throw Error("read_mig: line " + std::to_string(line_no) + ": " + message);
+  };
+  const auto decode = [&](std::uint32_t raw) {
+    const auto index = raw >> 1;
+    if (index >= node_of.size()) {
+      fail("signal references node " + std::to_string(index) + " before definition");
+    }
+    return node_of[index] ^ ((raw & 1u) != 0);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ss(line);
+    std::string token;
+    if (!(ss >> token) || token[0] == '#') {
+      continue;
+    }
+    if (token == ".mig") {
+      if (!(ss >> expect_pis >> expect_pos >> expect_gates)) {
+        fail("malformed .mig header");
+      }
+      seen_header = true;
+    } else if (token == ".pi") {
+      if (!seen_header) fail(".pi before .mig header");
+      std::string name;
+      ss >> name;
+      node_of.push_back(mig.create_pi(name));
+    } else if (token == ".gate") {
+      if (!seen_header) fail(".gate before .mig header");
+      std::uint32_t raw0 = 0;
+      std::uint32_t raw1 = 0;
+      std::uint32_t raw2 = 0;
+      if (!(ss >> raw0 >> raw1 >> raw2)) {
+        fail("malformed .gate");
+      }
+      node_of.push_back(mig.create_maj(decode(raw0), decode(raw1), decode(raw2)));
+    } else if (token == ".po") {
+      std::uint32_t raw = 0;
+      std::string name;
+      if (!(ss >> raw)) {
+        fail("malformed .po");
+      }
+      ss >> name;
+      mig.create_po(decode(raw), name);
+    } else if (token == ".end") {
+      break;
+    } else {
+      fail("unknown directive '" + token + "'");
+    }
+  }
+  require(seen_header, "read_mig: missing .mig header");
+  require(mig.num_pis() == expect_pis, "read_mig: PI count mismatch");
+  require(mig.num_pos() == expect_pos, "read_mig: PO count mismatch");
+  // Gate count can legitimately shrink: strashing may merge declared gates.
+  require(mig.num_gates() <= expect_gates, "read_mig: more gates than declared");
+  return mig;
+}
+
+void write_mig_file(const Mig& mig, const std::string& path) {
+  std::ofstream os(path);
+  require(os.good(), "write_mig_file: cannot open " + path);
+  write_mig(mig, os);
+}
+
+Mig read_mig_file(const std::string& path) {
+  std::ifstream is(path);
+  require(is.good(), "read_mig_file: cannot open " + path);
+  return read_mig(is);
+}
+
+// ---- BLIF ------------------------------------------------------------------
+
+namespace {
+
+std::string blif_node_name(const Mig& mig, std::uint32_t node) {
+  if (mig.is_pi(node)) {
+    return mig.pi_name(node - 1);
+  }
+  // Built in two steps to sidestep GCC bug 105651 (-Wrestrict false positive
+  // on `"literal" + std::to_string(...)`).
+  std::string name(1, 'n');
+  name += std::to_string(node);
+  return name;
+}
+
+}  // namespace
+
+void write_blif(const Mig& mig, std::ostream& os, const std::string& model_name) {
+  os << ".model " << model_name << '\n';
+  os << ".inputs";
+  for (std::uint32_t pi = 0; pi < mig.num_pis(); ++pi) {
+    os << ' ' << mig.pi_name(pi);
+  }
+  os << "\n.outputs";
+  for (std::uint32_t po = 0; po < mig.num_pos(); ++po) {
+    os << ' ' << mig.po_name(po);
+  }
+  os << '\n';
+
+  bool need_const0 = false;
+  bool need_const1 = false;
+  for (const auto po : mig.pos()) {
+    if (po.is_constant()) {
+      (po.constant_value() ? need_const1 : need_const0) = true;
+    }
+  }
+  for (std::uint32_t gate = mig.first_gate(); gate < mig.num_nodes(); ++gate) {
+    for (const auto f : mig.fanins(gate)) {
+      if (f.is_constant()) {
+        (f.constant_value() ? need_const1 : need_const0) = true;
+      }
+    }
+  }
+  if (need_const0) {
+    os << ".names const0\n";  // empty cover == constant 0
+  }
+  if (need_const1) {
+    os << ".names const1\n1\n";
+  }
+
+  const auto signal_name = [&](Signal s) {
+    if (s.is_constant()) {
+      return std::string(s.constant_value() ? "const1" : "const0");
+    }
+    return blif_node_name(mig, s.index());
+  };
+  // Constant nets already carry their value in the net name, so the edge
+  // complement must not be applied a second time in the cubes.
+  const auto effective_complement = [](Signal s) {
+    return s.is_complemented() && !s.is_constant();
+  };
+
+  for (std::uint32_t gate = mig.first_gate(); gate < mig.num_nodes(); ++gate) {
+    const auto& fanin = mig.fanins(gate);
+    os << ".names " << signal_name(fanin[0]) << ' ' << signal_name(fanin[1]) << ' '
+       << signal_name(fanin[2]) << ' ' << blif_node_name(mig, gate) << '\n';
+    // Minterms of maj(a^c0, b^c1, c^c2).
+    for (unsigned row = 0; row < 8; ++row) {
+      int ones = 0;
+      for (int bit = 0; bit < 3; ++bit) {
+        const bool value = ((row >> bit) & 1u) != 0;
+        if (value != effective_complement(fanin[bit])) {
+          ++ones;
+        }
+      }
+      if (ones >= 2) {
+        for (int bit = 0; bit < 3; ++bit) {
+          os << (((row >> bit) & 1u) != 0 ? '1' : '0');
+        }
+        os << " 1\n";
+      }
+    }
+  }
+
+  for (std::uint32_t po = 0; po < mig.num_pos(); ++po) {
+    const auto signal = mig.po_at(po);
+    os << ".names " << signal_name(signal) << ' ' << mig.po_name(po) << '\n'
+       << (effective_complement(signal) ? "0 1\n" : "1 1\n");
+  }
+  os << ".end\n";
+}
+
+namespace {
+
+struct BlifCover {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::string> cubes;  // "<pattern> <value>"
+};
+
+/// Evaluates a cover on a row assignment (bit i of `row` = value of input i).
+bool cover_value(const BlifCover& cover, unsigned row) {
+  bool has_on_rows = false;
+  bool has_off_rows = false;
+  bool matched_on = false;
+  bool matched_off = false;
+  for (const auto& cube : cover.cubes) {
+    std::istringstream ss(cube);
+    std::string pattern;
+    std::string value;
+    if (cover.inputs.empty()) {
+      ss >> value;
+      pattern.clear();
+    } else {
+      ss >> pattern >> value;
+    }
+    require(value == "0" || value == "1", "read_blif: bad cube output value");
+    const bool on_set = value == "1";
+    (on_set ? has_on_rows : has_off_rows) = true;
+    require(pattern.size() == cover.inputs.size(), "read_blif: cube arity mismatch");
+    bool match = true;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      const bool bit = ((row >> i) & 1u) != 0;
+      if (pattern[i] == '-') {
+        continue;
+      }
+      if ((pattern[i] == '1') != bit) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      (on_set ? matched_on : matched_off) = true;
+    }
+  }
+  require(!(has_on_rows && has_off_rows),
+          "read_blif: mixed on-set/off-set cover");
+  if (has_off_rows) {
+    return !matched_off;
+  }
+  return matched_on;  // empty cover (constant 0) falls out naturally
+}
+
+/// Shannon synthesis of a <=8-row truth table over `vars`.
+Signal synth_tt(Mig& mig, unsigned tt, std::span<const Signal> vars) {
+  const auto k = static_cast<unsigned>(vars.size());
+  const unsigned rows = 1u << k;
+  const unsigned mask = (1u << rows) - 1u;
+  tt &= mask;
+  if (tt == 0) {
+    return Mig::get_constant(false);
+  }
+  if (tt == mask) {
+    return Mig::get_constant(true);
+  }
+  if (k == 3) {
+    // Recognize (possibly input-complemented) majority covers so BLIF
+    // round-trips reproduce single gates.
+    for (unsigned pol = 0; pol < 8; ++pol) {
+      unsigned maj_tt = 0;
+      for (unsigned row = 0; row < 8; ++row) {
+        int ones = 0;
+        for (unsigned bit = 0; bit < 3; ++bit) {
+          const bool value = ((row >> bit) & 1u) != 0;
+          if (value != (((pol >> bit) & 1u) != 0)) {
+            ++ones;
+          }
+        }
+        if (ones >= 2) {
+          maj_tt |= 1u << row;
+        }
+      }
+      if (maj_tt == tt) {
+        return mig.create_maj(vars[0] ^ ((pol & 1u) != 0), vars[1] ^ ((pol & 2u) != 0),
+                              vars[2] ^ ((pol & 4u) != 0));
+      }
+    }
+  }
+  if (k == 1) {
+    return tt == 0b10 ? vars[0] : !vars[0];
+  }
+  // Cofactor on the last variable.
+  const unsigned half = rows / 2;
+  unsigned tt0 = 0;
+  unsigned tt1 = 0;
+  for (unsigned row = 0; row < half; ++row) {
+    if ((tt >> row) & 1u) {
+      tt0 |= 1u << row;
+    }
+    if ((tt >> (row + half)) & 1u) {
+      tt1 |= 1u << row;
+    }
+  }
+  const auto sub = vars.first(k - 1);
+  const auto low = synth_tt(mig, tt0, sub);
+  const auto high = synth_tt(mig, tt1, sub);
+  return mig.create_mux(vars[k - 1], high, low);
+}
+
+}  // namespace
+
+Mig read_blif(std::istream& is) {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<BlifCover> covers;
+  std::string line;
+  std::string pending;
+
+  const auto read_logical_line = [&](std::string& out) {
+    out.clear();
+    while (std::getline(is, line)) {
+      if (!line.empty() && line.back() == '\\') {
+        out += line.substr(0, line.size() - 1);
+        continue;
+      }
+      out += line;
+      return true;
+    }
+    return !out.empty();
+  };
+
+  BlifCover* current = nullptr;
+  while (read_logical_line(pending)) {
+    std::istringstream ss(pending);
+    std::string token;
+    if (!(ss >> token) || token[0] == '#') {
+      continue;
+    }
+    if (token == ".model") {
+      continue;
+    }
+    if (token == ".inputs") {
+      std::string name;
+      while (ss >> name) {
+        inputs.push_back(name);
+      }
+      current = nullptr;
+    } else if (token == ".outputs") {
+      std::string name;
+      while (ss >> name) {
+        outputs.push_back(name);
+      }
+      current = nullptr;
+    } else if (token == ".names") {
+      std::vector<std::string> names;
+      std::string name;
+      while (ss >> name) {
+        names.push_back(name);
+      }
+      require(!names.empty(), "read_blif: .names without signals");
+      require(names.size() <= 4, "read_blif: covers with >3 inputs unsupported");
+      BlifCover cover;
+      cover.output = names.back();
+      names.pop_back();
+      cover.inputs = std::move(names);
+      covers.push_back(std::move(cover));
+      current = &covers.back();
+    } else if (token == ".end") {
+      break;
+    } else if (token == ".latch" || token == ".subckt" || token == ".gate") {
+      throw Error("read_blif: unsupported construct " + token);
+    } else if (token[0] == '.') {
+      current = nullptr;  // ignore other dot-directives
+    } else {
+      require(current != nullptr, "read_blif: cube outside .names");
+      current->cubes.push_back(pending);
+    }
+  }
+
+  Mig mig;
+  std::map<std::string, Signal> signal_of;
+  for (const auto& name : inputs) {
+    signal_of[name] = mig.create_pi(name);
+  }
+
+  // Resolve covers in dependency order (BLIF allows any order).
+  std::vector<bool> done(covers.size(), false);
+  std::size_t remaining = covers.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t i = 0; i < covers.size(); ++i) {
+      if (done[i]) {
+        continue;
+      }
+      const auto& cover = covers[i];
+      bool ready = true;
+      for (const auto& input : cover.inputs) {
+        if (!signal_of.contains(input)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        continue;
+      }
+      std::vector<Signal> vars;
+      vars.reserve(cover.inputs.size());
+      for (const auto& input : cover.inputs) {
+        vars.push_back(signal_of.at(input));
+      }
+      unsigned tt = 0;
+      for (unsigned row = 0; row < (1u << vars.size()); ++row) {
+        if (cover_value(cover, row)) {
+          tt |= 1u << row;
+        }
+      }
+      signal_of[cover.output] = synth_tt(mig, tt, vars);
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+    require(progress, "read_blif: cyclic or underdefined .names dependencies");
+  }
+
+  for (const auto& name : outputs) {
+    require(signal_of.contains(name), "read_blif: undefined output " + name);
+    mig.create_po(signal_of.at(name), name);
+  }
+  return mig;
+}
+
+void write_blif_file(const Mig& mig, const std::string& path,
+                     const std::string& model_name) {
+  std::ofstream os(path);
+  require(os.good(), "write_blif_file: cannot open " + path);
+  write_blif(mig, os, model_name);
+}
+
+Mig read_blif_file(const std::string& path) {
+  std::ifstream is(path);
+  require(is.good(), "read_blif_file: cannot open " + path);
+  return read_blif(is);
+}
+
+}  // namespace rlim::mig

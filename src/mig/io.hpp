@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mig/mig.hpp"
+
+namespace rlim::mig {
+
+/// Plain-text MIG exchange format:
+/// ```
+/// # comment
+/// .mig <num_pis> <num_pos> <num_gates>
+/// .pi <name>                  (one line per PI, in order)
+/// .gate <raw0> <raw1> <raw2>  (one line per gate, topological order;
+///                              raw = 2*node_index + complement)
+/// .po <raw> <name>
+/// .end
+/// ```
+void write_mig(const Mig& mig, std::ostream& os);
+[[nodiscard]] Mig read_mig(std::istream& is);
+void write_mig_file(const Mig& mig, const std::string& path);
+[[nodiscard]] Mig read_mig_file(const std::string& path);
+
+/// BLIF export: every gate becomes a 3-input `.names` cover of its majority
+/// function (complement flags folded into the cubes); complemented, constant
+/// or pass-through POs get an explicit buffer/inverter cover.
+void write_blif(const Mig& mig, std::ostream& os,
+                const std::string& model_name = "rlim");
+
+/// BLIF import (combinational subset): `.model`, `.inputs`, `.outputs` and
+/// `.names` with at most 3 inputs (on-set/off-set covers with `-`
+/// wildcards). Covers are re-synthesized into majority gates; 3-input covers
+/// matching a (possibly complemented) majority are recognized structurally.
+/// Out-of-order `.names` sections are resolved; combinational cycles and
+/// latches raise rlim::Error.
+[[nodiscard]] Mig read_blif(std::istream& is);
+void write_blif_file(const Mig& mig, const std::string& path,
+                     const std::string& model_name = "rlim");
+[[nodiscard]] Mig read_blif_file(const std::string& path);
+
+}  // namespace rlim::mig

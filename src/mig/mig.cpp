@@ -1,0 +1,220 @@
+#include "mig/mig.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rlim::mig {
+
+std::size_t Mig::StrashHash::operator()(const StrashKey& key) const {
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  for (const auto raw : key.raws) {
+    state ^= raw + 0x9e3779b97f4a7c15ULL + (state << 6) + (state >> 2);
+    (void)util::splitmix64(state);
+  }
+  return static_cast<std::size_t>(state);
+}
+
+Mig::Mig() {
+  nodes_.emplace_back();  // node 0: constant 0
+}
+
+Signal Mig::create_pi(std::string name) {
+  require(num_gates() == 0, "Mig: all PIs must be created before the first gate");
+  ++num_pis_;
+  nodes_.emplace_back();
+  if (name.empty()) {
+    name = "x" + std::to_string(num_pis_ - 1);
+  }
+  pi_names_.push_back(std::move(name));
+  return Signal::from_node(num_pis_);
+}
+
+namespace {
+
+/// Applies the trivial Ω.M rules. Returns the simplified signal, or nullopt
+/// when ⟨a b c⟩ does not simplify.
+std::optional<Signal> try_trivial_maj(Signal a, Signal b, Signal c) {
+  if (a == b) return a;   // ⟨xxz⟩ = x
+  if (a == !b) return c;  // ⟨xx̄z⟩ = z
+  if (a == c) return a;
+  if (a == !c) return b;
+  if (b == c) return b;
+  if (b == !c) return a;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Signal Mig::create_maj(Signal a, Signal b, Signal c) {
+  require(a.index() < num_nodes() && b.index() < num_nodes() && c.index() < num_nodes(),
+          "Mig::create_maj: fanin references unknown node");
+  if (const auto trivial = try_trivial_maj(a, b, c)) {
+    return *trivial;
+  }
+  std::array<Signal, 3> fanin{a, b, c};
+  std::sort(fanin.begin(), fanin.end());  // Ω.C: commutativity is free
+
+  const StrashKey key{{fanin[0].raw(), fanin[1].raw(), fanin[2].raw()}};
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    return Signal::from_node(it->second);
+  }
+  const auto index = num_nodes();
+  nodes_.push_back(Node{fanin});
+  strash_.emplace(key, index);
+  return Signal::from_node(index);
+}
+
+Signal Mig::create_xor(Signal a, Signal b) {
+  // x ⊕ y = (x ∧ ¬y) ∨ (¬x ∧ y); three majority gates.
+  const auto pos_part = create_and(a, !b);
+  const auto neg_part = create_and(!a, b);
+  return create_or(pos_part, neg_part);
+}
+
+Signal Mig::create_mux(Signal sel, Signal then_, Signal else_) {
+  const auto t = create_and(sel, then_);
+  const auto e = create_and(!sel, else_);
+  return create_or(t, e);
+}
+
+void Mig::create_po(Signal s, std::string name) {
+  require(s.index() < num_nodes(), "Mig::create_po: signal references unknown node");
+  if (name.empty()) {
+    name = "y" + std::to_string(pos_.size());
+  }
+  pos_.push_back(s);
+  po_names_.push_back(std::move(name));
+}
+
+const std::array<Signal, 3>& Mig::fanins(std::uint32_t gate) const {
+  require(is_gate(gate), "Mig::fanins: node is not a gate");
+  return nodes_[gate].fanin;
+}
+
+std::optional<Signal> Mig::find_maj(Signal a, Signal b, Signal c) const {
+  if (const auto trivial = try_trivial_maj(a, b, c)) {
+    return *trivial;
+  }
+  std::array<Signal, 3> fanin{a, b, c};
+  std::sort(fanin.begin(), fanin.end());
+  const StrashKey key{{fanin[0].raw(), fanin[1].raw(), fanin[2].raw()}};
+  if (const auto it = strash_.find(key); it != strash_.end()) {
+    return Signal::from_node(it->second);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> Mig::fanout_counts() const {
+  std::vector<std::uint32_t> counts(num_nodes(), 0);
+  for (std::uint32_t gate = first_gate(); gate < num_nodes(); ++gate) {
+    for (const auto fanin : nodes_[gate].fanin) {
+      ++counts[fanin.index()];
+    }
+  }
+  for (const auto po : pos_) {
+    ++counts[po.index()];
+  }
+  return counts;
+}
+
+std::vector<std::vector<std::uint32_t>> Mig::fanout_lists() const {
+  std::vector<std::vector<std::uint32_t>> lists(num_nodes());
+  for (std::uint32_t gate = first_gate(); gate < num_nodes(); ++gate) {
+    for (const auto fanin : nodes_[gate].fanin) {
+      lists[fanin.index()].push_back(gate);
+    }
+  }
+  return lists;
+}
+
+std::vector<std::uint32_t> Mig::levels() const {
+  std::vector<std::uint32_t> level(num_nodes(), 0);
+  for (std::uint32_t gate = first_gate(); gate < num_nodes(); ++gate) {
+    std::uint32_t max_child = 0;
+    for (const auto fanin : nodes_[gate].fanin) {
+      max_child = std::max(max_child, level[fanin.index()]);
+    }
+    level[gate] = max_child + 1;
+  }
+  return level;
+}
+
+std::uint32_t Mig::depth() const {
+  const auto level = levels();
+  std::uint32_t max_level = 0;
+  for (const auto po : pos_) {
+    max_level = std::max(max_level, level[po.index()]);
+  }
+  return max_level;
+}
+
+int Mig::complement_count(std::uint32_t gate) const {
+  const auto& fanin = fanins(gate);
+  int count = 0;
+  for (const auto f : fanin) {
+    if (!f.is_constant() && f.is_complemented()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t Mig::complement_edge_count() const {
+  std::size_t count = 0;
+  for (std::uint32_t gate = first_gate(); gate < num_nodes(); ++gate) {
+    count += static_cast<std::size_t>(complement_count(gate));
+  }
+  return count;
+}
+
+std::vector<bool> Mig::reachable_from_pos() const {
+  std::vector<bool> reachable(num_nodes(), false);
+  std::vector<std::uint32_t> stack;
+  for (const auto po : pos_) {
+    if (!reachable[po.index()]) {
+      reachable[po.index()] = true;
+      stack.push_back(po.index());
+    }
+  }
+  while (!stack.empty()) {
+    const auto node = stack.back();
+    stack.pop_back();
+    if (!is_gate(node)) {
+      continue;
+    }
+    for (const auto fanin : nodes_[node].fanin) {
+      if (!reachable[fanin.index()]) {
+        reachable[fanin.index()] = true;
+        stack.push_back(fanin.index());
+      }
+    }
+  }
+  return reachable;
+}
+
+Mig Mig::cleanup() const {
+  Mig fresh;
+  std::vector<Signal> map(num_nodes(), Signal::constant(false));
+  for (std::uint32_t pi = 1; pi <= num_pis_; ++pi) {
+    map[pi] = fresh.create_pi(pi_names_[pi - 1]);
+  }
+  const auto reachable = reachable_from_pos();
+  for (std::uint32_t gate = first_gate(); gate < num_nodes(); ++gate) {
+    if (!reachable[gate]) {
+      continue;
+    }
+    const auto& fanin = nodes_[gate].fanin;
+    const auto remap = [&](Signal s) { return map[s.index()] ^ s.is_complemented(); };
+    map[gate] = fresh.create_maj(remap(fanin[0]), remap(fanin[1]), remap(fanin[2]));
+  }
+  for (std::uint32_t i = 0; i < num_pos(); ++i) {
+    const auto po = pos_[i];
+    fresh.create_po(map[po.index()] ^ po.is_complemented(), po_names_[i]);
+  }
+  return fresh;
+}
+
+}  // namespace rlim::mig

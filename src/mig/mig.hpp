@@ -1,0 +1,132 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mig/signal.hpp"
+
+namespace rlim::mig {
+
+/// Majority-Inverter Graph [18], [20].
+///
+/// Node 0 is the constant-0 node; primary inputs follow (they must all be
+/// created before the first gate); majority gates come last. Because gates
+/// can only reference already-existing nodes and are never mutated in place,
+/// the node array is always topologically sorted — every rewriting pass
+/// produces a fresh graph.
+///
+/// `create_maj` applies the trivial Ω.M rules (duplicate or complementary
+/// fanin pairs, which also covers constant folding) and structural hashing
+/// over *sorted* fanins (Ω.C, commutativity, is free). Complement placement
+/// is deliberately NOT canonicalized: the distribution of inverters over
+/// edges is the degree of freedom that the endurance-aware Ω.I passes and
+/// the RM3 cost model operate on.
+class Mig {
+public:
+  Mig();
+
+  // ---- construction -------------------------------------------------------
+
+  /// Signal referencing the constant node with the given value.
+  [[nodiscard]] static Signal get_constant(bool value) { return Signal::constant(value); }
+
+  /// Creates a primary input. All PIs must be created before the first gate.
+  Signal create_pi(std::string name = {});
+
+  /// Creates (or strash-finds) a majority gate `⟨a b c⟩`.
+  Signal create_maj(Signal a, Signal b, Signal c);
+
+  // Derived operators, expressed over majority gates.
+  Signal create_and(Signal a, Signal b) { return create_maj(get_constant(false), a, b); }
+  Signal create_or(Signal a, Signal b) { return create_maj(get_constant(true), a, b); }
+  Signal create_xor(Signal a, Signal b);
+  /// `sel ? then_ : else_`
+  Signal create_mux(Signal sel, Signal then_, Signal else_);
+
+  /// Registers a primary output.
+  void create_po(Signal s, std::string name = {});
+
+  // ---- structure -----------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t num_nodes() const { return static_cast<std::uint32_t>(nodes_.size()); }
+  [[nodiscard]] std::uint32_t num_pis() const { return num_pis_; }
+  [[nodiscard]] std::uint32_t num_pos() const { return static_cast<std::uint32_t>(pos_.size()); }
+  [[nodiscard]] std::uint32_t num_gates() const { return num_nodes() - 1 - num_pis_; }
+
+  [[nodiscard]] bool is_constant(std::uint32_t node) const { return node == 0; }
+  [[nodiscard]] bool is_pi(std::uint32_t node) const { return node >= 1 && node <= num_pis_; }
+  [[nodiscard]] bool is_gate(std::uint32_t node) const {
+    return node > num_pis_ && node < num_nodes();
+  }
+  /// Index of the first gate node (== 1 + num_pis()).
+  [[nodiscard]] std::uint32_t first_gate() const { return num_pis_ + 1; }
+
+  /// Fanins of a gate node.
+  [[nodiscard]] const std::array<Signal, 3>& fanins(std::uint32_t gate) const;
+
+  [[nodiscard]] std::span<const Signal> pos() const { return pos_; }
+  [[nodiscard]] Signal po_at(std::uint32_t i) const { return pos_.at(i); }
+
+  [[nodiscard]] const std::string& pi_name(std::uint32_t i) const { return pi_names_.at(i); }
+  [[nodiscard]] const std::string& po_name(std::uint32_t i) const { return po_names_.at(i); }
+
+  /// Strash lookup without node creation. Returns the existing signal for
+  /// `⟨a b c⟩` after trivial simplification / sorting, or nullopt.
+  [[nodiscard]] std::optional<Signal> find_maj(Signal a, Signal b, Signal c) const;
+
+  // ---- analysis ------------------------------------------------------------
+
+  /// Per-node reference count: fanin references from gates plus PO references.
+  [[nodiscard]] std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Per-node list of referencing gate indices (PO references not included).
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> fanout_lists() const;
+
+  /// Topological levels: constant and PIs are level 0; a gate is
+  /// 1 + max(level of fanins).
+  [[nodiscard]] std::vector<std::uint32_t> levels() const;
+
+  /// Depth = maximum level over PO-driving nodes.
+  [[nodiscard]] std::uint32_t depth() const;
+
+  /// Number of complemented fanins of a gate, not counting constants
+  /// (constants are free for RM3 in either polarity).
+  [[nodiscard]] int complement_count(std::uint32_t gate) const;
+
+  /// Total complemented gate-fanin edges on non-constant fanins.
+  [[nodiscard]] std::size_t complement_edge_count() const;
+
+  /// Gate nodes reachable from the POs (dead gates excluded).
+  [[nodiscard]] std::vector<bool> reachable_from_pos() const;
+
+  /// Rebuilds the graph keeping only PO-reachable logic (re-strashed and
+  /// re-simplified; PI/PO profile and names preserved).
+  [[nodiscard]] Mig cleanup() const;
+
+private:
+  struct Node {
+    std::array<Signal, 3> fanin{};
+  };
+
+  struct StrashKey {
+    std::array<std::uint32_t, 3> raws;
+    bool operator==(const StrashKey&) const = default;
+  };
+  struct StrashHash {
+    std::size_t operator()(const StrashKey& key) const;
+  };
+
+  std::vector<Node> nodes_;
+  std::uint32_t num_pis_ = 0;
+  std::vector<Signal> pos_;
+  std::vector<std::string> pi_names_;
+  std::vector<std::string> po_names_;
+  std::unordered_map<StrashKey, std::uint32_t, StrashHash> strash_;
+};
+
+}  // namespace rlim::mig

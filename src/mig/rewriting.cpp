@@ -1,0 +1,113 @@
+#include "mig/rewriting.hpp"
+
+#include <functional>
+#include <span>
+
+#include "mig/axioms.hpp"
+#include "util/error.hpp"
+
+namespace rlim::mig {
+
+std::string to_string(RewriteKind kind) {
+  switch (kind) {
+    case RewriteKind::None: return "none";
+    case RewriteKind::Plim21: return "plim21";
+    case RewriteKind::Endurance: return "endurance";
+  }
+  return "?";
+}
+
+namespace {
+
+using Pass = PassResult (*)(const Mig&);
+
+Mig run_flow(const Mig& mig, std::span<const Pass> passes, int effort,
+             RewriteStats* stats) {
+  require(effort >= 0, "rewrite: effort must be non-negative");
+  RewriteStats local;
+  local.initial_gates = mig.num_gates();
+  local.initial_complement_edges = mig.complement_edge_count();
+
+  Mig current = mig.cleanup();
+  for (int cycle = 0; cycle < effort; ++cycle) {
+    std::size_t cycle_applications = 0;
+    const auto gates_before = current.num_gates();
+    for (const auto pass : passes) {
+      auto result = pass(current);
+      cycle_applications += result.applications;
+      current = std::move(result.mig);
+    }
+    ++local.cycles_run;
+    local.total_applications += cycle_applications;
+    if (cycle_applications == 0 && current.num_gates() == gates_before) {
+      break;  // fixpoint: further cycles cannot change the graph
+    }
+  }
+
+  local.final_gates = current.num_gates();
+  local.final_complement_edges = current.complement_edge_count();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return current;
+}
+
+}  // namespace
+
+Mig rewrite_plim21(const Mig& mig, int effort, RewriteStats* stats) {
+  static constexpr Pass kFlow[] = {
+      pass_majority, pass_distributivity_rl,      // step 2
+      pass_associativity, pass_comp_assoc,        // step 3
+      pass_majority, pass_distributivity_rl,      // step 4
+      pass_inv_reduce,                            // step 5
+      pass_inv_three,                             // step 6
+  };
+  return run_flow(mig, kFlow, effort, stats);
+}
+
+Mig rewrite_endurance(const Mig& mig, int effort, RewriteStats* stats) {
+  static constexpr Pass kFlow[] = {
+      pass_majority, pass_distributivity_rl,      // step 2
+      pass_inv_reduce,                            // step 3
+      pass_inv_three,                             // step 4
+      pass_associativity,                         // step 5
+      pass_inv_reduce,                            // step 6
+      pass_inv_three,                             // step 7
+      pass_majority, pass_distributivity_rl,      // step 8
+      pass_inv_three,                             // step 9
+  };
+  return run_flow(mig, kFlow, effort, stats);
+}
+
+Mig rewrite_level_balanced(const Mig& mig, int effort, RewriteStats* stats) {
+  static constexpr Pass kFlow[] = {
+      pass_majority, pass_distributivity_rl,
+      pass_inv_reduce, pass_inv_three,
+      pass_level_balance,                      // §III-B.4 objective
+      pass_inv_reduce, pass_inv_three,
+      pass_majority, pass_distributivity_rl,
+      pass_inv_three,
+  };
+  return run_flow(mig, kFlow, effort, stats);
+}
+
+Mig rewrite(const Mig& mig, RewriteKind kind, int effort, RewriteStats* stats) {
+  switch (kind) {
+    case RewriteKind::None: {
+      if (stats != nullptr) {
+        *stats = RewriteStats{};
+        stats->initial_gates = stats->final_gates = mig.num_gates();
+        stats->initial_complement_edges = stats->final_complement_edges =
+            mig.complement_edge_count();
+      }
+      return mig.cleanup();
+    }
+    case RewriteKind::Plim21:
+      return rewrite_plim21(mig, effort, stats);
+    case RewriteKind::Endurance:
+      return rewrite_endurance(mig, effort, stats);
+  }
+  throw Error("rewrite: unknown kind");
+}
+
+}  // namespace rlim::mig

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mig/mig.hpp"
+
+namespace rlim::mig {
+
+/// Telemetry of one rewriting run (per cycle and total).
+struct RewriteStats {
+  std::size_t initial_gates = 0;
+  std::size_t final_gates = 0;
+  std::size_t initial_complement_edges = 0;
+  std::size_t final_complement_edges = 0;
+  int cycles_run = 0;
+  std::size_t total_applications = 0;
+};
+
+/// Which rewriting flow to run before compilation.
+enum class RewriteKind {
+  None,       ///< naive: compile the MIG as constructed
+  Plim21,     ///< paper Algorithm 1 — the original PLiM compiler flow [21]
+  Endurance,  ///< paper Algorithm 2 — endurance-aware rewriting
+};
+
+[[nodiscard]] std::string to_string(RewriteKind kind);
+
+/// Paper Algorithm 1 — MIG rewriting of the PLiM compiler [21]:
+///   Ω.M; Ω.D(R→L); Ω.A; Ψ.C; Ω.M; Ω.D(R→L); Ω.I(R→L)(1–3); Ω.I(R→L)
+/// repeated `effort` times (paper default 5), with early exit when a full
+/// cycle neither fires a rule nor shrinks the graph.
+Mig rewrite_plim21(const Mig& mig, int effort = 5, RewriteStats* stats = nullptr);
+
+/// Paper Algorithm 2 — endurance-aware MIG rewriting:
+///   Ω.M; Ω.D(R→L); Ω.I(R→L)(1–3); Ω.I(R→L); Ω.A; Ω.I(R→L)(1–3); Ω.I(R→L);
+///   Ω.M; Ω.D(R→L); Ω.I(R→L)
+/// Ψ.C is dropped (it destroys the RM3-ideal single-complemented-edge
+/// pattern) and Ω.A is sandwiched between inverter-propagation passes.
+Mig rewrite_endurance(const Mig& mig, int effort = 5, RewriteStats* stats = nullptr);
+
+/// Dispatch on RewriteKind (None returns a cleaned-up copy).
+Mig rewrite(const Mig& mig, RewriteKind kind, int effort = 5,
+            RewriteStats* stats = nullptr);
+
+/// Experimental flow for the paper's §III-B.4 future-work direction:
+/// Algorithm 2 extended with Ω.A level balancing, keeping level differences
+/// between connected nodes low to shorten storage durations (at a possible
+/// instruction-count cost — see bench/ablation_level_rewriting).
+Mig rewrite_level_balanced(const Mig& mig, int effort = 5,
+                           RewriteStats* stats = nullptr);
+
+}  // namespace rlim::mig

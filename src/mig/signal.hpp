@@ -1,0 +1,51 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace rlim::mig {
+
+/// A (possibly complemented) reference to an MIG node.
+///
+/// Encoded as `(node_index << 1) | complement`. Node 0 is the constant-0
+/// node, so `Signal::constant(false)` is the default signal and
+/// `Signal::constant(true)` is its complement.
+class Signal {
+public:
+  constexpr Signal() = default;
+
+  static constexpr Signal from_node(std::uint32_t index, bool complemented = false) {
+    return Signal((index << 1) | (complemented ? 1u : 0u));
+  }
+
+  static constexpr Signal from_raw(std::uint32_t raw) { return Signal(raw); }
+
+  static constexpr Signal constant(bool value) {
+    return Signal(value ? 1u : 0u);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t index() const { return data_ >> 1; }
+  [[nodiscard]] constexpr bool is_complemented() const { return (data_ & 1u) != 0; }
+  [[nodiscard]] constexpr std::uint32_t raw() const { return data_; }
+
+  /// True iff this signal references the constant node (index 0).
+  [[nodiscard]] constexpr bool is_constant() const { return index() == 0; }
+  /// For constant signals: the constant's value (0 plain, 1 complemented).
+  [[nodiscard]] constexpr bool constant_value() const { return is_complemented(); }
+
+  /// Complemented copy of this signal (an MIG inverter is edge-encoded).
+  constexpr Signal operator!() const { return Signal(data_ ^ 1u); }
+  /// Conditional complement: `s ^ true == !s`.
+  constexpr Signal operator^(bool complement) const {
+    return Signal(data_ ^ (complement ? 1u : 0u));
+  }
+
+  friend constexpr auto operator<=>(Signal, Signal) = default;
+
+private:
+  explicit constexpr Signal(std::uint32_t raw) : data_(raw) {}
+
+  std::uint32_t data_ = 0;
+};
+
+}  // namespace rlim::mig

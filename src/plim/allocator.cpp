@@ -1,0 +1,182 @@
+#include "plim/allocator.hpp"
+
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rlim::plim {
+
+std::string to_string(AllocPolicy policy) {
+  switch (policy) {
+    case AllocPolicy::Lifo: return "lifo";
+    case AllocPolicy::Fifo: return "fifo";
+    case AllocPolicy::RoundRobin: return "round-robin";
+    case AllocPolicy::MinWrite: return "min-write";
+  }
+  return "?";
+}
+
+/// Policy-specific container for the free set. `push` receives the cell's
+/// write count at release time; counts cannot change while a cell is free,
+/// so MinWrite ordering stays valid without rebalancing.
+class CellAllocator::FreeList {
+public:
+  explicit FreeList(AllocPolicy policy) : policy_(policy) {}
+
+  void push(Cell cell, std::uint64_t writes) {
+    switch (policy_) {
+      case AllocPolicy::Lifo:
+      case AllocPolicy::Fifo:
+        queue_.push_back(cell);
+        break;
+      case AllocPolicy::RoundRobin:
+        by_index_.insert(cell);
+        break;
+      case AllocPolicy::MinWrite:
+        by_writes_.emplace(writes, cell);
+        break;
+    }
+  }
+
+  std::optional<Cell> pop() {
+    switch (policy_) {
+      case AllocPolicy::Lifo: {
+        if (queue_.empty()) return std::nullopt;
+        const auto cell = queue_.back();
+        queue_.pop_back();
+        return cell;
+      }
+      case AllocPolicy::Fifo: {
+        if (queue_.empty()) return std::nullopt;
+        const auto cell = queue_.front();
+        queue_.pop_front();
+        return cell;
+      }
+      case AllocPolicy::RoundRobin: {
+        if (by_index_.empty()) return std::nullopt;
+        auto it = by_index_.lower_bound(cursor_);
+        if (it == by_index_.end()) {
+          it = by_index_.begin();  // wrap around
+        }
+        const auto cell = *it;
+        by_index_.erase(it);
+        cursor_ = cell + 1;
+        return cell;
+      }
+      case AllocPolicy::MinWrite: {
+        if (by_writes_.empty()) return std::nullopt;
+        const auto [writes, cell] = *by_writes_.begin();
+        by_writes_.erase(by_writes_.begin());
+        return cell;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return queue_.size() + by_index_.size() + by_writes_.size();
+  }
+
+private:
+  AllocPolicy policy_;
+  std::deque<Cell> queue_;                              // Lifo / Fifo
+  std::set<Cell> by_index_;                             // RoundRobin
+  std::set<std::pair<std::uint64_t, Cell>> by_writes_;  // MinWrite
+  Cell cursor_ = 0;                                     // RoundRobin position
+};
+
+CellAllocator::CellAllocator(Options options)
+    : options_(options), free_list_(std::make_unique<FreeList>(options.policy)) {
+  if (options_.max_writes) {
+    // The copy idioms need up to 3 writes on one fresh cell; smaller caps
+    // would make compilation infeasible.
+    require(*options_.max_writes >= 3,
+            "CellAllocator: max_writes must be at least 3");
+  }
+}
+
+CellAllocator::~CellAllocator() = default;
+CellAllocator::CellAllocator(CellAllocator&&) noexcept = default;
+CellAllocator& CellAllocator::operator=(CellAllocator&&) noexcept = default;
+
+Cell CellAllocator::add_live_cell() {
+  const auto cell = static_cast<Cell>(writes_.size());
+  writes_.push_back(0);
+  quarantined_.push_back(false);
+  return cell;
+}
+
+bool CellAllocator::has_headroom(Cell cell, std::uint64_t headroom) const {
+  if (!options_.max_writes) {
+    return true;
+  }
+  return writes_[cell] + headroom <= *options_.max_writes;
+}
+
+Cell CellAllocator::acquire(std::uint64_t headroom) {
+  // Pop until a cell with sufficient headroom appears; set rejects aside and
+  // restore them afterwards (free cells always satisfy headroom 1 by the
+  // quarantine invariant, but multi-write idioms may need more).
+  std::vector<Cell> rejected;
+  std::optional<Cell> found;
+  while (const auto cell = free_list_->pop()) {
+    if (has_headroom(*cell, headroom)) {
+      found = cell;
+      break;
+    }
+    rejected.push_back(*cell);
+  }
+  for (const auto cell : rejected) {
+    free_list_->push(cell, writes_[cell]);
+  }
+  if (found) {
+    return *found;
+  }
+  return add_live_cell();  // grow the array (+1 to the paper's #R)
+}
+
+void CellAllocator::release(Cell cell) {
+  require(cell < writes_.size(), "CellAllocator::release: unknown cell");
+  if (quarantined_[cell]) {
+    return;  // retired for good — the maximum write count strategy
+  }
+  free_list_->push(cell, writes_[cell]);
+}
+
+void CellAllocator::note_write(Cell cell) {
+  require(cell < writes_.size(), "CellAllocator::note_write: unknown cell");
+  ++writes_[cell];
+  if (options_.max_writes && writes_[cell] >= *options_.max_writes) {
+    quarantined_[cell] = true;
+  }
+}
+
+bool CellAllocator::writable(Cell cell) const {
+  require(cell < writes_.size(), "CellAllocator::writable: unknown cell");
+  return has_headroom(cell, 1);
+}
+
+std::uint64_t CellAllocator::write_count(Cell cell) const {
+  require(cell < writes_.size(), "CellAllocator::write_count: unknown cell");
+  return writes_[cell];
+}
+
+std::vector<std::uint64_t> CellAllocator::write_counts() const { return writes_; }
+
+Cell CellAllocator::num_cells() const { return static_cast<Cell>(writes_.size()); }
+
+std::size_t CellAllocator::free_count() const { return free_list_->size(); }
+
+std::size_t CellAllocator::quarantined_count() const {
+  std::size_t count = 0;
+  for (const auto flag : quarantined_) {
+    if (flag) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace rlim::plim

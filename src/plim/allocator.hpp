@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plim/instruction.hpp"
+
+namespace rlim::plim {
+
+/// How the compiler picks a cell from the free set when it requests one.
+enum class AllocPolicy {
+  Lifo,        ///< naive: most recently freed first (maximizes reuse locality — and wear)
+  Fifo,        ///< oldest freed first
+  RoundRobin,  ///< cycle through free cells by index
+  MinWrite,    ///< the paper's *minimum write count strategy*
+};
+
+[[nodiscard]] std::string to_string(AllocPolicy policy);
+
+/// Compile-time RRAM cell allocator with write accounting.
+///
+/// Implements both direct endurance-management techniques of the paper:
+///  * **minimum write count strategy** — `AllocPolicy::MinWrite` returns the
+///    free cell with the smallest write count;
+///  * **maximum write count strategy** — with `max_writes` set, a cell whose
+///    write count reaches the cap is *quarantined*: it is never returned to
+///    the free set and `writable()` rejects it as an in-place destination,
+///    forcing the compiler to allocate fresh cells (area/latency cost).
+///
+/// Write counts are maintained by the compiler calling `note_write` once per
+/// emitted instruction (writes are statically known — every RM3 writes its
+/// destination exactly once).
+class CellAllocator {
+public:
+  struct Options {
+    AllocPolicy policy = AllocPolicy::Lifo;
+    std::optional<std::uint64_t> max_writes;  ///< paper's cap W (>= 3 required)
+  };
+
+  explicit CellAllocator(Options options);
+  ~CellAllocator();
+  CellAllocator(CellAllocator&&) noexcept;
+  CellAllocator& operator=(CellAllocator&&) noexcept;
+  CellAllocator(const CellAllocator&) = delete;
+  CellAllocator& operator=(const CellAllocator&) = delete;
+
+  /// Registers a pre-existing live cell (a primary input resident in the
+  /// array). It starts in-use with zero writes.
+  Cell add_live_cell();
+
+  /// Returns a cell that can absorb at least `headroom` further writes,
+  /// taking from the free set per policy or growing the array. `headroom`
+  /// covers multi-write idioms (init + copy + destination = up to 3).
+  Cell acquire(std::uint64_t headroom = 1);
+
+  /// Returns a dead cell to the free set (quarantined cells are retired
+  /// instead and never come back).
+  void release(Cell cell);
+
+  /// Accounts one write; quarantines the cell when it reaches the cap.
+  void note_write(Cell cell);
+
+  /// True when the cell can absorb one more write under the cap.
+  [[nodiscard]] bool writable(Cell cell) const;
+
+  [[nodiscard]] std::uint64_t write_count(Cell cell) const;
+  /// Snapshot over the full cell space (the paper's write distribution).
+  [[nodiscard]] std::vector<std::uint64_t> write_counts() const;
+
+  /// Total cells ever allocated — the paper's #R.
+  [[nodiscard]] Cell num_cells() const;
+  [[nodiscard]] std::size_t free_count() const;
+  [[nodiscard]] std::size_t quarantined_count() const;
+
+private:
+  class FreeList;
+
+  [[nodiscard]] bool has_headroom(Cell cell, std::uint64_t headroom) const;
+
+  Options options_;
+  std::vector<std::uint64_t> writes_;
+  std::vector<bool> quarantined_;
+  std::unique_ptr<FreeList> free_list_;
+};
+
+}  // namespace rlim::plim

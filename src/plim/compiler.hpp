@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mig/mig.hpp"
+#include "plim/allocator.hpp"
+#include "plim/program.hpp"
+#include "util/stats.hpp"
+
+namespace rlim::plim {
+
+/// Node selection policy — the order in which computable MIG nodes are
+/// translated to RM3 instructions.
+enum class SelectionPolicy {
+  /// No selection: nodes are compiled in construction (topological index)
+  /// order. The paper's "naive" configurations use this.
+  NaiveOrder,
+  /// [21]: maximize the number of RRAMs released by the node; ties broken by
+  /// the smaller fanout level index. Greedy for area.
+  Plim21,
+  /// Paper Algorithm 3: *smallest fanout level index first* (shortest
+  /// storage duration ⇒ cells cycle through the free list with similar
+  /// frequency); ties broken by the larger number of releasing RRAMs.
+  EnduranceAware,
+};
+
+[[nodiscard]] std::string to_string(SelectionPolicy policy);
+
+struct CompilerOptions {
+  SelectionPolicy selection = SelectionPolicy::Plim21;
+  AllocPolicy allocation = AllocPolicy::Lifo;
+  /// Maximum write count strategy (paper Table III caps: 10/20/50/100).
+  std::optional<std::uint64_t> max_writes;
+};
+
+/// Outcome of compiling one MIG.
+struct CompileResult {
+  Program program;
+  Cell num_cells = 0;                    ///< the paper's #R
+  util::WriteStats write_stats;          ///< min/max/STDEV of per-cell writes
+  std::size_t gate_instructions = 0;     ///< one closing RM3 per compiled gate
+  std::size_t overhead_instructions = 0; ///< const loads, copies, PO materialization
+  std::size_t quarantined_cells = 0;     ///< retired by the max-write strategy
+
+  [[nodiscard]] std::size_t num_instructions() const { return program.size(); }
+};
+
+/// MIG → RM3 compiler for the PLiM architecture, re-implemented from [21]
+/// §III with the endurance extensions of this paper.
+///
+/// Node translation assigns the three fanins of ⟨f₀f₁f₂⟩ to the RM3 roles
+/// (A, B, Z) at minimum cost over all six permutations:
+///   * complemented fanin → B is free (RM3 inverts B); A or Z costs a
+///     2-instruction complement copy into one extra cell;
+///   * plain fanin → A is free; Z is free only when this node is the
+///     fanin's last use *and* the cell passes the write cap, else a
+///     2-instruction copy into one extra cell;
+///   * constant fanin → A/B are free; Z costs one constant-write into a
+///     fresh cell.
+/// This reproduces the "two additional instructions and one RRAM" cost of
+/// every fanout/complement conflict described in the paper.
+class PlimCompiler {
+public:
+  explicit PlimCompiler(CompilerOptions options = {});
+
+  /// Compiles the PO-reachable logic of `mig`. PIs are bound to cells in PI
+  /// order and assumed pre-resident (zero program writes); every PO ends in
+  /// a plain cell (complemented/constant POs are materialized).
+  [[nodiscard]] CompileResult compile(const mig::Mig& mig) const;
+
+  [[nodiscard]] const CompilerOptions& options() const { return options_; }
+
+private:
+  CompilerOptions options_;
+};
+
+}  // namespace rlim::plim

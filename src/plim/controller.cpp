@@ -1,0 +1,101 @@
+#include "plim/controller.hpp"
+
+#include "mig/simulate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rlim::plim {
+
+void PlimController::start(const Program& program) {
+  program.validate();
+  require(program.num_cells() <= array_->size(),
+          "PlimController: program does not fit the array");
+  program_ = &program;
+  pc_ = 0;
+  state_ = program.size() == 0 ? State::Done : State::Running;
+}
+
+void PlimController::execute(RramArray& array, const Instruction& instruction) {
+  const auto resolve = [&](Operand operand) -> std::uint64_t {
+    if (operand.is_constant()) {
+      return operand.constant_value() ? ~0ULL : 0ULL;
+    }
+    return array.read(operand.cell_index());
+  };
+  const auto a = resolve(instruction.a);
+  const auto not_b = ~resolve(instruction.b);
+  const auto z = array.read(instruction.z);
+  // Z ← ⟨A B̄ Z⟩
+  array.write(instruction.z, (a & not_b) | (a & z) | (not_b & z));
+}
+
+bool PlimController::step() {
+  require(state_ == State::Running, "PlimController::step: not running");
+  execute(*array_, program_->instructions()[pc_]);
+  ++pc_;
+  if (pc_ == program_->size()) {
+    state_ = State::Done;
+    return false;
+  }
+  return true;
+}
+
+std::size_t PlimController::run() {
+  require(program_ != nullptr, "PlimController::run: no program latched");
+  std::size_t executed = 0;
+  while (state_ == State::Running) {
+    ++executed;
+    step();
+  }
+  return executed;
+}
+
+std::size_t PlimController::run(const Program& program) {
+  start(program);
+  return run();
+}
+
+std::vector<std::uint64_t> evaluate(const Program& program,
+                                    std::span<const std::uint64_t> pi_values,
+                                    RramArray* array) {
+  require(pi_values.size() == program.pi_cells().size(),
+          "evaluate: PI value count mismatch");
+  RramArray local(program.num_cells());
+  RramArray& target = array != nullptr ? *array : local;
+  if (array != nullptr) {
+    require(target.size() >= program.num_cells(), "evaluate: array too small");
+    target.reset_values();
+  }
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    target.preload(program.pi_cells()[i], pi_values[i]);
+  }
+  PlimController controller(target);
+  controller.run(program);
+  std::vector<std::uint64_t> result;
+  result.reserve(program.po_cells().size());
+  for (const auto cell : program.po_cells()) {
+    result.push_back(target.read(cell));
+  }
+  return result;
+}
+
+bool program_matches_mig(const Program& program, const mig::Mig& mig,
+                         unsigned rounds, std::uint64_t seed) {
+  if (program.pi_cells().size() != mig.num_pis() ||
+      program.po_cells().size() != mig.num_pos()) {
+    return false;
+  }
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> pi_values(mig.num_pis());
+  for (unsigned round = 0; round < rounds; ++round) {
+    for (auto& word : pi_values) {
+      word = rng();
+    }
+    if (evaluate(program, pi_values) != mig::simulate(mig, pi_values)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rlim::plim

@@ -1,0 +1,24 @@
+#include "plim/cost_model.hpp"
+
+namespace rlim::plim {
+
+CostReport estimate_cost(const Program& program, const CostParams& params) {
+  CostReport report;
+  report.cycles = program.size();
+  report.cell_writes = program.size();
+  for (const auto& instruction : program.instructions()) {
+    if (!instruction.a.is_constant()) {
+      ++report.cell_reads;
+    }
+    if (!instruction.b.is_constant()) {
+      ++report.cell_reads;
+    }
+  }
+  report.energy_pj =
+      static_cast<double>(report.cell_writes) * params.write_energy_pj +
+      static_cast<double>(report.cell_reads) * params.read_energy_pj;
+  report.latency_ns = static_cast<double>(report.cycles) * params.cycle_ns;
+  return report;
+}
+
+}  // namespace rlim::plim

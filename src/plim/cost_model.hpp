@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "plim/program.hpp"
+
+namespace rlim::plim {
+
+/// First-order latency/energy model of sequential PLiM execution [11]:
+/// one RM3 per cycle (the controller performs the majority during the write
+/// pulse), operand reads from cells cost read energy, constants are applied
+/// directly to the wordlines for free.
+///
+/// Defaults are HfOx-class ballpark figures (≈1 pJ/write, ≈0.1 pJ/read,
+/// 10 ns write pulse); all parameters are caller-tunable — the model's role
+/// is comparing compilation flows, not predicting absolute silicon numbers.
+struct CostParams {
+  double write_energy_pj = 1.0;
+  double read_energy_pj = 0.1;
+  double cycle_ns = 10.0;
+};
+
+struct CostReport {
+  std::uint64_t cycles = 0;        ///< == instruction count (paper's latency proxy)
+  std::uint64_t cell_reads = 0;    ///< non-constant A/B operands
+  std::uint64_t cell_writes = 0;   ///< one per instruction
+  double energy_pj = 0.0;
+  double latency_ns = 0.0;
+};
+
+/// Statically accounts a program's execution cost (writes and reads are
+/// data-independent in the RM3 ISA).
+[[nodiscard]] CostReport estimate_cost(const Program& program,
+                                       const CostParams& params = {});
+
+}  // namespace rlim::plim

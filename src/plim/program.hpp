@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "plim/instruction.hpp"
+
+namespace rlim::plim {
+
+/// A compiled PLiM program: a straight-line RM3 instruction sequence plus
+/// the binding of primary inputs and outputs to crossbar cells.
+///
+/// Convention (documented write-accounting model): primary inputs are
+/// pre-resident in their bound cells before execution starts (loading them is
+/// the data's ambient traffic, not the program's); every instruction then
+/// performs exactly one write to its destination cell.
+class Program {
+public:
+  /// Appends an instruction; grows the cell space to cover its references.
+  void append(const Instruction& instruction);
+
+  [[nodiscard]] std::span<const Instruction> instructions() const {
+    return instructions_;
+  }
+  [[nodiscard]] std::size_t size() const { return instructions_.size(); }
+
+  /// Number of RRAM cells the program touches (the paper's #R).
+  [[nodiscard]] Cell num_cells() const { return num_cells_; }
+  /// Explicitly widen the cell space (e.g. cells allocated but never written).
+  void set_num_cells(Cell count);
+
+  /// Binds the next primary input (in MIG PI order) to `cell`.
+  void bind_pi(Cell cell);
+  /// Binds the next primary output (in MIG PO order) to `cell`.
+  void bind_po(Cell cell);
+
+  [[nodiscard]] std::span<const Cell> pi_cells() const { return pi_cells_; }
+  [[nodiscard]] std::span<const Cell> po_cells() const { return po_cells_; }
+
+  /// Per-cell destination-write counts — the statically known write traffic
+  /// (writes are data-independent: every instruction writes its destination).
+  [[nodiscard]] std::vector<std::uint64_t> static_write_counts() const;
+
+  /// Human-readable listing, e.g. `0003: RM3(c[5], !c[2], c[7])`.
+  [[nodiscard]] std::string disassemble() const;
+
+  /// Checks internal consistency (bindings within the cell space).
+  void validate() const;
+
+  /// Plain-text serialization:
+  /// ```
+  /// .plim <instructions> <cells>
+  /// .pi <cell>
+  /// .rm3 <a> <b> <z>     (operands: c<idx> or constant 0/1)
+  /// .po <cell>
+  /// .end
+  /// ```
+  void write(std::ostream& os) const;
+  [[nodiscard]] static Program read(std::istream& is);
+
+private:
+  std::vector<Instruction> instructions_;
+  std::vector<Cell> pi_cells_;
+  std::vector<Cell> po_cells_;
+  Cell num_cells_ = 0;
+};
+
+}  // namespace rlim::plim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "plim/instruction.hpp"
+#include "util/stats.hpp"
+
+namespace rlim::plim {
+
+/// Endurance model of the crossbar.
+struct RramConfig {
+  /// Writes a cell can absorb before it hard-fails; 0 disables the model.
+  /// (Real RRAM: ~1e10 [5] to ~1e11 [6]; tests use tiny values.)
+  std::uint64_t endurance_limit = 0;
+  /// Cell-to-cell variability: per-cell limits are drawn log-normally,
+  /// limit_i = endurance_limit · exp(σ·N(0,1)). 0 = uniform limits.
+  double endurance_sigma = 0.0;
+  /// Seed of the per-cell variability draw (deterministic per array).
+  std::uint64_t variation_seed = 1;
+};
+
+/// Functional model of the RRAM crossbar array underneath PLiM.
+///
+/// Values are 64-bit words so 64 input patterns evaluate in parallel.
+/// Every `write` increments the cell's wear counter; a cell that has reached
+/// the endurance limit becomes *stuck at its last value* (the common RRAM
+/// hard-failure mode) — further writes are silently dropped, which makes
+/// failure observable as wrong program outputs rather than a crash.
+class RramArray {
+public:
+  explicit RramArray(Cell num_cells, RramConfig config = {});
+
+  [[nodiscard]] Cell size() const { return static_cast<Cell>(cells_.size()); }
+
+  [[nodiscard]] std::uint64_t read(Cell cell) const;
+
+  /// Counted write (wears the cell; dropped once the cell has failed).
+  void write(Cell cell, std::uint64_t value);
+
+  /// Uncounted write: models data that is already resident (primary inputs)
+  /// or an external initialization outside the program's write traffic.
+  void preload(Cell cell, std::uint64_t value);
+
+  [[nodiscard]] std::uint64_t write_count(Cell cell) const;
+  [[nodiscard]] std::vector<std::uint64_t> write_counts() const;
+
+  [[nodiscard]] bool is_failed(Cell cell) const;
+  [[nodiscard]] std::size_t failed_cell_count() const;
+
+  /// Effective endurance limit of a cell under the variability model
+  /// (0 when the endurance model is disabled).
+  [[nodiscard]] std::uint64_t endurance_of(Cell cell) const;
+
+  /// Clears values but keeps accumulated wear (a fresh execution on an aged
+  /// array).
+  void reset_values();
+
+  [[nodiscard]] util::WriteStats stats() const;
+
+private:
+  struct CellState {
+    std::uint64_t value = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t limit = 0;  // 0 = unlimited
+  };
+
+  void check(Cell cell) const;
+
+  std::vector<CellState> cells_;
+  RramConfig config_;
+};
+
+}  // namespace rlim::plim

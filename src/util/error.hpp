@@ -1,0 +1,22 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rlim {
+
+/// Exception thrown on violated API contracts (bad arguments, malformed
+/// input files, out-of-range references). Internal invariants use assert.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws rlim::Error with `message` when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw Error(message);
+  }
+}
+
+}  // namespace rlim

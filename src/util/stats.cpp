@@ -1,0 +1,54 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rlim::util {
+
+WriteStats compute_stats(std::span<const std::uint64_t> writes) {
+  WriteStats stats;
+  stats.count = writes.size();
+  if (writes.empty()) {
+    return stats;
+  }
+  stats.min = *std::min_element(writes.begin(), writes.end());
+  stats.max = *std::max_element(writes.begin(), writes.end());
+  for (const auto w : writes) {
+    stats.total += w;
+  }
+  stats.mean = static_cast<double>(stats.total) / static_cast<double>(stats.count);
+  double sum_sq = 0.0;
+  for (const auto w : writes) {
+    const double d = static_cast<double>(w) - stats.mean;
+    sum_sq += d * d;
+  }
+  stats.stdev = std::sqrt(sum_sq / static_cast<double>(stats.count));
+  return stats;
+}
+
+double improvement_percent(double baseline, double ours) {
+  if (baseline == 0.0) {
+    return 0.0;
+  }
+  return 100.0 * (baseline - ours) / baseline;
+}
+
+std::vector<std::size_t> histogram(std::span<const std::uint64_t> writes,
+                                   std::size_t buckets) {
+  std::vector<std::size_t> bins(buckets, 0);
+  if (writes.empty() || buckets == 0) {
+    return bins;
+  }
+  const auto max = *std::max_element(writes.begin(), writes.end());
+  const double width = max == 0 ? 1.0 : static_cast<double>(max + 1) / static_cast<double>(buckets);
+  for (const auto w : writes) {
+    auto idx = static_cast<std::size_t>(static_cast<double>(w) / width);
+    if (idx >= buckets) {
+      idx = buckets - 1;
+    }
+    ++bins[idx];
+  }
+  return bins;
+}
+
+}  // namespace rlim::util

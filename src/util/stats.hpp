@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rlim::util {
+
+/// Summary statistics of a write-count distribution over RRAM cells.
+/// The paper reports min, max and the (population) standard deviation.
+struct WriteStats {
+  std::size_t count = 0;       ///< number of cells
+  std::uint64_t min = 0;       ///< smallest write count
+  std::uint64_t max = 0;       ///< largest write count
+  std::uint64_t total = 0;     ///< sum of all writes
+  double mean = 0.0;
+  double stdev = 0.0;          ///< population standard deviation
+};
+
+/// Computes WriteStats over `writes`. Empty input yields all-zero stats.
+WriteStats compute_stats(std::span<const std::uint64_t> writes);
+
+/// Percentage improvement of `ours` over `baseline` (paper's "impr." column):
+/// 100 * (baseline - ours) / baseline. Negative when `ours` is worse.
+/// Returns 0 when baseline == 0.
+double improvement_percent(double baseline, double ours);
+
+/// Histogram of write counts with `buckets` equal-width bins over [0, max].
+std::vector<std::size_t> histogram(std::span<const std::uint64_t> writes,
+                                   std::size_t buckets);
+
+}  // namespace rlim::util

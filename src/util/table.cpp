@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rlim::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "Table: row arity does not match header");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string Table::percent(double value, int digits) {
+  return fixed(value, digits) + "%";
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto is_numeric = [](const std::string& s) {
+    if (s.empty()) {
+      return false;
+    }
+    for (const char ch : s) {
+      if ((ch < '0' || ch > '9') && ch != '.' && ch != '-' && ch != '%' &&
+          ch != '+' && ch != '/') {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::ostringstream os;
+  const auto emit_line = [&] {
+    for (const auto w : widths) {
+      os << '+' << std::string(w + 2, '-');
+    }
+    os << "+\n";
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| ";
+      if (is_numeric(cells[c])) {
+        os << std::setw(static_cast<int>(widths[c])) << std::right << cells[c];
+      } else {
+        os << std::setw(static_cast<int>(widths[c])) << std::left << cells[c];
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  emit_line();
+  emit_row(header_);
+  emit_line();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      emit_line();
+    } else {
+      emit_row(row.cells);
+    }
+  }
+  emit_line();
+  return os.str();
+}
+
+}  // namespace rlim::util

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rlim::util {
+
+/// Minimal ASCII table printer used by the bench harness to render the
+/// paper's tables. Columns are sized to their widest cell; numeric cells
+/// are right-aligned, text cells left-aligned.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  /// Renders the table, including a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimals ("12.60" style).
+  static std::string fixed(double value, int digits = 2);
+  /// Formats a percentage with trailing '%' (paper's "impr." column).
+  static std::string percent(double value, int digits = 2);
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rlim::util

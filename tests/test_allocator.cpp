@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "plim/allocator.hpp"
+#include "util/error.hpp"
+
+namespace rlim::plim {
+namespace {
+
+TEST(Allocator, GrowsWhenFreeSetEmpty) {
+  CellAllocator alloc({AllocPolicy::Lifo, std::nullopt});
+  EXPECT_EQ(alloc.acquire(), 0u);
+  EXPECT_EQ(alloc.acquire(), 1u);
+  EXPECT_EQ(alloc.num_cells(), 2u);
+  EXPECT_EQ(alloc.free_count(), 0u);
+}
+
+TEST(Allocator, LifoReturnsMostRecentlyFreed) {
+  CellAllocator alloc({AllocPolicy::Lifo, std::nullopt});
+  const auto a = alloc.acquire();
+  const auto b = alloc.acquire();
+  const auto c = alloc.acquire();
+  alloc.release(a);
+  alloc.release(b);
+  alloc.release(c);
+  EXPECT_EQ(alloc.acquire(), c);
+  EXPECT_EQ(alloc.acquire(), b);
+  EXPECT_EQ(alloc.acquire(), a);
+}
+
+TEST(Allocator, FifoReturnsOldestFreed) {
+  CellAllocator alloc({AllocPolicy::Fifo, std::nullopt});
+  const auto a = alloc.acquire();
+  const auto b = alloc.acquire();
+  alloc.release(b);
+  alloc.release(a);
+  EXPECT_EQ(alloc.acquire(), b);
+  EXPECT_EQ(alloc.acquire(), a);
+}
+
+TEST(Allocator, RoundRobinCyclesThroughIndices) {
+  CellAllocator alloc({AllocPolicy::RoundRobin, std::nullopt});
+  const auto a = alloc.acquire();  // 0
+  const auto b = alloc.acquire();  // 1
+  const auto c = alloc.acquire();  // 2
+  alloc.release(a);
+  alloc.release(b);
+  alloc.release(c);
+  EXPECT_EQ(alloc.acquire(), a);  // cursor at 0
+  alloc.release(a);
+  // Cursor moved past 0: next pick is 1, then 2, then wraps to 0.
+  EXPECT_EQ(alloc.acquire(), b);
+  EXPECT_EQ(alloc.acquire(), c);
+  EXPECT_EQ(alloc.acquire(), a);
+}
+
+TEST(Allocator, MinWritePicksLeastWrittenCell) {
+  CellAllocator alloc({AllocPolicy::MinWrite, std::nullopt});
+  const auto a = alloc.acquire();
+  const auto b = alloc.acquire();
+  const auto c = alloc.acquire();
+  alloc.note_write(a);
+  alloc.note_write(a);
+  alloc.note_write(b);
+  alloc.release(a);
+  alloc.release(b);
+  alloc.release(c);
+  EXPECT_EQ(alloc.acquire(), c);  // 0 writes
+  EXPECT_EQ(alloc.acquire(), b);  // 1 write
+  EXPECT_EQ(alloc.acquire(), a);  // 2 writes
+}
+
+TEST(Allocator, MinWriteTieBreaksDeterministically) {
+  CellAllocator alloc({AllocPolicy::MinWrite, std::nullopt});
+  const auto a = alloc.acquire();
+  const auto b = alloc.acquire();
+  alloc.release(b);
+  alloc.release(a);
+  EXPECT_EQ(alloc.acquire(), a);  // equal writes → lower index
+  EXPECT_EQ(alloc.acquire(), b);
+}
+
+TEST(Allocator, AddLiveCellStartsInUse) {
+  CellAllocator alloc({AllocPolicy::Lifo, std::nullopt});
+  const auto pi = alloc.add_live_cell();
+  EXPECT_EQ(alloc.num_cells(), 1u);
+  EXPECT_EQ(alloc.free_count(), 0u);
+  EXPECT_EQ(alloc.write_count(pi), 0u);
+  alloc.release(pi);
+  EXPECT_EQ(alloc.acquire(), pi);
+}
+
+TEST(Allocator, WriteAccounting) {
+  CellAllocator alloc({AllocPolicy::Lifo, std::nullopt});
+  const auto a = alloc.acquire();
+  alloc.note_write(a);
+  alloc.note_write(a);
+  EXPECT_EQ(alloc.write_count(a), 2u);
+  EXPECT_EQ(alloc.write_counts(), (std::vector<std::uint64_t>{2}));
+}
+
+TEST(Allocator, CapBelowThreeThrows) {
+  EXPECT_THROW(CellAllocator({AllocPolicy::Lifo, 2}), Error);
+  EXPECT_NO_THROW(CellAllocator({AllocPolicy::Lifo, 3}));
+}
+
+TEST(Allocator, QuarantineAtCapRetiresCell) {
+  CellAllocator alloc({AllocPolicy::Lifo, 3});
+  const auto a = alloc.acquire();
+  alloc.note_write(a);
+  alloc.note_write(a);
+  EXPECT_TRUE(alloc.writable(a));
+  alloc.note_write(a);  // reaches cap 3
+  EXPECT_FALSE(alloc.writable(a));
+  EXPECT_EQ(alloc.quarantined_count(), 1u);
+  alloc.release(a);  // retired, not freed
+  EXPECT_EQ(alloc.free_count(), 0u);
+  EXPECT_NE(alloc.acquire(), a);  // a never comes back
+}
+
+TEST(Allocator, HeadroomSkipsNearCapCells) {
+  CellAllocator alloc({AllocPolicy::MinWrite, 4});
+  const auto a = alloc.acquire();
+  alloc.note_write(a);
+  alloc.note_write(a);  // 2 writes; headroom left = 2
+  alloc.release(a);
+  // Needs 3 writes: a (headroom 2) is skipped, a fresh cell appears...
+  const auto b = alloc.acquire(3);
+  EXPECT_NE(b, a);
+  // ...but a stays in the free set for smaller requests.
+  EXPECT_EQ(alloc.acquire(2), a);
+}
+
+TEST(Allocator, WritableWithoutCapAlwaysTrue) {
+  CellAllocator alloc({AllocPolicy::Lifo, std::nullopt});
+  const auto a = alloc.acquire();
+  for (int i = 0; i < 100; ++i) {
+    alloc.note_write(a);
+  }
+  EXPECT_TRUE(alloc.writable(a));
+  EXPECT_EQ(alloc.quarantined_count(), 0u);
+}
+
+TEST(Allocator, UnknownCellThrows) {
+  CellAllocator alloc({AllocPolicy::Lifo, std::nullopt});
+  EXPECT_THROW(alloc.release(3), Error);
+  EXPECT_THROW(alloc.note_write(3), Error);
+  EXPECT_THROW(alloc.write_count(3), Error);
+  EXPECT_THROW(static_cast<void>(alloc.writable(3)), Error);
+}
+
+TEST(Allocator, PolicyNames) {
+  EXPECT_EQ(to_string(AllocPolicy::Lifo), "lifo");
+  EXPECT_EQ(to_string(AllocPolicy::Fifo), "fifo");
+  EXPECT_EQ(to_string(AllocPolicy::RoundRobin), "round-robin");
+  EXPECT_EQ(to_string(AllocPolicy::MinWrite), "min-write");
+}
+
+TEST(Allocator, MoveSemantics) {
+  CellAllocator alloc({AllocPolicy::Lifo, std::nullopt});
+  const auto a = alloc.acquire();
+  alloc.note_write(a);
+  CellAllocator moved = std::move(alloc);
+  EXPECT_EQ(moved.write_count(a), 1u);
+  EXPECT_EQ(moved.num_cells(), 1u);
+}
+
+}  // namespace
+}  // namespace rlim::plim

@@ -1,0 +1,168 @@
+// Standalone truth-table lemmas for every Boolean-algebra identity the
+// rewriting engine relies on (paper §III-A.1). Each lemma builds both sides
+// of the identity as independent graphs and checks exhaustive equivalence —
+// these pin the *specification*, independent of the pass implementations.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "mig/mig.hpp"
+#include "mig/simulate.hpp"
+
+namespace rlim::mig {
+namespace {
+
+using Builder = std::function<Signal(Mig&, std::vector<Signal>&)>;
+
+void expect_identity(unsigned vars, const Builder& lhs, const Builder& rhs) {
+  Mig left;
+  Mig right;
+  std::vector<Signal> lv;
+  std::vector<Signal> rv;
+  for (unsigned i = 0; i < vars; ++i) {
+    lv.push_back(left.create_pi());
+    rv.push_back(right.create_pi());
+  }
+  left.create_po(lhs(left, lv));
+  right.create_po(rhs(right, rv));
+  EXPECT_TRUE(equivalent_exhaustive(left, right));
+}
+
+TEST(AxiomLemma, CommutativityAllOrders) {
+  // Ω.C — ⟨xyz⟩ = ⟨yxz⟩ = ⟨zyx⟩ (handled by fanin sorting; spec checked).
+  for (int perm = 0; perm < 6; ++perm) {
+    expect_identity(
+        3,
+        [](Mig& m, std::vector<Signal>& v) { return m.create_maj(v[0], v[1], v[2]); },
+        [perm](Mig& m, std::vector<Signal>& v) {
+          static constexpr int kPerms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                               {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+          return m.create_maj(v[kPerms[perm][0]], v[kPerms[perm][1]],
+                              v[kPerms[perm][2]]);
+        });
+  }
+}
+
+TEST(AxiomLemma, MajorityEqual) {
+  // Ω.M — ⟨xxz⟩ = x
+  expect_identity(
+      2, [](Mig& m, std::vector<Signal>& v) { return m.create_maj(v[0], v[0], v[1]); },
+      [](Mig&, std::vector<Signal>& v) { return v[0]; });
+}
+
+TEST(AxiomLemma, MajorityComplement) {
+  // Ω.M — ⟨xx̄z⟩ = z
+  expect_identity(
+      2, [](Mig& m, std::vector<Signal>& v) { return m.create_maj(v[0], !v[0], v[1]); },
+      [](Mig&, std::vector<Signal>& v) { return v[1]; });
+}
+
+TEST(AxiomLemma, Associativity) {
+  // Ω.A — ⟨xu⟨yuz⟩⟩ = ⟨zu⟨yux⟩⟩
+  expect_identity(
+      4,
+      [](Mig& m, std::vector<Signal>& v) {
+        return m.create_maj(v[0], v[1], m.create_maj(v[2], v[1], v[3]));
+      },
+      [](Mig& m, std::vector<Signal>& v) {
+        return m.create_maj(v[3], v[1], m.create_maj(v[2], v[1], v[0]));
+      });
+}
+
+TEST(AxiomLemma, Distributivity) {
+  // Ω.D — ⟨xy⟨uvz⟩⟩ = ⟨⟨xyu⟩⟨xyv⟩z⟩
+  expect_identity(
+      5,
+      [](Mig& m, std::vector<Signal>& v) {
+        return m.create_maj(v[0], v[1], m.create_maj(v[2], v[3], v[4]));
+      },
+      [](Mig& m, std::vector<Signal>& v) {
+        return m.create_maj(m.create_maj(v[0], v[1], v[2]),
+                            m.create_maj(v[0], v[1], v[3]), v[4]);
+      });
+}
+
+TEST(AxiomLemma, InverterPropagation) {
+  // Ω.I — ⟨x̄ȳz̄⟩ = ¬⟨xyz⟩
+  expect_identity(
+      3,
+      [](Mig& m, std::vector<Signal>& v) { return m.create_maj(!v[0], !v[1], !v[2]); },
+      [](Mig& m, std::vector<Signal>& v) { return !m.create_maj(v[0], v[1], v[2]); });
+}
+
+TEST(AxiomLemma, InverterPropagationTwoComplements) {
+  // Ω.I(R→L) corollary — ⟨x̄ȳz⟩ = ¬⟨xyz̄⟩
+  expect_identity(
+      3,
+      [](Mig& m, std::vector<Signal>& v) { return m.create_maj(!v[0], !v[1], v[2]); },
+      [](Mig& m, std::vector<Signal>& v) { return !m.create_maj(v[0], v[1], !v[2]); });
+}
+
+TEST(AxiomLemma, ComplementaryAssociativity) {
+  // Ψ.C — ⟨x u ⟨y x̄ z⟩⟩ = ⟨x u ⟨y u z⟩⟩ (the paper's OCR garbles this
+  // identity; this lemma pins the corrected [18] form used in the code).
+  expect_identity(
+      4,
+      [](Mig& m, std::vector<Signal>& v) {
+        return m.create_maj(v[0], v[1], m.create_maj(v[2], !v[0], v[3]));
+      },
+      [](Mig& m, std::vector<Signal>& v) {
+        return m.create_maj(v[0], v[1], m.create_maj(v[2], v[1], v[3]));
+      });
+}
+
+TEST(AxiomLemma, PaperPsiCTranscriptionIsWrong) {
+  // The identity as literally printed in the paper's text,
+  // ⟨x,u,⟨y,x̄,z⟩⟩ = ⟨x,u,⟨y,x,z⟩⟩, is NOT a tautology — documenting why we
+  // use the [18] form instead.
+  Mig left;
+  Mig right;
+  std::vector<Signal> lv;
+  std::vector<Signal> rv;
+  for (unsigned i = 0; i < 4; ++i) {
+    lv.push_back(left.create_pi());
+    rv.push_back(right.create_pi());
+  }
+  left.create_po(left.create_maj(lv[0], lv[1], left.create_maj(lv[2], !lv[0], lv[3])));
+  right.create_po(
+      right.create_maj(rv[0], rv[1], right.create_maj(rv[2], rv[0], rv[3])));
+  EXPECT_FALSE(equivalent_exhaustive(left, right));
+}
+
+TEST(AxiomLemma, RelevanceOfRm3Decomposition) {
+  // RM3 semantics used by every idiom: ⟨v v̄ z⟩ = v (constant write),
+  // ⟨x 1̄ 0⟩ = x (copy), ⟨0 x̄ 1⟩ = x̄ (complement copy).
+  expect_identity(
+      2, [](Mig& m, std::vector<Signal>& v) { return m.create_maj(v[0], !v[0], v[1]); },
+      [](Mig&, std::vector<Signal>& v) { return v[1]; });
+  expect_identity(
+      1,
+      [](Mig& m, std::vector<Signal>& v) {
+        // RM3(x, B=0, Z=0): the controller applies ¬B, so the gate is ⟨x 1 0⟩.
+        return m.create_maj(v[0], Mig::get_constant(true), Mig::get_constant(false));
+      },
+      [](Mig&, std::vector<Signal>& v) { return v[0]; });
+  expect_identity(
+      1,
+      [](Mig& m, std::vector<Signal>& v) {
+        return m.create_maj(Mig::get_constant(false), !v[0], Mig::get_constant(true));
+      },
+      [](Mig&, std::vector<Signal>& v) { return !v[0]; });
+}
+
+TEST(AxiomLemma, MajorityDecomposesAndOr) {
+  // ⟨xyz⟩ = (x ∨ y)(y ∨ z)(x ∨ z) = xy ∨ yz ∨ xz — §II's definition.
+  expect_identity(
+      3,
+      [](Mig& m, std::vector<Signal>& v) { return m.create_maj(v[0], v[1], v[2]); },
+      [](Mig& m, std::vector<Signal>& v) {
+        const auto xy = m.create_and(v[0], v[1]);
+        const auto yz = m.create_and(v[1], v[2]);
+        const auto xz = m.create_and(v[0], v[2]);
+        return m.create_or(m.create_or(xy, yz), xz);
+      });
+}
+
+}  // namespace
+}  // namespace rlim::mig

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "benchmarks/arithmetic.hpp"
+#include "benchmarks/control.hpp"
+#include "benchmarks/suite.hpp"
+#include "mig/simulate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rlim::bench {
+namespace {
+
+using mig::Mig;
+
+void pack(std::vector<std::uint64_t>& pi_values, std::size_t offset, unsigned bits,
+          std::span<const std::uint64_t> tests) {
+  for (unsigned i = 0; i < bits; ++i) {
+    std::uint64_t word = 0;
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      word |= ((tests[t] >> i) & 1ULL) << t;
+    }
+    pi_values[offset + i] = word;
+  }
+}
+
+std::uint64_t unpack(std::span<const std::uint64_t> po_values, std::size_t offset,
+                     unsigned bits, std::size_t lane) {
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    value |= ((po_values[offset + i] >> lane) & 1ULL) << i;
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> random_values(std::uint64_t seed, unsigned bits) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> values(64);
+  const auto mask = bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+  for (auto& value : values) {
+    value = rng() & mask;
+  }
+  values[0] = 0;
+  values[1] = mask;
+  return values;
+}
+
+TEST(Arithmetic, AdderComputesSums) {
+  constexpr unsigned kBits = 10;
+  const auto graph = make_adder(kBits);
+  EXPECT_EQ(graph.num_pis(), 2 * kBits);
+  EXPECT_EQ(graph.num_pos(), kBits + 1);
+  const auto av = random_values(1, kBits);
+  const auto bv = random_values(2, kBits);
+  std::vector<std::uint64_t> pis(2 * kBits);
+  pack(pis, 0, kBits, av);
+  pack(pis, kBits, kBits, bv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < av.size(); ++t) {
+    EXPECT_EQ(unpack(out, 0, kBits + 1, t), av[t] + bv[t]);
+  }
+}
+
+TEST(Arithmetic, BarrelShifterShifts) {
+  constexpr unsigned kBits = 16;
+  const auto graph = make_barrel_shifter(kBits);
+  EXPECT_EQ(graph.num_pis(), kBits + 4);
+  EXPECT_EQ(graph.num_pos(), kBits);
+  const auto dv = random_values(3, kBits);
+  const auto sv = random_values(4, 4);
+  std::vector<std::uint64_t> pis(kBits + 4);
+  pack(pis, 0, kBits, dv);
+  pack(pis, kBits, 4, sv);
+  const auto out = mig::simulate(graph, pis);
+  const auto mask = (1ULL << kBits) - 1;
+  for (std::size_t t = 0; t < dv.size(); ++t) {
+    EXPECT_EQ(unpack(out, 0, kBits, t), (dv[t] << sv[t]) & mask);
+  }
+}
+
+TEST(Arithmetic, DividerComputesQuotientAndRemainder) {
+  constexpr unsigned kBits = 7;
+  const auto graph = make_divider(kBits);
+  auto nv = random_values(5, kBits);
+  auto dv = random_values(6, kBits);
+  for (auto& d : dv) {
+    if (d == 0) {
+      d = 1;  // divide-by-zero is out of contract
+    }
+  }
+  std::vector<std::uint64_t> pis(2 * kBits);
+  pack(pis, 0, kBits, nv);
+  pack(pis, kBits, kBits, dv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < nv.size(); ++t) {
+    EXPECT_EQ(unpack(out, 0, kBits, t), nv[t] / dv[t]) << nv[t] << "/" << dv[t];
+    EXPECT_EQ(unpack(out, kBits, kBits, t), nv[t] % dv[t]);
+  }
+}
+
+TEST(Arithmetic, Log2MatchesBitExactReference) {
+  constexpr unsigned kBits = 8;
+  const auto graph = make_log2(kBits);
+  EXPECT_EQ(graph.num_pis(), kBits);
+  EXPECT_EQ(graph.num_pos(), kBits);
+  // Exhaustive over all 256 inputs, 64 lanes at a time.
+  for (unsigned base = 0; base < 256; base += 64) {
+    std::vector<std::uint64_t> values(64);
+    for (unsigned i = 0; i < 64; ++i) {
+      values[i] = base + i;
+    }
+    std::vector<std::uint64_t> pis(kBits);
+    pack(pis, 0, kBits, values);
+    const auto out = mig::simulate(graph, pis);
+    for (unsigned i = 0; i < 64; ++i) {
+      EXPECT_EQ(unpack(out, 0, kBits, i), reference_log2(base + i, kBits))
+          << "x=" << base + i;
+    }
+  }
+}
+
+TEST(Arithmetic, Log2ApproximatesRealLog2) {
+  constexpr unsigned kBits = 12;
+  const unsigned pos_bits = 4;  // log2_ceil(12)
+  const auto frac_scale = static_cast<double>(1u << (kBits - pos_bits));
+  for (const std::uint64_t x : {3ULL, 100ULL, 999ULL, 2048ULL, 4095ULL}) {
+    const auto y = reference_log2(x, kBits);
+    const double approx = static_cast<double>(y) / frac_scale;
+    EXPECT_NEAR(approx, std::log2(static_cast<double>(x)), 0.02) << "x=" << x;
+  }
+}
+
+TEST(Arithmetic, MaxSelectsMaximumAndIndex) {
+  constexpr unsigned kBits = 6;
+  const auto graph = make_max(4, kBits);
+  EXPECT_EQ(graph.num_pis(), 4 * kBits);
+  EXPECT_EQ(graph.num_pos(), kBits + 2);
+  std::vector<std::vector<std::uint64_t>> words;
+  for (unsigned w = 0; w < 4; ++w) {
+    words.push_back(random_values(10 + w, kBits));
+  }
+  std::vector<std::uint64_t> pis(4 * kBits);
+  for (unsigned w = 0; w < 4; ++w) {
+    pack(pis, w * kBits, kBits, words[w]);
+  }
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < 64; ++t) {
+    std::uint64_t best = 0;
+    unsigned best_index = 0;
+    for (unsigned w = 0; w < 4; ++w) {
+      // Ties resolve to the later word (strict comparison in the tree).
+      if (words[w][t] >= best) {
+        if (words[w][t] > best || w == 0) {
+          best_index = w;
+        } else if (words[best_index][t] != words[w][t]) {
+          best_index = w;
+        }
+        best = std::max(best, words[w][t]);
+      }
+    }
+    EXPECT_EQ(unpack(out, 0, kBits, t), best);
+  }
+}
+
+TEST(Arithmetic, MultiplierAndSquarer) {
+  constexpr unsigned kBits = 6;
+  const auto mult = make_multiplier(kBits);
+  const auto square = make_square(kBits);
+  const auto av = random_values(20, kBits);
+  const auto bv = random_values(21, kBits);
+  {
+    std::vector<std::uint64_t> pis(2 * kBits);
+    pack(pis, 0, kBits, av);
+    pack(pis, kBits, kBits, bv);
+    const auto out = mig::simulate(mult, pis);
+    for (std::size_t t = 0; t < av.size(); ++t) {
+      EXPECT_EQ(unpack(out, 0, 2 * kBits, t), av[t] * bv[t]);
+    }
+  }
+  {
+    std::vector<std::uint64_t> pis(kBits);
+    pack(pis, 0, kBits, av);
+    const auto out = mig::simulate(square, pis);
+    for (std::size_t t = 0; t < av.size(); ++t) {
+      EXPECT_EQ(unpack(out, 0, 2 * kBits, t), av[t] * av[t]);
+    }
+  }
+}
+
+TEST(Arithmetic, SinMatchesBitExactReference) {
+  constexpr unsigned kBits = 8;
+  const auto graph = make_sin(kBits);
+  EXPECT_EQ(graph.num_pis(), kBits);
+  EXPECT_EQ(graph.num_pos(), kBits + 1);
+  for (unsigned base = 0; base < 256; base += 64) {
+    std::vector<std::uint64_t> values(64);
+    for (unsigned i = 0; i < 64; ++i) {
+      values[i] = base + i;
+    }
+    std::vector<std::uint64_t> pis(kBits);
+    pack(pis, 0, kBits, values);
+    const auto out = mig::simulate(graph, pis);
+    for (unsigned i = 0; i < 64; ++i) {
+      EXPECT_EQ(unpack(out, 0, kBits + 1, i), reference_sin(base + i, kBits))
+          << "x=" << base + i;
+    }
+  }
+}
+
+TEST(Arithmetic, SinApproximatesRealSine) {
+  constexpr unsigned kBits = 16;
+  const auto scale = static_cast<double>(1u << kBits);
+  for (const std::uint64_t x : {0ULL, 1000ULL, 20000ULL, 40000ULL, 65535ULL}) {
+    const auto y = reference_sin(x, kBits);
+    const double angle = static_cast<double>(x) / scale * 3.14159265358979 / 2.0;
+    EXPECT_NEAR(static_cast<double>(y) / scale, std::sin(angle), 0.02) << "x=" << x;
+  }
+}
+
+TEST(Arithmetic, SqrtComputesIntegerRoot) {
+  constexpr unsigned kOut = 6;  // 12-bit radicand
+  const auto graph = make_sqrt(kOut);
+  EXPECT_EQ(graph.num_pis(), 2 * kOut);
+  EXPECT_EQ(graph.num_pos(), kOut);
+  const auto nv = random_values(30, 2 * kOut);
+  std::vector<std::uint64_t> pis(2 * kOut);
+  pack(pis, 0, 2 * kOut, nv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < nv.size(); ++t) {
+    const auto expected =
+        static_cast<std::uint64_t>(std::sqrt(static_cast<double>(nv[t])));
+    EXPECT_EQ(unpack(out, 0, kOut, t), expected) << "n=" << nv[t];
+  }
+}
+
+TEST(Control, DecoderIsOneHot) {
+  const auto graph = make_decoder(4);
+  EXPECT_EQ(graph.num_pis(), 4u);
+  EXPECT_EQ(graph.num_pos(), 16u);
+  std::vector<std::uint64_t> values(16);
+  for (unsigned i = 0; i < 16; ++i) {
+    values[i] = i;
+  }
+  std::vector<std::uint64_t> pis(4);
+  pack(pis, 0, 4, values);
+  const auto out = mig::simulate(graph, pis);
+  for (unsigned lane = 0; lane < 16; ++lane) {
+    for (unsigned po = 0; po < 16; ++po) {
+      EXPECT_EQ((out[po] >> lane) & 1, po == lane ? 1u : 0u);
+    }
+  }
+}
+
+TEST(Control, PriorityEncoderPicksHighestLine) {
+  const auto graph = make_priority_encoder(16);
+  EXPECT_EQ(graph.num_pis(), 16u);
+  EXPECT_EQ(graph.num_pos(), 5u);  // 4 index bits + valid
+  const auto rv = random_values(40, 16);
+  std::vector<std::uint64_t> pis(16);
+  pack(pis, 0, 16, rv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < rv.size(); ++t) {
+    if (rv[t] == 0) {
+      EXPECT_EQ((out[4] >> t) & 1, 0u);
+      continue;
+    }
+    const auto expected = 63u - static_cast<unsigned>(__builtin_clzll(rv[t]));
+    EXPECT_EQ(unpack(out, 0, 4, t), expected);
+    EXPECT_EQ((out[4] >> t) & 1, 1u);
+  }
+}
+
+TEST(Control, Int2FloatMatchesReferenceExhaustively) {
+  const auto graph = make_int2float();
+  EXPECT_EQ(graph.num_pis(), 11u);
+  EXPECT_EQ(graph.num_pos(), 7u);
+  for (std::uint64_t base = 0; base < 2048; base += 64) {
+    std::vector<std::uint64_t> values(64);
+    for (unsigned i = 0; i < 64; ++i) {
+      values[i] = base + i;
+    }
+    std::vector<std::uint64_t> pis(11);
+    pack(pis, 0, 11, values);
+    const auto out = mig::simulate(graph, pis);
+    for (unsigned i = 0; i < 64; ++i) {
+      EXPECT_EQ(unpack(out, 0, 7, i), reference_int2float(base + i))
+          << "x=" << base + i;
+    }
+  }
+}
+
+TEST(Control, VoterComputesMajority) {
+  const auto graph = make_voter(15);
+  const auto vv = random_values(50, 15);
+  std::vector<std::uint64_t> pis(15);
+  pack(pis, 0, 15, vv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < vv.size(); ++t) {
+    const auto ones = __builtin_popcountll(vv[t]);
+    EXPECT_EQ((out[0] >> t) & 1, ones >= 8 ? 1u : 0u) << "v=" << vv[t];
+  }
+}
+
+TEST(Control, RandomControlIsDeterministic) {
+  const auto a = make_random_control(12, 6, 100, 42);
+  const auto b = make_random_control(12, 6, 100, 42);
+  EXPECT_EQ(mig::simulation_signature(a, 4, 7), mig::simulation_signature(b, 4, 7));
+  const auto c = make_random_control(12, 6, 100, 43);
+  EXPECT_NE(mig::simulation_signature(a, 4, 7), mig::simulation_signature(c, 4, 7));
+}
+
+TEST(Control, RandomControlMeetsProfile) {
+  const auto graph = make_random_control(20, 9, 300, 7);
+  EXPECT_EQ(graph.num_pis(), 20u);
+  EXPECT_EQ(graph.num_pos(), 9u);
+  EXPECT_GE(graph.num_gates(), 300u / 2);
+}
+
+TEST(Suite, MiniSuiteProfilesMatch) {
+  for (const auto& spec : mini_suite()) {
+    const auto graph = spec.build();
+    EXPECT_EQ(graph.num_pis(), spec.pis) << spec.name;
+    EXPECT_EQ(graph.num_pos(), spec.pos) << spec.name;
+    EXPECT_GT(graph.num_gates(), 0u) << spec.name;
+  }
+}
+
+TEST(Suite, PaperSuiteHasEighteenEntriesWithPaperProfiles) {
+  const auto& suite = paper_suite();
+  ASSERT_EQ(suite.size(), 18u);
+  // Spot-check the published PI/PO profile.
+  EXPECT_EQ(find_benchmark("adder").pis, 256u);
+  EXPECT_EQ(find_benchmark("adder").pos, 129u);
+  EXPECT_EQ(find_benchmark("mem_ctrl").pis, 1204u);
+  EXPECT_EQ(find_benchmark("mem_ctrl").pos, 1231u);
+  EXPECT_EQ(find_benchmark("voter").pis, 1001u);
+  EXPECT_EQ(find_benchmark("voter").pos, 1u);
+  EXPECT_THROW(find_benchmark("nope"), Error);
+}
+
+TEST(Suite, PaperSizedLightEntriesBuildWithExactProfile) {
+  // The small paper-profile entries build quickly; the heavyweight ones are
+  // covered by the bench harness.
+  for (const auto name : {"adder", "bar", "sin", "dec", "int2float", "priority",
+                          "cavlc", "ctrl", "router"}) {
+    const auto& spec = find_benchmark(name);
+    const auto graph = spec.build();
+    EXPECT_EQ(graph.num_pis(), spec.pis) << name;
+    EXPECT_EQ(graph.num_pos(), spec.pos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rlim::bench

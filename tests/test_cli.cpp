@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "benchmarks/arithmetic.hpp"
+#include "cli.hpp"
+#include "mig/io.hpp"
+
+namespace rlim::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_netlist() {
+  const auto path = ::testing::TempDir() + "/cli_adder.mig";
+  mig::write_mig_file(bench::make_adder(4), path);
+  return path;
+}
+
+TEST(Cli, NoCommandFails) {
+  const auto result = run_cli({});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto result = run_cli({"frobnicate"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, InfoPrintsStatistics) {
+  const auto result = run_cli({"info", temp_netlist()});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("pis:"), std::string::npos);
+  EXPECT_NE(result.out.find("8"), std::string::npos);  // 2x4 PIs
+  EXPECT_NE(result.out.find("depth:"), std::string::npos);
+}
+
+TEST(Cli, InfoOnBenchGenerator) {
+  const auto result = run_cli({"info", "bench:int2float"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("pis:              11"), std::string::npos);
+}
+
+TEST(Cli, SuiteListsAllBenchmarks) {
+  const auto result = run_cli({"suite"});
+  EXPECT_EQ(result.code, 0);
+  for (const auto* name : {"adder", "voter", "mem_ctrl", "dec"}) {
+    EXPECT_NE(result.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Cli, CompileWithVerify) {
+  const auto result = run_cli(
+      {"compile", temp_netlist(), "--strategy", "full", "--verify"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("instructions:"), std::string::npos);
+  EXPECT_NE(result.out.find("verification:    passed"), std::string::npos);
+}
+
+TEST(Cli, CompileAllStrategies) {
+  for (const auto* strategy :
+       {"naive", "plim21", "min-write", "endurance-rewrite", "full"}) {
+    const auto result =
+        run_cli({"compile", temp_netlist(), "--strategy", strategy, "--verify"});
+    EXPECT_EQ(result.code, 0) << strategy << ": " << result.err;
+  }
+}
+
+TEST(Cli, CompileWithCapHonorsIt) {
+  const auto result = run_cli(
+      {"compile", "bench:int2float", "--strategy", "full", "--cap", "10"});
+  EXPECT_EQ(result.code, 0);
+  // "writes min/max:  x/y" with y <= 10.
+  const auto pos = result.out.find("writes min/max:");
+  ASSERT_NE(pos, std::string::npos);
+  const auto slash = result.out.find('/', pos + 16);
+  const auto max = std::stoul(result.out.substr(slash + 1));
+  EXPECT_LE(max, 10u);
+}
+
+TEST(Cli, CompileDisassembles) {
+  const auto result = run_cli({"compile", temp_netlist(), "--disasm"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("RM3("), std::string::npos);
+}
+
+TEST(Cli, RewriteRoundTrip) {
+  const auto input = temp_netlist();
+  const auto output = ::testing::TempDir() + "/cli_rewritten.blif";
+  const auto result = run_cli({"rewrite", input, output, "--flow", "endurance"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("gates:"), std::string::npos);
+  // The output file must parse and still be compilable.
+  const auto compiled = run_cli({"compile", output, "--verify"});
+  EXPECT_EQ(compiled.code, 0) << compiled.err;
+}
+
+TEST(Cli, RewriteLevelFlow) {
+  const auto input = temp_netlist();
+  const auto output = ::testing::TempDir() + "/cli_level.mig";
+  const auto result = run_cli({"rewrite", input, output, "--flow", "level"});
+  EXPECT_EQ(result.code, 0) << result.err;
+}
+
+TEST(Cli, BadStrategyAndFlowFail) {
+  EXPECT_EQ(run_cli({"compile", temp_netlist(), "--strategy", "bogus"}).code, 1);
+  EXPECT_EQ(run_cli({"rewrite", temp_netlist(), "/tmp/x.mig", "--flow", "bogus"})
+                .code,
+            1);
+}
+
+TEST(Cli, MissingValueFails) {
+  const auto result = run_cli({"compile", temp_netlist(), "--cap"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("needs a value"), std::string::npos);
+}
+
+TEST(Cli, UnknownExtensionFails) {
+  const auto result = run_cli({"info", "/tmp/whatever.v"});
+  EXPECT_EQ(result.code, 1);
+}
+
+TEST(Cli, UnknownBenchFails) {
+  const auto result = run_cli({"info", "bench:nope"});
+  EXPECT_EQ(result.code, 1);
+}
+
+}  // namespace
+}  // namespace rlim::cli

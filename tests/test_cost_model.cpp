@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/arithmetic.hpp"
+#include "core/endurance.hpp"
+#include "plim/cost_model.hpp"
+
+namespace rlim::plim {
+namespace {
+
+TEST(CostModel, EmptyProgramIsFree) {
+  const Program program;
+  const auto cost = estimate_cost(program);
+  EXPECT_EQ(cost.cycles, 0u);
+  EXPECT_DOUBLE_EQ(cost.energy_pj, 0.0);
+}
+
+TEST(CostModel, CountsReadsAndWrites) {
+  Program program;
+  // Constant write: 0 reads, 1 write.
+  program.append(make_write_const(true, 0));
+  // Copy step: 1 cell read (src), 1 write.
+  program.append(make_copy_step(0, 1));
+  // Full RM3 with two cell operands: 2 reads, 1 write.
+  program.append(Instruction{Operand::cell(0), Operand::cell(1), 2});
+  const auto cost = estimate_cost(program);
+  EXPECT_EQ(cost.cycles, 3u);
+  EXPECT_EQ(cost.cell_writes, 3u);
+  EXPECT_EQ(cost.cell_reads, 3u);
+}
+
+TEST(CostModel, ParametersScaleLinearly) {
+  Program program;
+  program.append(Instruction{Operand::cell(0), Operand::cell(1), 2});
+  CostParams params;
+  params.write_energy_pj = 2.0;
+  params.read_energy_pj = 0.5;
+  params.cycle_ns = 7.0;
+  const auto cost = estimate_cost(program, params);
+  EXPECT_DOUBLE_EQ(cost.energy_pj, 2.0 + 2 * 0.5);
+  EXPECT_DOUBLE_EQ(cost.latency_ns, 7.0);
+}
+
+TEST(CostModel, RewritingReducesEnergyAndLatency) {
+  // The paper's latency argument in energy terms: fewer instructions =
+  // proportionally less write energy and fewer cycles.
+  const auto graph = bench::make_adder(16);
+  const auto naive =
+      core::run_pipeline(graph, core::make_config(core::Strategy::Naive), "a");
+  const auto full = core::run_pipeline(
+      graph, core::make_config(core::Strategy::FullEndurance), "a");
+  const auto naive_cost = estimate_cost(naive.program);
+  const auto full_cost = estimate_cost(full.program);
+  EXPECT_LT(full_cost.energy_pj, naive_cost.energy_pj);
+  EXPECT_LT(full_cost.latency_ns, naive_cost.latency_ns);
+}
+
+TEST(CostModel, CapRaisesEnergyModestly) {
+  const auto graph = bench::make_adder(16);
+  const auto uncapped = core::run_pipeline(
+      graph, core::make_config(core::Strategy::FullEndurance), "a");
+  const auto capped = core::run_pipeline(
+      graph, core::make_config(core::Strategy::FullEndurance, 10), "a");
+  const auto e0 = estimate_cost(uncapped.program).energy_pj;
+  const auto e1 = estimate_cost(capped.program).energy_pj;
+  EXPECT_GE(e1, e0);
+  EXPECT_LT(e1, 2.0 * e0);  // the cap's latency price stays moderate
+}
+
+}  // namespace
+}  // namespace rlim::plim

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/endurance.hpp"
+#include "core/imp.hpp"
+#include "mig/mig.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rlim::core {
+namespace {
+
+using mig::Mig;
+
+TEST(Imp, SingleMajorityGateCosts) {
+  Mig graph;
+  const auto a = graph.create_pi();
+  const auto b = graph.create_pi();
+  const auto c = graph.create_pi();
+  graph.create_po(graph.create_maj(a, b, c));
+  const auto report = imp_wear(graph);
+  EXPECT_EQ(report.nand_gates, 6u);
+  EXPECT_EQ(report.operations, 18u);
+  EXPECT_EQ(report.input_devices, 3u);
+  EXPECT_EQ(report.work_devices, 2u);
+}
+
+TEST(Imp, ComplementedEdgesAddInverters) {
+  Mig graph;
+  const auto a = graph.create_pi();
+  const auto b = graph.create_pi();
+  const auto c = graph.create_pi();
+  graph.create_po(!graph.create_maj(!a, b, c));  // 1 fanin NOT + 1 PO NOT
+  const auto report = imp_wear(graph);
+  EXPECT_EQ(report.nand_gates, 8u);
+}
+
+TEST(Imp, DeadGatesExcluded) {
+  Mig graph;
+  const auto a = graph.create_pi();
+  const auto b = graph.create_pi();
+  const auto c = graph.create_pi();
+  const auto used = graph.create_maj(a, b, c);
+  graph.create_maj(!a, b, c);  // dead
+  graph.create_po(used);
+  EXPECT_EQ(imp_wear(graph).nand_gates, 6u);
+}
+
+TEST(Imp, WritesConcentrateOnWorkDevices) {
+  const auto graph = test::random_mig(3, 8, 60, 4);
+  const auto report = imp_wear(graph, {2});
+  // Inputs never get written; all traffic lands on the two work devices.
+  EXPECT_EQ(report.writes.min, 0u);
+  EXPECT_GE(report.writes.max, 3 * report.nand_gates / 2 - 2);
+  EXPECT_EQ(report.writes.total, 3 * report.nand_gates);
+}
+
+TEST(Imp, LargerPoolSpreadsWear) {
+  const auto graph = test::random_mig(4, 8, 80, 4);
+  const auto two = imp_wear(graph, {2});
+  const auto eight = imp_wear(graph, {8});
+  EXPECT_GT(two.writes.max, eight.writes.max);
+}
+
+TEST(Imp, SectionTwoClaim_PlimSpreadsWritesBetterThanImp) {
+  // Paper §II: IMP's work devices wear out far faster than PLiM's RM3
+  // operands, which share writes across the whole array.
+  const auto graph = test::random_mig(5, 10, 120, 6);
+  const auto imp = imp_wear(graph, {2});
+  const auto plim = run_pipeline(graph, make_config(Strategy::MinWrite), "g");
+  EXPECT_GT(imp.writes.max, 4 * plim.writes.max);
+}
+
+TEST(Imp, ZeroWorkDevicesThrows) {
+  const auto graph = test::random_mig(6, 6, 20, 2);
+  EXPECT_THROW(static_cast<void>(imp_wear(graph, {0})), Error);
+}
+
+}  // namespace
+}  // namespace rlim::core

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/endurance.hpp"
+#include "core/lifetime.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rlim::core {
+namespace {
+
+TEST(Lifetime, EstimateFormulas) {
+  util::WriteStats writes;
+  writes.count = 4;
+  writes.min = 0;
+  writes.max = 10;
+  writes.total = 20;
+  writes.mean = 5.0;
+  const auto estimate = estimate_lifetime(writes, 1000);
+  EXPECT_EQ(estimate.executions_to_first_failure, 100u);
+  EXPECT_DOUBLE_EQ(estimate.ideal_executions, 200.0);
+  EXPECT_DOUBLE_EQ(estimate.balance_efficiency, 0.5);
+}
+
+TEST(Lifetime, PerfectBalanceHasEfficiencyOne) {
+  util::WriteStats writes;
+  writes.count = 8;
+  writes.min = writes.max = 5;
+  writes.total = 40;
+  writes.mean = 5.0;
+  const auto estimate = estimate_lifetime(writes, 100);
+  EXPECT_EQ(estimate.executions_to_first_failure, 20u);
+  EXPECT_DOUBLE_EQ(estimate.balance_efficiency, 1.0);
+}
+
+TEST(Lifetime, ZeroWriteProgramIsUnbounded) {
+  util::WriteStats writes;
+  writes.count = 3;
+  const auto estimate = estimate_lifetime(writes, 500);
+  EXPECT_EQ(estimate.executions_to_first_failure, 500u);
+  EXPECT_DOUBLE_EQ(estimate.balance_efficiency, 1.0);
+}
+
+TEST(Lifetime, ZeroEnduranceThrows) {
+  EXPECT_THROW(static_cast<void>(estimate_lifetime(util::WriteStats{}, 0)), Error);
+}
+
+TEST(Lifetime, MeasuredFailureRespectsTheEstimate) {
+  // Compile a small graph, run it on an array with a tiny endurance limit,
+  // and check the guaranteed-safe execution count is indeed safe.
+  const auto graph = test::random_mig(12, 8, 60, 4);
+  const auto report = run_pipeline(graph, make_config(Strategy::MinWrite), "t");
+  ASSERT_GT(report.writes.max, 0u);
+
+  const std::uint64_t endurance = 6 * report.writes.max;
+  const auto estimate = estimate_lifetime(report.writes, endurance);
+  EXPECT_GE(estimate.executions_to_first_failure, 6u);
+
+  const auto measured = measured_executions_until_failure(
+      report.program, prepare(graph, make_config(Strategy::MinWrite)), endurance,
+      estimate.executions_to_first_failure + 32, 99);
+  // A stuck cell can only fail *after* the guaranteed-safe window.
+  EXPECT_GE(measured, estimate.executions_to_first_failure);
+}
+
+TEST(Lifetime, FailureEventuallyObservedUnderTinyEndurance) {
+  const auto graph = test::random_mig(13, 8, 80, 4);
+  const auto config = make_config(Strategy::Naive);
+  const auto prepared = prepare(graph, config);
+  const auto report = compile_prepared(prepared, config, "t");
+  ASSERT_GT(report.writes.max, 2u);
+  const auto measured = measured_executions_until_failure(report.program, prepared,
+                                                          /*cell_endurance=*/report.writes.max,
+                                                          /*max_runs=*/64, 7);
+  // With endurance == one run's max writes, cells start sticking during run 2
+  // at the latest; random vectors should expose it quickly.
+  EXPECT_LT(measured, 64u);
+}
+
+TEST(Lifetime, BetterBalanceExtendsGuaranteedLifetime) {
+  const auto graph = test::random_mig(14, 10, 150, 6);
+  const auto naive = run_pipeline(graph, make_config(Strategy::Naive), "t");
+  const auto full = run_pipeline(graph, make_config(Strategy::FullEndurance, 10), "t");
+  const std::uint64_t endurance = 1'000'000;
+  const auto naive_life = estimate_lifetime(naive.writes, endurance);
+  const auto full_life = estimate_lifetime(full.writes, endurance);
+  EXPECT_GT(full_life.executions_to_first_failure,
+            naive_life.executions_to_first_failure);
+}
+
+TEST(Lifetime, VariabilityZeroSigmaMatchesUniform) {
+  const auto graph = test::random_mig(17, 8, 60, 4);
+  const auto config = make_config(Strategy::MinWrite);
+  const auto prepared = prepare(graph, config);
+  const auto report = compile_prepared(prepared, config, "t");
+  const std::uint64_t endurance = 5 * report.writes.max;
+  const auto uniform = measured_executions_until_failure(report.program, prepared,
+                                                         endurance, 64, 3);
+  const auto study = lifetime_under_variability(report.program, prepared,
+                                                endurance, 0.0, 3, 64, 3);
+  for (const auto lifetime : study.lifetimes) {
+    EXPECT_EQ(lifetime, uniform);
+  }
+}
+
+TEST(Lifetime, VariabilitySpreadsLifetimes) {
+  const auto graph = test::random_mig(18, 8, 80, 4);
+  const auto config = make_config(Strategy::Naive);
+  const auto prepared = prepare(graph, config);
+  const auto report = compile_prepared(prepared, config, "t");
+  const std::uint64_t endurance = 4 * report.writes.max;
+  const auto study = lifetime_under_variability(report.program, prepared,
+                                                endurance, 0.8, 8, 256, 5);
+  EXPECT_EQ(study.lifetimes.size(), 8u);
+  EXPECT_LE(study.min, study.median);
+  // With sigma 0.8 the weakest arrays should die visibly earlier than the
+  // strongest (spread across trials).
+  EXPECT_LT(study.lifetimes.front(), study.lifetimes.back());
+  EXPECT_GE(study.mean, static_cast<double>(study.min));
+}
+
+TEST(Lifetime, VariabilityNeedsTrials) {
+  const auto graph = test::random_mig(19, 6, 30, 3);
+  const auto report = run_pipeline(graph, make_config(Strategy::Naive), "t");
+  EXPECT_THROW(static_cast<void>(lifetime_under_variability(
+                   report.program, graph.cleanup(), 10, 0.5, 0, 10, 1)),
+               Error);
+}
+
+TEST(Lifetime, ProfileMismatchThrows) {
+  const auto graph = test::random_mig(15, 6, 30, 3);
+  const auto report = run_pipeline(graph, make_config(Strategy::Naive), "t");
+  const auto other = test::random_mig(16, 7, 30, 3);
+  EXPECT_THROW(static_cast<void>(measured_executions_until_failure(
+                   report.program, other, 100, 10, 1)),
+               Error);
+}
+
+}  // namespace
+}  // namespace rlim::core

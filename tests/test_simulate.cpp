@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mig/mig.hpp"
+#include "mig/simulate.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rlim::mig {
+namespace {
+
+TEST(Simulate, MajorityWord) {
+  Mig mig;
+  const auto a = mig.create_pi();
+  const auto b = mig.create_pi();
+  const auto c = mig.create_pi();
+  mig.create_po(mig.create_maj(a, b, c));
+  const std::vector<std::uint64_t> pis{0b0011, 0b0101, 0b0110};
+  const auto out = simulate(mig, pis);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0] & 0xF, 0b0111u);
+}
+
+TEST(Simulate, ComplementedEdgesAndPo) {
+  Mig mig;
+  const auto a = mig.create_pi();
+  const auto b = mig.create_pi();
+  mig.create_po(!mig.create_and(!a, b));  // ¬(¬a ∧ b) = a ∨ ¬b
+  const std::vector<std::uint64_t> pis{0b0101, 0b0011};
+  const auto out = simulate(mig, pis);
+  EXPECT_EQ(out[0] & 0xF, 0b1101u);
+}
+
+TEST(Simulate, ConstantPo) {
+  Mig mig;
+  mig.create_pi();
+  mig.create_po(Mig::get_constant(true));
+  mig.create_po(Mig::get_constant(false));
+  const std::vector<std::uint64_t> pis{0xdeadbeef};
+  const auto out = simulate(mig, pis);
+  EXPECT_EQ(out[0], ~0ULL);
+  EXPECT_EQ(out[1], 0ULL);
+}
+
+TEST(Simulate, PiCountMismatchThrows) {
+  Mig mig;
+  mig.create_pi();
+  mig.create_pi();
+  const std::vector<std::uint64_t> wrong{1};
+  EXPECT_THROW(simulate(mig, wrong), Error);
+}
+
+TEST(Simulate, ExhaustivePatternsLowVariables) {
+  EXPECT_EQ(exhaustive_pattern(0, 0), 0xaaaaaaaaaaaaaaaaULL);
+  EXPECT_EQ(exhaustive_pattern(1, 0), 0xccccccccccccccccULL);
+  EXPECT_EQ(exhaustive_pattern(5, 0), 0xffffffff00000000ULL);
+}
+
+TEST(Simulate, ExhaustivePatternsHighVariablesFollowChunk) {
+  EXPECT_EQ(exhaustive_pattern(6, 0), 0ULL);
+  EXPECT_EQ(exhaustive_pattern(6, 1), ~0ULL);
+  EXPECT_EQ(exhaustive_pattern(7, 1), 0ULL);
+  EXPECT_EQ(exhaustive_pattern(7, 2), ~0ULL);
+}
+
+TEST(Simulate, EquivalentExhaustiveDetectsEquality) {
+  // a∧b built two different ways.
+  Mig x;
+  {
+    const auto a = x.create_pi();
+    const auto b = x.create_pi();
+    x.create_po(x.create_and(a, b));
+  }
+  Mig y;
+  {
+    const auto a = y.create_pi();
+    const auto b = y.create_pi();
+    // ¬(¬a ∨ ¬b)
+    y.create_po(!y.create_or(!a, !b));
+  }
+  EXPECT_TRUE(equivalent_exhaustive(x, y));
+}
+
+TEST(Simulate, EquivalentExhaustiveDetectsInequality) {
+  Mig x;
+  {
+    const auto a = x.create_pi();
+    const auto b = x.create_pi();
+    x.create_po(x.create_and(a, b));
+  }
+  Mig y;
+  {
+    const auto a = y.create_pi();
+    const auto b = y.create_pi();
+    y.create_po(y.create_or(a, b));
+  }
+  EXPECT_FALSE(equivalent_exhaustive(x, y));
+}
+
+TEST(Simulate, EquivalentExhaustiveAboveSixPis) {
+  // 8-PI parity vs itself restructured.
+  Mig x;
+  Mig y;
+  {
+    std::vector<Signal> pis;
+    for (int i = 0; i < 8; ++i) pis.push_back(x.create_pi());
+    auto acc = pis[0];
+    for (int i = 1; i < 8; ++i) acc = x.create_xor(acc, pis[i]);
+    x.create_po(acc);
+  }
+  {
+    std::vector<Signal> pis;
+    for (int i = 0; i < 8; ++i) pis.push_back(y.create_pi());
+    // Tree-shaped parity.
+    auto l1 = y.create_xor(pis[0], pis[1]);
+    auto l2 = y.create_xor(pis[2], pis[3]);
+    auto l3 = y.create_xor(pis[4], pis[5]);
+    auto l4 = y.create_xor(pis[6], pis[7]);
+    y.create_po(y.create_xor(y.create_xor(l1, l2), y.create_xor(l3, l4)));
+  }
+  EXPECT_TRUE(equivalent_exhaustive(x, y));
+}
+
+TEST(Simulate, EquivalentExhaustiveProfileMismatch) {
+  Mig x;
+  x.create_pi();
+  x.create_po(Mig::get_constant(false));
+  Mig y;
+  y.create_pi();
+  y.create_pi();
+  y.create_po(Mig::get_constant(false));
+  EXPECT_FALSE(equivalent_exhaustive(x, y));
+}
+
+TEST(Simulate, EquivalentExhaustiveTooManyPisThrows) {
+  Mig x = test::random_mig(3, 20, 30, 2);
+  Mig y = test::random_mig(3, 20, 30, 2);
+  EXPECT_THROW(equivalent_exhaustive(x, y, 16), Error);
+}
+
+TEST(Simulate, EquivalentRandomSelfConsistency) {
+  const auto mig = test::random_mig(11, 12, 60, 4);
+  EXPECT_TRUE(equivalent_random(mig, mig, 8, 99));
+  const auto cleaned = mig.cleanup();
+  EXPECT_TRUE(equivalent_random(mig, cleaned, 8, 99));
+}
+
+TEST(Simulate, SignatureIsDeterministicAndSensitive) {
+  const auto mig = test::random_mig(5, 10, 40, 3);
+  EXPECT_EQ(simulation_signature(mig, 4, 7), simulation_signature(mig, 4, 7));
+  Mig other = test::random_mig(6, 10, 40, 3);
+  EXPECT_NE(simulation_signature(mig, 4, 7), simulation_signature(other, 4, 7));
+}
+
+TEST(Simulate, TruthTableRequiresSmallGraph) {
+  const auto mig = test::random_mig(2, 7, 10, 1);
+  EXPECT_THROW(truth_table(mig, 0), Error);
+}
+
+TEST(Simulate, SimulateNodesExposesInternalValues) {
+  Mig mig;
+  const auto a = mig.create_pi();
+  const auto b = mig.create_pi();
+  const auto g = mig.create_and(a, b);
+  mig.create_po(g);
+  const std::vector<std::uint64_t> pis{0b01, 0b11};
+  const auto values = simulate_nodes(mig, pis);
+  EXPECT_EQ(values[a.index()] & 3, 0b01u);
+  EXPECT_EQ(values[g.index()] & 3, 0b01u);
+}
+
+}  // namespace
+}  // namespace rlim::mig

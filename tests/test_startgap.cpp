@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/startgap.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rlim::core {
+namespace {
+
+TEST(StartGap, InitialMappingIsIdentity) {
+  StartGapRemapper remapper(8, 100);
+  for (std::size_t logical = 0; logical < 8; ++logical) {
+    EXPECT_EQ(remapper.physical(logical), logical);
+  }
+  EXPECT_EQ(remapper.gap_position(), 8u);
+  EXPECT_EQ(remapper.num_physical(), 9u);
+}
+
+TEST(StartGap, MappingIsAlwaysABijectionSkippingTheGap) {
+  StartGapRemapper remapper(16, 3);
+  util::Xoshiro256 rng(5);
+  for (int step = 0; step < 2000; ++step) {
+    remapper.on_write(rng.below(16));
+    std::set<std::size_t> seen;
+    for (std::size_t logical = 0; logical < 16; ++logical) {
+      const auto physical = remapper.physical(logical);
+      EXPECT_LT(physical, remapper.num_physical());
+      EXPECT_NE(physical, remapper.gap_position());
+      seen.insert(physical);
+    }
+    ASSERT_EQ(seen.size(), 16u) << "mapping not injective at step " << step;
+  }
+}
+
+TEST(StartGap, GapMovesEveryInterval) {
+  StartGapRemapper remapper(4, 10);
+  for (int i = 0; i < 9; ++i) {
+    remapper.on_write(0);
+  }
+  EXPECT_EQ(remapper.gap_position(), 4u);
+  remapper.on_write(0);  // 10th write triggers the move
+  EXPECT_EQ(remapper.gap_position(), 3u);
+  EXPECT_EQ(remapper.gap_move_writes(), 1u);
+}
+
+TEST(StartGap, StartAdvancesAfterFullRevolution) {
+  StartGapRemapper remapper(4, 1);  // gap moves on every write
+  EXPECT_EQ(remapper.start(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    remapper.on_write(0);
+  }
+  // Gap walked 4 → 3 → 2 → 1 → 0 → 4: start rotated once.
+  EXPECT_EQ(remapper.start(), 1u);
+  EXPECT_EQ(remapper.gap_position(), 4u);
+}
+
+TEST(StartGap, ReplayConservesWrites) {
+  std::vector<plim::Cell> trace;
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    trace.push_back(static_cast<plim::Cell>(rng.below(10)));
+  }
+  const auto counts = replay_with_start_gap(trace, 10, 7);
+  ASSERT_EQ(counts.size(), 11u);
+  const auto total = std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  // 500 payload writes + one gap-move write per 7 writes.
+  EXPECT_EQ(total, 500u + 500u / 7u);
+}
+
+TEST(StartGap, SpreadsAHotCell) {
+  // Worst case for a static mapping: every write hits logical cell 0.
+  std::vector<plim::Cell> trace(2000, 0);
+  const auto static_counts = [] {
+    std::vector<std::uint64_t> counts(9, 0);
+    counts[0] = 2000;
+    return counts;
+  }();
+  const auto leveled = replay_with_start_gap(trace, 8, 8);
+  const auto static_stats = util::compute_stats(static_counts);
+  const auto leveled_stats = util::compute_stats(leveled);
+  EXPECT_LT(leveled_stats.max, static_stats.max);
+  EXPECT_LT(leveled_stats.stdev, static_stats.stdev);
+}
+
+TEST(StartGap, UniformTrafficIncursOnlyOverhead) {
+  std::vector<plim::Cell> trace;
+  for (int round = 0; round < 100; ++round) {
+    for (plim::Cell cell = 0; cell < 6; ++cell) {
+      trace.push_back(cell);
+    }
+  }
+  const auto counts = replay_with_start_gap(trace, 6, 10);
+  const auto stats = util::compute_stats(counts);
+  // Already-uniform traffic stays roughly uniform under Start-Gap.
+  EXPECT_LE(stats.max, 130u);
+  EXPECT_GE(stats.min, 70u);
+}
+
+TEST(StartGap, ContractViolationsThrow) {
+  EXPECT_THROW(StartGapRemapper(0, 1), Error);
+  EXPECT_THROW(StartGapRemapper(4, 0), Error);
+  StartGapRemapper remapper(4, 1);
+  EXPECT_THROW(static_cast<void>(remapper.physical(4)), Error);
+  const std::vector<plim::Cell> bad{9};
+  EXPECT_THROW(static_cast<void>(replay_with_start_gap(bad, 4, 1)), Error);
+}
+
+}  // namespace
+}  // namespace rlim::core

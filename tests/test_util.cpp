@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rlim::util {
+namespace {
+
+TEST(Stats, EmptyInputYieldsZeros) {
+  const auto stats = compute_stats({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.min, 0u);
+  EXPECT_EQ(stats.max, 0u);
+  EXPECT_DOUBLE_EQ(stats.stdev, 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  const std::vector<std::uint64_t> writes{7};
+  const auto stats = compute_stats(writes);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_EQ(stats.min, 7u);
+  EXPECT_EQ(stats.max, 7u);
+  EXPECT_DOUBLE_EQ(stats.mean, 7.0);
+  EXPECT_DOUBLE_EQ(stats.stdev, 0.0);
+}
+
+TEST(Stats, KnownPopulationStdev) {
+  // Population stdev of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+  const std::vector<std::uint64_t> writes{2, 4, 4, 4, 5, 5, 7, 9};
+  const auto stats = compute_stats(writes);
+  EXPECT_EQ(stats.min, 2u);
+  EXPECT_EQ(stats.max, 9u);
+  EXPECT_EQ(stats.total, 40u);
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.stdev, 2.0);
+}
+
+TEST(Stats, UniformDistributionHasZeroStdev) {
+  const std::vector<std::uint64_t> writes(100, 13);
+  EXPECT_DOUBLE_EQ(compute_stats(writes).stdev, 0.0);
+}
+
+TEST(Stats, ImprovementPercentMatchesPaperConvention) {
+  // Paper Table I: naive 12.60 -> 6.09 is a 51.66% improvement.
+  EXPECT_NEAR(improvement_percent(12.60, 6.09), 51.67, 0.01);
+  // Worsening yields a negative improvement (paper: div -86.69%).
+  EXPECT_LT(improvement_percent(121.98, 227.73), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(0.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(10.0, 0.0), 100.0);
+}
+
+TEST(Stats, HistogramBucketsCoverRange) {
+  const std::vector<std::uint64_t> writes{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto bins = histogram(writes, 4);
+  ASSERT_EQ(bins.size(), 4u);
+  for (const auto bin : bins) {
+    EXPECT_EQ(bin, 2u);
+  }
+}
+
+TEST(Stats, HistogramAllZeroWrites) {
+  const std::vector<std::uint64_t> writes(10, 0);
+  const auto bins = histogram(writes, 4);
+  EXPECT_EQ(bins[0], 10u);
+  EXPECT_EQ(bins[1] + bins[2] + bins[3], 0u);
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t state = 0;
+  const auto first = splitmix64(state);
+  const auto second = splitmix64(state);
+  EXPECT_NE(first, second);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fixed(12.6, 2), "12.60");
+  EXPECT_EQ(Table::percent(86.65), "86.65%");
+  EXPECT_EQ(Table::fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Error, RequirePassesAndThrows) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "boom"), Error);
+  try {
+    require(false, "specific message");
+    FAIL();
+  } catch (const Error& error) {
+    EXPECT_NE(std::string(error.what()).find("specific message"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rlim::util

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "benchmarks/wordlib.hpp"
+#include "mig/simulate.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rlim::bench {
+namespace {
+
+using mig::Mig;
+
+/// Packs per-test integer values into bit-parallel PI words: PI word
+/// `offset + i` carries bit i of values[t] in lane t.
+void pack(std::vector<std::uint64_t>& pi_values, std::size_t offset, unsigned bits,
+          std::span<const std::uint64_t> tests) {
+  for (unsigned i = 0; i < bits; ++i) {
+    std::uint64_t word = 0;
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      word |= ((tests[t] >> i) & 1ULL) << t;
+    }
+    pi_values[offset + i] = word;
+  }
+}
+
+/// Reads test-lane t of an integer spread over PO words [offset, offset+bits).
+std::uint64_t unpack(std::span<const std::uint64_t> po_values, std::size_t offset,
+                     unsigned bits, std::size_t lane) {
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    value |= ((po_values[offset + i] >> lane) & 1ULL) << i;
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> random_values(std::uint64_t seed, unsigned bits,
+                                         std::size_t count = 64) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> values(count);
+  const auto mask = bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+  for (auto& value : values) {
+    value = rng() & mask;
+  }
+  // Always include the corners.
+  values[0] = 0;
+  values[1] = mask;
+  return values;
+}
+
+TEST(WordLib, AddMatchesIntegerAddition) {
+  constexpr unsigned kBits = 12;
+  Mig graph;
+  WordBuilder builder(graph);
+  const auto a = builder.input(kBits, "a");
+  const auto b = builder.input(kBits, "b");
+  mig::Signal carry = Mig::get_constant(false);
+  auto sum = builder.add(a, b, Mig::get_constant(false), &carry);
+  sum.push_back(carry);
+  builder.output(sum, "s");
+
+  const auto av = random_values(1, kBits);
+  const auto bv = random_values(2, kBits);
+  std::vector<std::uint64_t> pis(2 * kBits);
+  pack(pis, 0, kBits, av);
+  pack(pis, kBits, kBits, bv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < av.size(); ++t) {
+    EXPECT_EQ(unpack(out, 0, kBits + 1, t), av[t] + bv[t]) << "lane " << t;
+  }
+}
+
+TEST(WordLib, SubAndBorrow) {
+  constexpr unsigned kBits = 10;
+  Mig graph;
+  WordBuilder builder(graph);
+  const auto a = builder.input(kBits, "a");
+  const auto b = builder.input(kBits, "b");
+  mig::Signal borrow = Mig::get_constant(false);
+  const auto diff = builder.sub(a, b, &borrow);
+  builder.output(diff, "d");
+  graph.create_po(borrow, "bo");
+
+  const auto av = random_values(3, kBits);
+  const auto bv = random_values(4, kBits);
+  std::vector<std::uint64_t> pis(2 * kBits);
+  pack(pis, 0, kBits, av);
+  pack(pis, kBits, kBits, bv);
+  const auto out = mig::simulate(graph, pis);
+  const auto mask = (1ULL << kBits) - 1;
+  for (std::size_t t = 0; t < av.size(); ++t) {
+    EXPECT_EQ(unpack(out, 0, kBits, t), (av[t] - bv[t]) & mask);
+    EXPECT_EQ((out[kBits] >> t) & 1, av[t] < bv[t] ? 1u : 0u);
+  }
+}
+
+TEST(WordLib, CompareAndEquality) {
+  constexpr unsigned kBits = 9;
+  Mig graph;
+  WordBuilder builder(graph);
+  const auto a = builder.input(kBits, "a");
+  const auto b = builder.input(kBits, "b");
+  graph.create_po(builder.ult(a, b), "lt");
+  graph.create_po(builder.eq(a, b), "eq");
+
+  auto av = random_values(5, kBits);
+  auto bv = random_values(6, kBits);
+  bv[2] = av[2];  // force an equal lane
+  std::vector<std::uint64_t> pis(2 * kBits);
+  pack(pis, 0, kBits, av);
+  pack(pis, kBits, kBits, bv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < av.size(); ++t) {
+    EXPECT_EQ((out[0] >> t) & 1, av[t] < bv[t] ? 1u : 0u);
+    EXPECT_EQ((out[1] >> t) & 1, av[t] == bv[t] ? 1u : 0u);
+  }
+}
+
+TEST(WordLib, VariableShifts) {
+  constexpr unsigned kBits = 16;
+  Mig graph;
+  WordBuilder builder(graph);
+  const auto data = builder.input(kBits, "d");
+  const auto amount = builder.input(4, "sh");
+  builder.output(builder.shift_left_var(data, amount), "l");
+  builder.output(builder.shift_right_var(data, amount), "r");
+
+  const auto dv = random_values(7, kBits);
+  const auto sv = random_values(8, 4);
+  std::vector<std::uint64_t> pis(kBits + 4);
+  pack(pis, 0, kBits, dv);
+  pack(pis, kBits, 4, sv);
+  const auto out = mig::simulate(graph, pis);
+  const auto mask = (1ULL << kBits) - 1;
+  for (std::size_t t = 0; t < dv.size(); ++t) {
+    EXPECT_EQ(unpack(out, 0, kBits, t), (dv[t] << sv[t]) & mask);
+    EXPECT_EQ(unpack(out, kBits, kBits, t), (dv[t] & mask) >> sv[t]);
+  }
+}
+
+TEST(WordLib, MultiplierMatchesIntegerProduct) {
+  constexpr unsigned kBits = 7;
+  Mig graph;
+  WordBuilder builder(graph);
+  const auto a = builder.input(kBits, "a");
+  const auto b = builder.input(kBits, "b");
+  builder.output(builder.mul(a, b), "p");
+
+  const auto av = random_values(9, kBits);
+  const auto bv = random_values(10, kBits);
+  std::vector<std::uint64_t> pis(2 * kBits);
+  pack(pis, 0, kBits, av);
+  pack(pis, kBits, kBits, bv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < av.size(); ++t) {
+    EXPECT_EQ(unpack(out, 0, 2 * kBits, t), av[t] * bv[t]);
+  }
+}
+
+TEST(WordLib, PopcountMatchesBuiltin) {
+  constexpr unsigned kBits = 33;
+  Mig graph;
+  WordBuilder builder(graph);
+  const auto bits = builder.input(kBits, "v");
+  const auto count = builder.popcount(bits);
+  builder.output(count, "c");
+
+  const auto vv = random_values(11, kBits);
+  std::vector<std::uint64_t> pis(kBits);
+  pack(pis, 0, kBits, vv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < vv.size(); ++t) {
+    EXPECT_EQ(unpack(out, 0, static_cast<unsigned>(count.size()), t),
+              static_cast<std::uint64_t>(__builtin_popcountll(vv[t])));
+  }
+}
+
+TEST(WordLib, LeadingOnePosition) {
+  constexpr unsigned kBits = 12;
+  Mig graph;
+  WordBuilder builder(graph);
+  const auto word = builder.input(kBits, "v");
+  mig::Signal any = Mig::get_constant(false);
+  const auto pos = builder.leading_one_position(word, &any);
+  builder.output(pos, "p");
+  graph.create_po(any, "any");
+
+  const auto vv = random_values(12, kBits);
+  std::vector<std::uint64_t> pis(kBits);
+  pack(pis, 0, kBits, vv);
+  const auto out = mig::simulate(graph, pis);
+  for (std::size_t t = 0; t < vv.size(); ++t) {
+    const auto expected =
+        vv[t] == 0 ? 0u : 63u - static_cast<unsigned>(__builtin_clzll(vv[t]));
+    EXPECT_EQ(unpack(out, 0, static_cast<unsigned>(pos.size()), t), expected);
+    EXPECT_EQ((out[pos.size()] >> t) & 1, vv[t] != 0 ? 1u : 0u);
+  }
+}
+
+TEST(WordLib, ConstantWordAndResize) {
+  Mig graph;
+  WordBuilder builder(graph);
+  const auto word = builder.constant_word(0b1011, 6);
+  builder.output(word, "k");
+  builder.output(builder.resize(word, 8), "x");
+  std::vector<std::uint64_t> pis;
+  const auto out = mig::simulate(graph, pis);
+  EXPECT_EQ(unpack(out, 0, 6, 0), 0b1011u);
+  EXPECT_EQ(unpack(out, 6, 8, 0), 0b1011u);
+}
+
+TEST(WordLib, WidthMismatchThrows) {
+  Mig graph;
+  WordBuilder builder(graph);
+  const auto a = builder.input(4, "a");
+  const auto b = builder.input(5, "b");
+  EXPECT_THROW(builder.add(a, b, Mig::get_constant(false)), Error);
+  EXPECT_THROW(builder.mux_word(a[0], a, b), Error);
+  EXPECT_THROW(builder.eq(a, b), Error);
+}
+
+}  // namespace
+}  // namespace rlim::bench

@@ -1,0 +1,220 @@
+#include "cli.hpp"
+
+#include <iostream>
+#include <map>
+#include <optional>
+
+#include "benchmarks/suite.hpp"
+#include "core/endurance.hpp"
+#include "core/lifetime.hpp"
+#include "mig/io.hpp"
+#include "mig/rewriting.hpp"
+#include "plim/controller.hpp"
+#include "plim/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace rlim::cli {
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::vector<std::string> positional;
+  std::string strategy = "full";
+  std::optional<std::uint64_t> cap;
+  std::string flow = "endurance";
+  int effort = 5;
+  bool disasm = false;
+  bool verify = false;
+};
+
+Options parse(const std::vector<std::string>& args) {
+  Options options;
+  require(!args.empty(), "missing command (info, rewrite, compile, suite)");
+  options.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      require(i + 1 < args.size(), "option " + arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--strategy") {
+      options.strategy = next();
+    } else if (arg == "--cap") {
+      options.cap = std::stoull(next());
+    } else if (arg == "--flow") {
+      options.flow = next();
+    } else if (arg == "--effort") {
+      options.effort = std::stoi(next());
+    } else if (arg == "--disasm") {
+      options.disasm = true;
+    } else if (arg == "--verify") {
+      options.verify = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw Error("unknown option " + arg);
+    } else {
+      options.positional.push_back(arg);
+    }
+  }
+  return options;
+}
+
+core::Strategy strategy_from(const std::string& name) {
+  static const std::map<std::string, core::Strategy> kTable = {
+      {"naive", core::Strategy::Naive},
+      {"plim21", core::Strategy::Plim21},
+      {"min-write", core::Strategy::MinWrite},
+      {"endurance-rewrite", core::Strategy::MinWriteEnduranceRewrite},
+      {"full", core::Strategy::FullEndurance},
+  };
+  const auto it = kTable.find(name);
+  require(it != kTable.end(), "unknown strategy '" + name + "'");
+  return it->second;
+}
+
+mig::Mig load_netlist(const std::string& source) {
+  if (source.rfind("bench:", 0) == 0) {
+    return bench::find_benchmark(source.substr(6)).build();
+  }
+  if (source.size() >= 5 && source.substr(source.size() - 5) == ".blif") {
+    return mig::read_blif_file(source);
+  }
+  if (source.size() >= 4 && source.substr(source.size() - 4) == ".mig") {
+    return mig::read_mig_file(source);
+  }
+  throw Error("cannot determine format of '" + source +
+              "' (expect .mig, .blif, or bench:NAME)");
+}
+
+void save_netlist(const mig::Mig& graph, const std::string& path) {
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".blif") {
+    mig::write_blif_file(graph, path);
+    return;
+  }
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".mig") {
+    mig::write_mig_file(graph, path);
+    return;
+  }
+  throw Error("output must end in .mig or .blif");
+}
+
+int cmd_info(const Options& options, std::ostream& out) {
+  require(options.positional.size() == 1, "info needs exactly one netlist");
+  const auto graph = load_netlist(options.positional[0]);
+  const auto reachable = graph.reachable_from_pos();
+  std::size_t dead = 0;
+  for (std::uint32_t gate = graph.first_gate(); gate < graph.num_nodes(); ++gate) {
+    if (!reachable[gate]) {
+      ++dead;
+    }
+  }
+  out << "pis:              " << graph.num_pis() << '\n'
+      << "pos:              " << graph.num_pos() << '\n'
+      << "gates:            " << graph.num_gates() << " (" << dead << " dead)\n"
+      << "depth:            " << graph.depth() << '\n'
+      << "complement edges: " << graph.complement_edge_count() << '\n';
+  return 0;
+}
+
+int cmd_rewrite(const Options& options, std::ostream& out) {
+  require(options.positional.size() == 2, "rewrite needs <input> <output>");
+  const auto graph = load_netlist(options.positional[0]);
+  mig::RewriteStats stats;
+  mig::Mig rewritten;
+  if (options.flow == "plim21") {
+    rewritten = mig::rewrite_plim21(graph, options.effort, &stats);
+  } else if (options.flow == "endurance") {
+    rewritten = mig::rewrite_endurance(graph, options.effort, &stats);
+  } else if (options.flow == "level") {
+    rewritten = mig::rewrite_level_balanced(graph, options.effort, &stats);
+  } else {
+    throw Error("unknown flow '" + options.flow + "'");
+  }
+  save_netlist(rewritten, options.positional[1]);
+  out << "gates: " << stats.initial_gates << " -> " << stats.final_gates << '\n'
+      << "complement edges: " << stats.initial_complement_edges << " -> "
+      << stats.final_complement_edges << '\n'
+      << "cycles run: " << stats.cycles_run << '\n';
+  return 0;
+}
+
+int cmd_compile(const Options& options, std::ostream& out) {
+  require(options.positional.size() == 1, "compile needs one netlist");
+  const auto graph = load_netlist(options.positional[0]);
+  auto config = core::make_config(strategy_from(options.strategy), options.cap);
+  config.effort = options.effort;
+
+  const auto prepared = core::prepare(graph, config);
+  const auto report =
+      core::compile_prepared(prepared, config, options.positional[0],
+                             graph.num_gates());
+  const auto lifetime = core::estimate_lifetime(report.writes);
+
+  out << "strategy:        " << options.strategy;
+  if (options.cap) {
+    out << " (cap " << *options.cap << ")";
+  }
+  out << '\n'
+      << "gates:           " << report.gates_before_rewrite << " -> "
+      << report.gates_after_rewrite << '\n'
+      << "instructions:    " << report.instructions << '\n'
+      << "rram cells:      " << report.rrams << '\n'
+      << "writes min/max:  " << report.writes.min << "/" << report.writes.max
+      << '\n'
+      << "writes stdev:    " << report.writes.stdev << '\n'
+      << "executions@1e10: " << lifetime.executions_to_first_failure << '\n';
+  const auto cost = plim::estimate_cost(report.program);
+  out << "latency:         " << cost.cycles << " cycles (" << cost.latency_ns
+      << " ns @10ns)\n"
+      << "energy:          " << cost.energy_pj << " pJ (" << cost.cell_reads
+      << " reads, " << cost.cell_writes << " writes)\n";
+
+  if (options.verify) {
+    const bool ok = plim::program_matches_mig(report.program, prepared, 16, 1);
+    out << "verification:    " << (ok ? "passed" : "FAILED") << '\n';
+    if (!ok) {
+      return 2;
+    }
+  }
+  if (options.disasm) {
+    out << '\n' << report.program.disassemble();
+  }
+  return 0;
+}
+
+int cmd_suite(std::ostream& out) {
+  out << "built-in benchmarks (compile with bench:NAME):\n";
+  for (const auto& spec : bench::paper_suite()) {
+    out << "  " << spec.name << "  (" << spec.pis << "/" << spec.pos << ", "
+        << (spec.arithmetic ? "arithmetic" : "control") << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  try {
+    const auto options = parse(args);
+    if (options.command == "info") {
+      return cmd_info(options, out);
+    }
+    if (options.command == "rewrite") {
+      return cmd_rewrite(options, out);
+    }
+    if (options.command == "compile") {
+      return cmd_compile(options, out);
+    }
+    if (options.command == "suite") {
+      return cmd_suite(out);
+    }
+    throw Error("unknown command '" + options.command + "'");
+  } catch (const std::exception& error) {
+    err << "rlim_cli: " << error.what() << '\n'
+        << "usage: rlim_cli info|rewrite|compile|suite ... (see tools/cli.hpp)\n";
+    return 1;
+  }
+}
+
+}  // namespace rlim::cli

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rlim::cli {
+
+/// Entry point of the `rlim_cli` tool, separated from main() for testing.
+///
+/// Commands:
+///   info    <netlist>                     — PI/PO/gate/depth statistics
+///   rewrite <in> <out> [options]          — run a rewriting flow
+///   compile <netlist|bench:NAME> [opts]   — compile to RM3, print the report
+///   suite                                 — list the built-in benchmarks
+///
+/// Options:
+///   --strategy naive|plim21|min-write|endurance-rewrite|full   (compile)
+///   --cap N        maximum write count strategy                (compile)
+///   --flow plim21|endurance|level                              (rewrite)
+///   --effort N     rewriting cycles (default 5)
+///   --disasm       print the RM3 program                       (compile)
+///   --verify       cross-check the program on the crossbar     (compile)
+///
+/// Netlist files are selected by extension: `.mig` (text format) or `.blif`.
+/// `bench:NAME` compiles a generator from the built-in suite.
+///
+/// Returns a process exit code; all output goes to `out` / `err`.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace rlim::cli

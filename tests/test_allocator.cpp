@@ -144,7 +144,7 @@ TEST(Allocator, UnknownCellThrows) {
   CellAllocator alloc({AllocPolicy::Lifo, std::nullopt});
   EXPECT_THROW(alloc.release(3), Error);
   EXPECT_THROW(alloc.note_write(3), Error);
-  EXPECT_THROW(alloc.write_count(3), Error);
+  EXPECT_THROW(static_cast<void>(alloc.write_count(3)), Error);
   EXPECT_THROW(static_cast<void>(alloc.writable(3)), Error);
 }
 

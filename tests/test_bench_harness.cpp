@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "benchmarks/suite.hpp"
+
+namespace rlim::benchharness {
+namespace {
+
+/// Sets RLIM_SUITE for the duration of one test and restores the previous
+/// value afterwards, so tests do not leak state into each other.
+class SuiteEnvGuard {
+ public:
+  explicit SuiteEnvGuard(const char* value) {
+    const char* previous = std::getenv("RLIM_SUITE");
+    had_previous_ = previous != nullptr;
+    if (had_previous_) {
+      previous_ = previous;
+    }
+    if (value != nullptr) {
+      ::setenv("RLIM_SUITE", value, 1);
+    } else {
+      ::unsetenv("RLIM_SUITE");
+    }
+  }
+
+  ~SuiteEnvGuard() {
+    if (had_previous_) {
+      ::setenv("RLIM_SUITE", previous_.c_str(), 1);
+    } else {
+      ::unsetenv("RLIM_SUITE");
+    }
+  }
+
+  SuiteEnvGuard(const SuiteEnvGuard&) = delete;
+  SuiteEnvGuard& operator=(const SuiteEnvGuard&) = delete;
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+TEST(BenchHarness, DefaultsToPaperSuite) {
+  const SuiteEnvGuard guard(nullptr);
+  EXPECT_EQ(&selected_suite(), &bench::paper_suite());
+  EXPECT_EQ(suite_label(), "paper profile");
+}
+
+TEST(BenchHarness, MiniEnvSelectsMiniSuite) {
+  const SuiteEnvGuard guard("mini");
+  EXPECT_EQ(&selected_suite(), &bench::mini_suite());
+  EXPECT_EQ(suite_label(), "mini (RLIM_SUITE=mini)");
+}
+
+TEST(BenchHarness, UnknownValueFallsBackToPaperSuite) {
+  const SuiteEnvGuard guard("jumbo");
+  EXPECT_EQ(&selected_suite(), &bench::paper_suite());
+  EXPECT_EQ(suite_label(), "paper profile");
+}
+
+TEST(BenchHarness, SuitesShareNamesButDifferInSize) {
+  const auto& paper = bench::paper_suite();
+  const auto& mini = bench::mini_suite();
+  ASSERT_EQ(paper.size(), mini.size());
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    EXPECT_EQ(paper[i].name, mini[i].name);
+  }
+}
+
+TEST(BenchHarness, PrepareBenchmarkRunsAllRewriteFlavours) {
+  const SuiteEnvGuard guard("mini");
+  const auto& suite = selected_suite();
+  ASSERT_FALSE(suite.empty());
+  const auto prepared = prepare_benchmark(suite.front(), /*effort=*/1);
+  EXPECT_EQ(prepared.name, suite.front().name);
+  EXPECT_GT(prepared.original.num_gates(), 0u);
+  // Each rewrite flavour must be reachable through for_config().
+  for (const auto strategy :
+       {core::Strategy::Naive, core::Strategy::Plim21,
+        core::Strategy::FullEndurance}) {
+    const auto config = core::make_config(strategy);
+    EXPECT_GT(prepared.for_config(config).num_gates(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rlim::benchharness

@@ -337,7 +337,7 @@ TEST(Suite, PaperSuiteHasEighteenEntriesWithPaperProfiles) {
   EXPECT_EQ(find_benchmark("mem_ctrl").pos, 1231u);
   EXPECT_EQ(find_benchmark("voter").pis, 1001u);
   EXPECT_EQ(find_benchmark("voter").pos, 1u);
-  EXPECT_THROW(find_benchmark("nope"), Error);
+  EXPECT_THROW(static_cast<void>(find_benchmark("nope")), Error);
 }
 
 TEST(Suite, PaperSizedLightEntriesBuildWithExactProfile) {

@@ -2,12 +2,12 @@
 // level differences between connected nodes low (shorter storage durations
 // for blocked RRAMs) versus the paper's Algorithm 2. The paper predicts the
 // level-balanced MIGs "might not be favorable w.r.t. the length of
-// instructions" — this binary measures that trade-off.
+// instructions" — this binary measures that trade-off. Both flows are
+// expressed as RewriteKinds of one flow::Runner batch.
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "mig/rewriting.hpp"
 
 namespace {
 
@@ -40,44 +40,61 @@ double mean_level_gap(const rlim::mig::Mig& graph) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rlim;
 
-  std::cout << "Ablation — §III-B.4: level-balancing rewriting vs Algorithm 2\n"
-            << "(both compiled with Algorithm 3 selection + min-write)\n\n";
+  const auto opts = flow::parse_driver_args(argc, argv);
 
-  util::Table table({"benchmark", "flow", "gates", "depth", "level gap", "#I",
-                     "#R", "STDEV"});
-
+  struct Flow {
+    std::string label;
+    mig::RewriteKind kind;
+  };
+  const Flow flows[] = {
+      {"Algorithm 2", mig::RewriteKind::Endurance},
+      {"level-balanced", mig::RewriteKind::LevelBalanced},
+  };
   const char* names[] = {"adder", "sin", "priority", "router", "cavlc", "voter"};
+
+  std::vector<flow::SourcePtr> sources;
+  std::vector<flow::Job> jobs;
   for (const auto* name : names) {
-    const auto& spec = bench::find_benchmark(name);
-    const auto original = spec.build();
-    struct Flow {
-      std::string label;
-      mig::Mig rewritten;
-    };
-    const Flow flows[] = {
-        {"Algorithm 2", mig::rewrite_endurance(original, 5)},
-        {"level-balanced", mig::rewrite_level_balanced(original, 5)},
-    };
-    for (const auto& flow : flows) {
-      core::PipelineConfig config = core::make_config(core::Strategy::FullEndurance);
-      const auto report =
-          core::compile_prepared(flow.rewritten, config, spec.name);
-      table.add_row({spec.name, flow.label,
-                     std::to_string(flow.rewritten.num_gates()),
-                     std::to_string(flow.rewritten.depth()),
-                     util::Table::fixed(mean_level_gap(flow.rewritten), 2),
-                     std::to_string(report.instructions),
-                     std::to_string(report.rrams),
-                     util::Table::fixed(report.writes.stdev)});
+    sources.push_back(flow::Source::benchmark(name));
+    for (const auto& flow_case : flows) {
+      auto config = core::make_config(core::Strategy::FullEndurance);
+      config.rewrite = flow_case.kind;
+      jobs.push_back({sources.back(), config, {}});
     }
-    table.add_separator();
   }
-  std::cout << table.to_string() << '\n';
-  std::cout << "expected shape: the level-balanced flow shrinks the mean "
+  flow::Runner runner({.jobs = opts.jobs});
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
+
+  flow::Report doc;
+  doc.title = "Ablation — §III-B.4: level-balancing rewriting vs Algorithm 2\n"
+              "(both compiled with Algorithm 3 selection + min-write)";
+  doc.columns = {"benchmark", "flow", "gates", "depth", "level gap", "#I",
+                 "#R", "STDEV"};
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    for (std::size_t f = 0; f < std::size(flows); ++f) {
+      const auto& result = results[s * std::size(flows) + f];
+      const auto& rewritten = *result.prepared;
+      doc.add_row({sources[s]->label(), flows[f].label,
+                   std::to_string(rewritten.num_gates()),
+                   std::to_string(rewritten.depth()),
+                   util::Table::fixed(mean_level_gap(rewritten), 2),
+                   std::to_string(result.report.instructions),
+                   std::to_string(result.report.rrams),
+                   util::Table::fixed(result.report.writes.stdev)});
+    }
+    doc.add_separator();
+  }
+  doc.add_note("expected shape: the level-balanced flow shrinks the mean "
                "level gap (shorter storage durations); the paper predicts a "
-               "possible instruction-count price for it\n";
+               "possible instruction-count price for it");
+
+  flow::make_sink(opts.format)->write(doc, std::cout);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "ablation_level_rewriting: " << error.what() << '\n';
+  return 1;
 }

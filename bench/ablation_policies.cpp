@@ -1,24 +1,32 @@
 // Ablation (extension beyond the paper): selection policy × allocation
-// policy grid on a mid-size benchmark, isolating how much each dimension
-// contributes to the write balance.
+// policy grid on a handful of representative benchmarks, isolating how much
+// each dimension contributes to the write balance. All 12 grid cells per
+// benchmark share one Algorithm-2 rewrite through the Runner's cache.
 
 #include <iostream>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rlim;
 
-  const auto& suite = benchharness::selected_suite();
+  const auto opts = flow::parse_driver_args(argc, argv);
+  const auto suite = flow::suite();
   // A handful of representative functions keeps the grid readable.
   const char* names[] = {"adder", "sin", "priority", "voter", "cavlc"};
 
-  std::cout << "Ablation — selection × allocation grid (rewriting fixed to "
-               "Algorithm 2, no cap)\n\n";
+  static constexpr plim::SelectionPolicy kSelections[] = {
+      plim::SelectionPolicy::NaiveOrder, plim::SelectionPolicy::Plim21,
+      plim::SelectionPolicy::EnduranceAware};
+  static constexpr plim::AllocPolicy kAllocations[] = {
+      plim::AllocPolicy::Lifo, plim::AllocPolicy::Fifo,
+      plim::AllocPolicy::RoundRobin, plim::AllocPolicy::MinWrite};
 
+  std::vector<flow::SourcePtr> sources;
+  std::vector<flow::Job> jobs;
   for (const auto* name : names) {
     const bench::BenchmarkSpec* spec = nullptr;
-    for (const auto& candidate : suite) {
+    for (const auto& candidate : *suite.specs) {
       if (candidate.name == name) {
         spec = &candidate;
       }
@@ -26,31 +34,45 @@ int main() {
     if (spec == nullptr) {
       continue;
     }
-    const auto prepared = benchharness::prepare_benchmark(*spec);
-
-    util::Table table({"selection \\ allocation", "lifo", "fifo", "round-robin",
-                       "min-write"});
-    for (const auto selection :
-         {plim::SelectionPolicy::NaiveOrder, plim::SelectionPolicy::Plim21,
-          plim::SelectionPolicy::EnduranceAware}) {
-      std::vector<std::string> row{plim::to_string(selection)};
-      for (const auto allocation :
-           {plim::AllocPolicy::Lifo, plim::AllocPolicy::Fifo,
-            plim::AllocPolicy::RoundRobin, plim::AllocPolicy::MinWrite}) {
+    sources.push_back(flow::Source::benchmark(*spec));
+    for (const auto selection : kSelections) {
+      for (const auto allocation : kAllocations) {
         core::PipelineConfig config;
         config.rewrite = mig::RewriteKind::Endurance;
         config.selection = selection;
         config.allocation = allocation;
-        const auto report = core::compile_prepared(
-            prepared.rewritten_endurance, config, spec->name);
-        row.push_back(util::Table::fixed(report.writes.stdev));
+        jobs.push_back({sources.back(), config, {}});
       }
-      table.add_row(std::move(row));
     }
-    std::cout << spec->name << " — STDEV of write counts:\n"
-              << table.to_string() << '\n';
+  }
+  flow::Runner runner({.jobs = opts.jobs});
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
+
+  const auto sink = flow::make_sink(opts.format);
+  std::cout << "Ablation — selection × allocation grid (rewriting fixed to "
+               "Algorithm 2, no cap)\n\n";
+  constexpr std::size_t kPerSource = std::size(kSelections) * std::size(kAllocations);
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    flow::Report doc;
+    doc.title = sources[s]->label() + " — STDEV of write counts:";
+    doc.columns = {"selection \\ allocation", "lifo", "fifo", "round-robin",
+                   "min-write"};
+    for (std::size_t sel = 0; sel < std::size(kSelections); ++sel) {
+      std::vector<std::string> row{plim::to_string(kSelections[sel])};
+      for (std::size_t alloc = 0; alloc < std::size(kAllocations); ++alloc) {
+        const auto& result =
+            results[s * kPerSource + sel * std::size(kAllocations) + alloc];
+        row.push_back(util::Table::fixed(result.report.writes.stdev));
+      }
+      doc.add_row(std::move(row));
+    }
+    sink->write(doc, std::cout);
   }
   std::cout << "expected shape: min-write dominates every row; "
                "endurance-aware selection helps mostly under min-write\n";
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "ablation_policies: " << error.what() << '\n';
+  return 1;
 }

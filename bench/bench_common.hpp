@@ -1,75 +1,32 @@
 #pragma once
 
-#include <cstdlib>
-#include <iostream>
+// Thin compatibility shim over the rlim::flow batch API. The bench drivers
+// build flow::Jobs and render flow::Reports through a ReportSink; the only
+// harness-specific helper left here is the paper's "min/max" cell notation.
+// (The old PreparedBenchmark / prepare_benchmark / run trio moved into
+// flow::Runner's rewrite cache — see src/flow/runner.hpp.)
+
 #include <string>
 #include <vector>
 
 #include "benchmarks/suite.hpp"
-#include "core/endurance.hpp"
+#include "flow/runner.hpp"
+#include "flow/suite.hpp"
 #include "util/table.hpp"
 
 namespace rlim::benchharness {
 
-/// Suite selection: the full paper-profile suite by default; set
-/// RLIM_SUITE=mini for a fast smoke run over the scaled-down instances.
+/// Suite selection, forwarded to the flow layer (the single RLIM_SUITE
+/// parser).
 inline const std::vector<bench::BenchmarkSpec>& selected_suite() {
-  const char* env = std::getenv("RLIM_SUITE");
-  if (env != nullptr && std::string(env) == "mini") {
-    return bench::mini_suite();
-  }
-  return bench::paper_suite();
+  return *flow::suite().specs;
 }
 
-inline std::string suite_label() {
-  const char* env = std::getenv("RLIM_SUITE");
-  return (env != nullptr && std::string(env) == "mini") ? "mini (RLIM_SUITE=mini)"
-                                                        : "paper profile";
-}
+inline std::string suite_label() { return flow::suite().label; }
 
 /// "min/max" cell in the paper's notation.
 inline std::string min_max(const util::WriteStats& stats) {
   return std::to_string(stats.min) + "/" + std::to_string(stats.max);
-}
-
-/// Pre-built graph plus its rewritten variants, shared across configurations
-/// so each flavour of rewriting runs exactly once per benchmark.
-struct PreparedBenchmark {
-  std::string name;
-  unsigned pis = 0;
-  unsigned pos = 0;
-  mig::Mig original;
-  mig::Mig rewritten_plim21;
-  mig::Mig rewritten_endurance;
-
-  const mig::Mig& for_config(const core::PipelineConfig& config) const {
-    switch (config.rewrite) {
-      case mig::RewriteKind::None: return original;
-      case mig::RewriteKind::Plim21: return rewritten_plim21;
-      case mig::RewriteKind::Endurance: return rewritten_endurance;
-    }
-    return original;
-  }
-};
-
-inline PreparedBenchmark prepare_benchmark(const bench::BenchmarkSpec& spec,
-                                           int effort = 5) {
-  PreparedBenchmark prepared;
-  prepared.name = spec.name;
-  prepared.pis = spec.pis;
-  prepared.pos = spec.pos;
-  prepared.original = spec.build();
-  prepared.rewritten_plim21 = mig::rewrite_plim21(prepared.original, effort);
-  prepared.rewritten_endurance = mig::rewrite_endurance(prepared.original, effort);
-  return prepared;
-}
-
-inline core::EnduranceReport run(const PreparedBenchmark& prepared,
-                                 core::Strategy strategy,
-                                 std::optional<std::uint64_t> cap = std::nullopt) {
-  const auto config = core::make_config(strategy, cap);
-  return core::compile_prepared(prepared.for_config(config), config, prepared.name,
-                                prepared.original.num_gates());
 }
 
 }  // namespace rlim::benchharness

@@ -3,7 +3,8 @@
 // compiler recycles ONE cell as the RM3 destination through the entire
 // chain. This binary makes the phenomenon quantitative: it prints the
 // per-cell write histogram under each strategy and shows how the maximum
-// write strategy bounds the hot cell at the cost of extra cells.
+// write strategy bounds the hot cell at the cost of extra cells. The five
+// configurations compile one shared in-memory Source through flow::Runner.
 
 #include <iostream>
 
@@ -32,19 +33,13 @@ rlim::mig::Mig fig1_chain(int length) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rlim;
+
+  const auto opts = flow::parse_driver_args(argc, argv);
   constexpr int kLength = 64;
-  const auto graph = fig1_chain(kLength);
+  const auto source = flow::Source::graph(fig1_chain(kLength), "fig1");
 
-  std::cout << "Fig. 1 scenario — single-fanout destination chain (length "
-            << kLength << ")\n"
-            << "Every chain node's only writable destination is the previous "
-               "chain cell;\nwithout intervention one cell absorbs the whole "
-               "chain's writes.\n\n";
-
-  util::Table table({"configuration", "#I", "#R", "min/max", "STDEV",
-                     "hottest-cell share"});
   struct Case {
     std::string label;
     core::PipelineConfig config;
@@ -58,19 +53,40 @@ int main() {
       {"full endurance, cap 4",
        core::make_config(core::Strategy::FullEndurance, 4)},
   };
+  std::vector<flow::Job> jobs;
   for (const auto& c : cases) {
-    const auto report = core::run_pipeline(graph, c.config, "fig1");
+    jobs.push_back({source, c.config, {}});
+  }
+  flow::Runner runner({.jobs = opts.jobs});
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
+
+  flow::Report doc;
+  doc.title = "Fig. 1 scenario — single-fanout destination chain (length " +
+              std::to_string(kLength) + ")";
+  doc.add_note("Every chain node's only writable destination is the previous "
+               "chain cell; without intervention one cell absorbs the whole "
+               "chain's writes.");
+  doc.columns = {"configuration", "#I", "#R", "min/max", "STDEV",
+                 "hottest-cell share"};
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const auto& report = results[i].report;
     const auto share =
         100.0 * static_cast<double>(report.writes.max) /
         static_cast<double>(report.writes.total == 0 ? 1 : report.writes.total);
-    table.add_row({c.label, std::to_string(report.instructions),
-                   std::to_string(report.rrams),
-                   benchharness::min_max(report.writes),
-                   util::Table::fixed(report.writes.stdev),
-                   util::Table::percent(share)});
+    doc.add_row({cases[i].label, std::to_string(report.instructions),
+                 std::to_string(report.rrams),
+                 benchharness::min_max(report.writes),
+                 util::Table::fixed(report.writes.stdev),
+                 util::Table::percent(share)});
   }
-  std::cout << table.to_string() << '\n';
-  std::cout << "expected shape: naive max ≈ chain length (" << kLength
-            << "); caps bound max at the cap while #R grows\n";
+  doc.add_note("expected shape: naive max ≈ chain length (" +
+               std::to_string(kLength) + "); caps bound max at the cap while "
+               "#R grows");
+
+  flow::make_sink(opts.format)->write(doc, std::cout);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "fig1_unbalanced_fanout: " << error.what() << '\n';
+  return 1;
 }

@@ -79,42 +79,58 @@ double cell_occupancy(const rlim::plim::Program& program) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rlim;
+
+  const auto opts = flow::parse_driver_args(argc, argv);
   constexpr int kWidth = 24;
-  const auto graph = fig2_blocked(kWidth);
+  const auto source = flow::Source::graph(fig2_blocked(kWidth), "fig2");
 
-  std::cout << "Fig. 2 scenario — blocked RRAMs (" << kWidth
-            << " long-lived nodes + ladder)\n"
-            << "[21] selection computes releasing-heavy nodes first and leaves "
-               "long-lived\nvalues blocking cells; Algorithm 3 computes "
-               "short-storage nodes first.\n\n";
-
-  util::Table table(
-      {"selection policy", "#I", "#R", "min/max", "STDEV", "occupancy"});
   struct Case {
     std::string label;
     plim::SelectionPolicy selection;
   };
-  for (const auto& c : {Case{"naive order", plim::SelectionPolicy::NaiveOrder},
-                        Case{"plim21 [21]", plim::SelectionPolicy::Plim21},
-                        Case{"endurance-aware (Alg. 3)",
-                             plim::SelectionPolicy::EnduranceAware}}) {
+  const Case cases[] = {
+      {"naive order", plim::SelectionPolicy::NaiveOrder},
+      {"plim21 [21]", plim::SelectionPolicy::Plim21},
+      {"endurance-aware (Alg. 3)", plim::SelectionPolicy::EnduranceAware},
+  };
+  std::vector<flow::Job> jobs;
+  for (const auto& c : cases) {
     core::PipelineConfig config;
     config.rewrite = mig::RewriteKind::None;  // isolate the selection effect
     config.selection = c.selection;
     config.allocation = plim::AllocPolicy::MinWrite;
-    const auto report = core::run_pipeline(graph, config, "fig2");
-    table.add_row({c.label, std::to_string(report.instructions),
-                   std::to_string(report.rrams),
-                   benchharness::min_max(report.writes),
-                   util::Table::fixed(report.writes.stdev),
-                   util::Table::fixed(cell_occupancy(report.program), 1)});
+    jobs.push_back({source, config, {}});
   }
-  std::cout << table.to_string() << '\n';
-  std::cout << "expected shape: Algorithm 3 lowers the occupancy (long-lived "
+  flow::Runner runner({.jobs = opts.jobs});
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
+
+  flow::Report doc;
+  doc.title = "Fig. 2 scenario — blocked RRAMs (" + std::to_string(kWidth) +
+              " long-lived nodes + ladder)";
+  doc.add_note("[21] selection computes releasing-heavy nodes first and leaves "
+               "long-lived values blocking cells; Algorithm 3 computes "
+               "short-storage nodes first.");
+  doc.columns = {"selection policy", "#I", "#R", "min/max", "STDEV",
+                 "occupancy"};
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const auto& report = results[i].report;
+    doc.add_row({cases[i].label, std::to_string(report.instructions),
+                 std::to_string(report.rrams),
+                 benchharness::min_max(report.writes),
+                 util::Table::fixed(report.writes.stdev),
+                 util::Table::fixed(cell_occupancy(report.program), 1)});
+  }
+  doc.add_note("expected shape: Algorithm 3 lowers the occupancy (long-lived "
                "nodes are computed as late as possible) and never worsens the "
                "spread; the blocked cells' wait cannot be eliminated (paper: "
-               "only decreased)\n";
+               "only decreased)");
+
+  flow::make_sink(opts.format)->write(doc, std::cout);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "fig2_blocked_rram: " << error.what() << '\n';
+  return 1;
 }

@@ -1,6 +1,8 @@
 // Paper §II baseline: IMPLY-based NAND execution concentrates every write on
 // a tiny work-device pool [16], [17], while PLiM's RM3 shares writes across
-// operand cells. This binary quantifies that contrast per benchmark.
+// operand cells. This binary quantifies that contrast per benchmark. The
+// PLiM side runs as a flow::Runner batch; the IMP wear model reads the
+// shared Sources' original graphs.
 
 #include <iostream>
 
@@ -8,22 +10,32 @@
 #include "core/imp.hpp"
 #include "core/lifetime.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rlim;
   using core::Strategy;
 
-  std::cout << "§II baseline — IMP work-device wear vs PLiM RM3 traffic\n"
-            << "(IMP pool of 2 work devices per [17]; lifetime at endurance "
-               "1e10, executions until first cell failure)\n\n";
+  const auto opts = flow::parse_driver_args(argc, argv);
+  const auto sources = flow::suite_sources();
 
-  util::Table table({"benchmark", "IMP ops", "IMP max-writes", "PLiM #I",
-                     "PLiM max-writes", "IMP lifetime", "PLiM lifetime",
-                     "lifetime ratio"});
+  std::vector<flow::Job> jobs;
+  for (const auto& source : sources) {
+    jobs.push_back({source, core::make_config(Strategy::FullEndurance), {}});
+  }
+  flow::Runner runner({.jobs = opts.jobs});
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
 
-  for (const auto& spec : benchharness::selected_suite()) {
-    const auto prepared = benchharness::prepare_benchmark(spec);
-    const auto imp = core::imp_wear(prepared.original, {2});
-    const auto plim = benchharness::run(prepared, Strategy::FullEndurance);
+  flow::Report doc;
+  doc.title = "§II baseline — IMP work-device wear vs PLiM RM3 traffic";
+  doc.add_note("(IMP pool of 2 work devices per [17]; lifetime at endurance "
+               "1e10, executions until first cell failure)");
+  doc.columns = {"benchmark", "IMP ops", "IMP max-writes", "PLiM #I",
+                 "PLiM max-writes", "IMP lifetime", "PLiM lifetime",
+                 "lifetime ratio"};
+
+  for (std::size_t b = 0; b < sources.size(); ++b) {
+    const auto imp = core::imp_wear(sources[b]->original(), {2});
+    const auto& plim = results[b].report;
 
     constexpr std::uint64_t kEndurance = 10'000'000'000ULL;
     const auto imp_life = core::estimate_lifetime(imp.writes, kEndurance);
@@ -35,17 +47,21 @@ int main() {
                 ? 1
                 : imp_life.executions_to_first_failure);
 
-    table.add_row({spec.name, std::to_string(imp.operations),
-                   std::to_string(imp.writes.max),
-                   std::to_string(plim.instructions),
-                   std::to_string(plim.writes.max),
-                   std::to_string(imp_life.executions_to_first_failure),
-                   std::to_string(plim_life.executions_to_first_failure),
-                   util::Table::fixed(ratio, 1)});
+    doc.add_row({sources[b]->label(), std::to_string(imp.operations),
+                 std::to_string(imp.writes.max),
+                 std::to_string(plim.instructions),
+                 std::to_string(plim.writes.max),
+                 std::to_string(imp_life.executions_to_first_failure),
+                 std::to_string(plim_life.executions_to_first_failure),
+                 util::Table::fixed(ratio, 1)});
   }
-  std::cout << table.to_string() << '\n';
-  std::cout << "expected shape: IMP's two work devices absorb ~half the "
+  doc.add_note("expected shape: IMP's two work devices absorb ~half the "
                "netlist's writes each, so PLiM outlives IMP by orders of "
-               "magnitude — the paper's §II motivation\n";
+               "magnitude — the paper's §II motivation");
+
+  flow::make_sink(opts.format)->write(doc, std::cout);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "imp_baseline: " << error.what() << '\n';
+  return 1;
 }

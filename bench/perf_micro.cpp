@@ -6,6 +6,8 @@
 
 #include "benchmarks/arithmetic.hpp"
 #include "core/endurance.hpp"
+#include "flow/runner.hpp"
+#include "flow/suite.hpp"
 #include "mig/rewriting.hpp"
 #include "mig/simulate.hpp"
 #include "plim/compiler.hpp"
@@ -109,6 +111,40 @@ void BM_FullPipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_MigFingerprint(benchmark::State& state) {
+  const auto& graph = adder_graph(128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.fingerprint());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          graph.num_gates());
+}
+BENCHMARK(BM_MigFingerprint)->Unit(benchmark::kMicrosecond);
+
+// Batch throughput of the flow job-runner: 3 adders × the 5 paper strategies
+// with a cold rewrite cache per iteration. The thread-count argument shows
+// the --jobs scaling of the sweep drivers.
+void BM_FlowBatch(benchmark::State& state) {
+  std::vector<flow::SourcePtr> sources;
+  for (const unsigned bits : {16u, 24u, 32u}) {
+    sources.push_back(flow::Source::graph(
+        bench::make_adder(bits), "adder" + std::to_string(bits)));
+  }
+  std::vector<flow::Job> jobs;
+  for (const auto& source : sources) {
+    for (const auto strategy : flow::paper_strategies()) {
+      jobs.push_back({source, core::make_config(strategy), {}});
+    }
+  }
+  for (auto _ : state) {
+    flow::Runner runner({.jobs = static_cast<unsigned>(state.range(0))});
+    benchmark::DoNotOptimize(runner.run(jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_FlowBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -2,30 +2,42 @@
 // Start-Gap [8], the memory-level runtime wear-leveling the paper cites from
 // the PCM literature. Start-Gap rotates the logical-to-physical mapping
 // underneath the write trace; we replay each compiled program's trace
-// through it and compare the resulting distributions.
+// through it and compare the resulting distributions. Both compilations per
+// benchmark run as one flow::Runner batch.
 
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/startgap.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rlim;
   using core::Strategy;
 
-  std::cout << "Start-Gap [8] vs compile-time endurance management\n"
-            << "(gap interval 16; Start-Gap counts include gap-move "
-               "overhead writes)\n\n";
+  const auto opts = flow::parse_driver_args(argc, argv);
+  const auto sources = flow::suite_sources();
 
-  util::Table table({"benchmark", "naive STDEV", "naive+start-gap",
-                     "full-endurance STDEV", "full+start-gap"});
+  std::vector<flow::Job> jobs;
+  for (const auto& source : sources) {
+    jobs.push_back({source, core::make_config(Strategy::Naive), {}});
+    jobs.push_back({source, core::make_config(Strategy::FullEndurance), {}});
+  }
+  flow::Runner runner({.jobs = opts.jobs});
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
+
+  flow::Report doc;
+  doc.title = "Start-Gap [8] vs compile-time endurance management";
+  doc.add_note("(gap interval 16; Start-Gap counts include gap-move "
+               "overhead writes)");
+  doc.columns = {"benchmark", "naive STDEV", "naive+start-gap",
+                 "full-endurance STDEV", "full+start-gap"};
 
   double sums[4] = {};
   std::size_t count = 0;
-  for (const auto& spec : benchharness::selected_suite()) {
-    const auto prepared = benchharness::prepare_benchmark(spec);
-    const auto naive = benchharness::run(prepared, Strategy::Naive);
-    const auto full = benchharness::run(prepared, Strategy::FullEndurance);
+  for (std::size_t b = 0; b < sources.size(); ++b) {
+    const auto& naive = results[b * 2].report;
+    const auto& full = results[b * 2 + 1].report;
 
     const auto replay = [](const core::EnduranceReport& report) {
       const auto trace = core::write_trace(report.program);
@@ -35,9 +47,9 @@ int main() {
     };
     const double values[4] = {naive.writes.stdev, replay(naive),
                               full.writes.stdev, replay(full)};
-    table.add_row({spec.name, util::Table::fixed(values[0]),
-                   util::Table::fixed(values[1]), util::Table::fixed(values[2]),
-                   util::Table::fixed(values[3])});
+    doc.add_row({sources[b]->label(), util::Table::fixed(values[0]),
+                 util::Table::fixed(values[1]), util::Table::fixed(values[2]),
+                 util::Table::fixed(values[3])});
     for (int i = 0; i < 4; ++i) {
       sums[i] += values[i];
     }
@@ -45,15 +57,19 @@ int main() {
   }
 
   const auto denom = static_cast<double>(count);
-  table.add_separator();
-  table.add_row({"AVG", util::Table::fixed(sums[0] / denom),
-                 util::Table::fixed(sums[1] / denom),
-                 util::Table::fixed(sums[2] / denom),
-                 util::Table::fixed(sums[3] / denom)});
-  std::cout << table.to_string() << '\n';
-  std::cout << "expected shape: Start-Gap softens the naive flow's hotspots "
+  doc.add_separator();
+  doc.add_row({"AVG", util::Table::fixed(sums[0] / denom),
+               util::Table::fixed(sums[1] / denom),
+               util::Table::fixed(sums[2] / denom),
+               util::Table::fixed(sums[3] / denom)});
+  doc.add_note("expected shape: Start-Gap softens the naive flow's hotspots "
                "but a single program execution is too short for full "
                "rotation; compile-time balancing wins, and combining both "
-               "helps little once traffic is already balanced\n";
+               "helps little once traffic is already balanced");
+
+  flow::make_sink(opts.format)->write(doc, std::cout);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "startgap_compare: " << error.what() << '\n';
+  return 1;
 }

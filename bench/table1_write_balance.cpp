@@ -1,73 +1,87 @@
 // Regenerates paper Table I: min/max/STDEV of per-cell write counts for the
 // five incremental endurance-management configurations, with the improvement
-// of each configuration's STDEV over the naive baseline.
+// of each configuration's STDEV over the naive baseline. Runs the whole
+// benchmark × strategy sweep as one flow::Runner batch: the rewrite cache
+// runs each rewriting flavour once per benchmark, and --jobs N parallelizes
+// the grid.
 
 #include <iostream>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rlim;
   using benchharness::min_max;
   using core::Strategy;
 
-  std::cout << "Table I — write balance across endurance configurations ("
-            << benchharness::suite_label() << ")\n"
-            << "columns: naive | PLiM compiler [21] | + min-write | "
-               "+ endurance rewriting | + endurance compilation\n\n";
+  const auto opts = flow::parse_driver_args(argc, argv);
+  const auto suite = flow::suite();
+  const auto sources = flow::suite_sources(suite);
 
-  util::Table table({"benchmark", "PI/PO",
-                     "min/max", "STDEV",                      // naive
-                     "min/max", "STDEV", "impr.",             // [21]
-                     "min/max", "STDEV", "impr.",             // min write
-                     "min/max", "STDEV", "impr.",             // + rewriting
-                     "min/max", "STDEV", "impr."});           // + compilation
+  std::vector<flow::Job> jobs;
+  for (const auto& source : sources) {
+    for (const auto strategy : flow::paper_strategies()) {
+      jobs.push_back({source, core::make_config(strategy), {}});
+    }
+  }
+  flow::Runner runner({.jobs = opts.jobs});
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
+
+  flow::Report doc;
+  doc.title = "Table I — write balance across endurance configurations (" +
+              suite.label + ")";
+  doc.columns = {"benchmark", "PI/PO",
+                 "min/max", "STDEV",                      // naive
+                 "min/max", "STDEV", "impr.",             // [21]
+                 "min/max", "STDEV", "impr.",             // min write
+                 "min/max", "STDEV", "impr.",             // + rewriting
+                 "min/max", "STDEV", "impr."};            // + compilation
+  doc.add_note("columns: naive | PLiM compiler [21] | + min-write | "
+               "+ endurance rewriting | + endurance compilation");
 
   double sum_stdev[5] = {};
   double sum_impr[4] = {};
   std::size_t count = 0;
 
-  for (const auto& spec : benchharness::selected_suite()) {
-    const auto prepared = benchharness::prepare_benchmark(spec);
-    const core::EnduranceReport reports[5] = {
-        benchharness::run(prepared, Strategy::Naive),
-        benchharness::run(prepared, Strategy::Plim21),
-        benchharness::run(prepared, Strategy::MinWrite),
-        benchharness::run(prepared, Strategy::MinWriteEnduranceRewrite),
-        benchharness::run(prepared, Strategy::FullEndurance),
-    };
-
+  for (std::size_t b = 0; b < sources.size(); ++b) {
+    const auto* reports = &results[b * 5];
     std::vector<std::string> row{
-        spec.name, std::to_string(spec.pis) + "/" + std::to_string(spec.pos)};
+        sources[b]->label(), std::to_string(sources[b]->pis()) + "/" +
+                                 std::to_string(sources[b]->pos())};
     for (int i = 0; i < 5; ++i) {
-      row.push_back(min_max(reports[i].writes));
-      row.push_back(util::Table::fixed(reports[i].writes.stdev));
+      row.push_back(min_max(reports[i].report.writes));
+      row.push_back(util::Table::fixed(reports[i].report.writes.stdev));
       if (i > 0) {
-        const auto impr = core::stdev_improvement(reports[0], reports[i]);
+        const auto impr =
+            core::stdev_improvement(reports[0].report, reports[i].report);
         row.push_back(util::Table::percent(impr));
         sum_impr[i - 1] += impr;
       }
-      sum_stdev[i] += reports[i].writes.stdev;
+      sum_stdev[i] += reports[i].report.writes.stdev;
     }
-    table.add_row(std::move(row));
+    doc.add_row(std::move(row));
     ++count;
   }
 
   const auto denom = static_cast<double>(count);
-  table.add_separator();
-  table.add_row({"AVG", "",
-                 "", util::Table::fixed(sum_stdev[0] / denom),
-                 "", util::Table::fixed(sum_stdev[1] / denom),
-                 util::Table::percent(sum_impr[0] / denom),
-                 "", util::Table::fixed(sum_stdev[2] / denom),
-                 util::Table::percent(sum_impr[1] / denom),
-                 "", util::Table::fixed(sum_stdev[3] / denom),
-                 util::Table::percent(sum_impr[2] / denom),
-                 "", util::Table::fixed(sum_stdev[4] / denom),
-                 util::Table::percent(sum_impr[3] / denom)});
+  doc.add_separator();
+  doc.add_row({"AVG", "",
+               "", util::Table::fixed(sum_stdev[0] / denom),
+               "", util::Table::fixed(sum_stdev[1] / denom),
+               util::Table::percent(sum_impr[0] / denom),
+               "", util::Table::fixed(sum_stdev[2] / denom),
+               util::Table::percent(sum_impr[1] / denom),
+               "", util::Table::fixed(sum_stdev[3] / denom),
+               util::Table::percent(sum_impr[2] / denom),
+               "", util::Table::fixed(sum_stdev[4] / denom),
+               util::Table::percent(sum_impr[3] / denom)});
+  doc.add_note("paper reference (avg impr. vs naive): [21] 30.95%  "
+               "min-write 57.07%  +rewriting 64.42%  +compilation 72.17%");
 
-  std::cout << table.to_string() << '\n';
-  std::cout << "paper reference (avg impr. vs naive): [21] 30.95%  "
-               "min-write 57.07%  +rewriting 64.42%  +compilation 72.17%\n";
+  flow::make_sink(opts.format)->write(doc, std::cout);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "table1_write_balance: " << error.what() << '\n';
+  return 1;
 }

@@ -1,37 +1,55 @@
 // Regenerates paper Table II: number of RM3 instructions (#I) and RRAM
 // devices (#R) for the naive flow, endurance-aware rewriting, and
-// endurance-aware rewriting + compilation.
+// endurance-aware rewriting + compilation. One flow::Runner batch over the
+// suite × 3 configurations.
 
 #include <iostream>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rlim;
   using core::Strategy;
 
-  std::cout << "Table II — instructions and RRAMs for endurance-aware "
-               "compilation ("
-            << benchharness::suite_label() << ")\n\n";
+  const auto opts = flow::parse_driver_args(argc, argv);
+  const auto suite = flow::suite();
+  const auto sources = flow::suite_sources(suite);
 
-  util::Table table({"benchmark", "PI/PO", "naive #I", "naive #R",
-                     "rewriting #I", "rewriting #R", "rw+comp #I", "rw+comp #R"});
+  static constexpr Strategy kStrategies[3] = {
+      Strategy::Naive, Strategy::MinWriteEnduranceRewrite,
+      Strategy::FullEndurance};
+
+  std::vector<flow::Job> jobs;
+  for (const auto& source : sources) {
+    for (const auto strategy : kStrategies) {
+      jobs.push_back({source, core::make_config(strategy), {}});
+    }
+  }
+  flow::Runner runner({.jobs = opts.jobs});
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
+
+  flow::Report doc;
+  doc.title =
+      "Table II — instructions and RRAMs for endurance-aware compilation (" +
+      suite.label + ")";
+  doc.columns = {"benchmark", "PI/PO", "naive #I", "naive #R",
+                 "rewriting #I", "rewriting #R", "rw+comp #I", "rw+comp #R"};
 
   double sums[6] = {};
   std::size_t count = 0;
-  for (const auto& spec : benchharness::selected_suite()) {
-    const auto prepared = benchharness::prepare_benchmark(spec);
-    const auto naive = benchharness::run(prepared, Strategy::Naive);
-    const auto rewriting =
-        benchharness::run(prepared, Strategy::MinWriteEnduranceRewrite);
-    const auto full = benchharness::run(prepared, Strategy::FullEndurance);
+  for (std::size_t b = 0; b < sources.size(); ++b) {
+    const auto& naive = results[b * 3].report;
+    const auto& rewriting = results[b * 3 + 1].report;
+    const auto& full = results[b * 3 + 2].report;
 
-    table.add_row({spec.name,
-                   std::to_string(spec.pis) + "/" + std::to_string(spec.pos),
-                   std::to_string(naive.instructions), std::to_string(naive.rrams),
-                   std::to_string(rewriting.instructions),
-                   std::to_string(rewriting.rrams),
-                   std::to_string(full.instructions), std::to_string(full.rrams)});
+    doc.add_row({sources[b]->label(),
+                 std::to_string(sources[b]->pis()) + "/" +
+                     std::to_string(sources[b]->pos()),
+                 std::to_string(naive.instructions), std::to_string(naive.rrams),
+                 std::to_string(rewriting.instructions),
+                 std::to_string(rewriting.rrams),
+                 std::to_string(full.instructions), std::to_string(full.rrams)});
     const double values[6] = {
         static_cast<double>(naive.instructions), static_cast<double>(naive.rrams),
         static_cast<double>(rewriting.instructions),
@@ -44,27 +62,31 @@ int main() {
   }
 
   const auto denom = static_cast<double>(count);
-  table.add_separator();
-  table.add_row({"AVG", "", util::Table::fixed(sums[0] / denom),
-                 util::Table::fixed(sums[1] / denom),
-                 util::Table::fixed(sums[2] / denom),
-                 util::Table::fixed(sums[3] / denom),
-                 util::Table::fixed(sums[4] / denom),
-                 util::Table::fixed(sums[5] / denom)});
-  std::cout << table.to_string() << '\n';
+  doc.add_separator();
+  doc.add_row({"AVG", "", util::Table::fixed(sums[0] / denom),
+               util::Table::fixed(sums[1] / denom),
+               util::Table::fixed(sums[2] / denom),
+               util::Table::fixed(sums[3] / denom),
+               util::Table::fixed(sums[4] / denom),
+               util::Table::fixed(sums[5] / denom)});
 
   const auto reduction = [](double baseline, double ours) {
     return util::improvement_percent(baseline, ours);
   };
-  std::cout << "avg #I reduction vs naive: rewriting "
-            << util::Table::percent(reduction(sums[0], sums[2]))
-            << ", rewriting+compilation "
-            << util::Table::percent(reduction(sums[0], sums[4])) << '\n'
-            << "avg #R reduction vs naive: rewriting "
-            << util::Table::percent(reduction(sums[1], sums[3]))
-            << ", rewriting+compilation "
-            << util::Table::percent(reduction(sums[1], sums[5])) << '\n'
-            << "paper reference: #I -36.48%, #R -18.18% (rewriting); "
-               "compilation costs ~8% extra #R over rewriting alone\n";
+  doc.add_note("avg #I reduction vs naive: rewriting " +
+               util::Table::percent(reduction(sums[0], sums[2])) +
+               ", rewriting+compilation " +
+               util::Table::percent(reduction(sums[0], sums[4])));
+  doc.add_note("avg #R reduction vs naive: rewriting " +
+               util::Table::percent(reduction(sums[1], sums[3])) +
+               ", rewriting+compilation " +
+               util::Table::percent(reduction(sums[1], sums[5])));
+  doc.add_note("paper reference: #I -36.48%, #R -18.18% (rewriting); "
+               "compilation costs ~8% extra #R over rewriting alone");
+
+  flow::make_sink(opts.format)->write(doc, std::cout);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "table2_cost: " << error.what() << '\n';
+  return 1;
 }

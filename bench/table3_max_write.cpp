@@ -3,23 +3,58 @@
 // under write caps of 10, 20, 50 and 100. A dash means the cap exceeds the
 // benchmark's natural maximum write count, so the result is unchanged from
 // the previous column (paper convention).
+//
+// Two flow::Runner phases share one rewrite cache: phase 1 compiles naive +
+// uncapped full-endurance for every benchmark; phase 2 compiles only the
+// caps that actually bind (cap < uncapped max), reusing the phase-1
+// rewrites.
 
 #include <iostream>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) try {
   using namespace rlim;
   using core::Strategy;
 
-  std::cout << "Table III — full endurance management with maximum write "
-               "caps ("
-            << benchharness::suite_label() << ")\n\n";
+  const auto opts = flow::parse_driver_args(argc, argv);
+  const auto suite = flow::suite();
+  const auto sources = flow::suite_sources(suite);
+  flow::Runner runner({.jobs = opts.jobs});
 
+  // Phase 1: naive baseline + uncapped full endurance per benchmark.
+  std::vector<flow::Job> phase1;
+  for (const auto& source : sources) {
+    phase1.push_back({source, core::make_config(Strategy::Naive), {}});
+    phase1.push_back({source, core::make_config(Strategy::FullEndurance), {}});
+  }
+  const auto base = runner.run(phase1);
+  flow::throw_on_error(base);
+
+  // Phase 2: only the binding caps.
   static constexpr std::uint64_t kCaps[4] = {10, 20, 50, 100};
-  util::Table table({"benchmark", "PI/PO", "#I@10", "#R@10", "STDEV@10",
-                     "#I@20", "#R@20", "STDEV@20", "#I@50", "#R@50", "STDEV@50",
-                     "#I@100", "#R@100", "STDEV@100"});
+  std::vector<flow::Job> phase2;
+  std::vector<std::size_t> capped_index(sources.size() * 4, SIZE_MAX);
+  for (std::size_t b = 0; b < sources.size(); ++b) {
+    const auto& uncapped = base[b * 2 + 1].report;
+    for (int c = 0; c < 4; ++c) {
+      if (kCaps[c] < uncapped.writes.max) {
+        capped_index[b * 4 + c] = phase2.size();
+        phase2.push_back({sources[b],
+                          core::make_config(Strategy::FullEndurance, kCaps[c]),
+                          {}});
+      }
+    }
+  }
+  const auto capped_results = runner.run(phase2);
+  flow::throw_on_error(capped_results);
+
+  flow::Report doc;
+  doc.title = "Table III — full endurance management with maximum write caps (" +
+              suite.label + ")";
+  doc.columns = {"benchmark", "PI/PO", "#I@10", "#R@10", "STDEV@10",
+                 "#I@20", "#R@20", "STDEV@20", "#I@50", "#R@50", "STDEV@50",
+                 "#I@100", "#R@100", "STDEV@100"};
 
   double sum_instr[4] = {};
   double sum_rrams[4] = {};
@@ -29,59 +64,61 @@ int main() {
   double sum_impr_cap100 = 0.0;
   std::size_t count = 0;
 
-  for (const auto& spec : benchharness::selected_suite()) {
-    const auto prepared = benchharness::prepare_benchmark(spec);
-    const auto naive = benchharness::run(prepared, Strategy::Naive);
-    const auto uncapped = benchharness::run(prepared, Strategy::FullEndurance);
+  for (std::size_t b = 0; b < sources.size(); ++b) {
+    const auto& naive = base[b * 2].report;
+    const auto& uncapped = base[b * 2 + 1].report;
 
     std::vector<std::string> row{
-        spec.name, std::to_string(spec.pis) + "/" + std::to_string(spec.pos)};
-    core::EnduranceReport capped[4];
+        sources[b]->label(), std::to_string(sources[b]->pis()) + "/" +
+                                 std::to_string(sources[b]->pos())};
+    const core::EnduranceReport* capped[4] = {};
     for (int c = 0; c < 4; ++c) {
-      const bool unchanged = kCaps[c] >= uncapped.writes.max;
-      capped[c] = unchanged
-                      ? (c == 0 ? uncapped : capped[c - 1])
-                      : benchharness::run(prepared, Strategy::FullEndurance,
-                                          kCaps[c]);
+      const auto index = capped_index[b * 4 + c];
+      const bool unchanged = index == SIZE_MAX;
+      capped[c] = unchanged ? (c == 0 ? &uncapped : capped[c - 1])
+                            : &capped_results[index].report;
       if (unchanged) {
         row.insert(row.end(), {"-", "-", "-"});
       } else {
-        row.push_back(std::to_string(capped[c].instructions));
-        row.push_back(std::to_string(capped[c].rrams));
-        row.push_back(util::Table::fixed(capped[c].writes.stdev));
+        row.push_back(std::to_string(capped[c]->instructions));
+        row.push_back(std::to_string(capped[c]->rrams));
+        row.push_back(util::Table::fixed(capped[c]->writes.stdev));
       }
-      sum_instr[c] += static_cast<double>(capped[c].instructions);
-      sum_rrams[c] += static_cast<double>(capped[c].rrams);
-      sum_stdev[c] += capped[c].writes.stdev;
+      sum_instr[c] += static_cast<double>(capped[c]->instructions);
+      sum_rrams[c] += static_cast<double>(capped[c]->rrams);
+      sum_stdev[c] += capped[c]->writes.stdev;
     }
     sum_impr_cap10 +=
-        util::improvement_percent(naive.writes.stdev, capped[0].writes.stdev);
+        util::improvement_percent(naive.writes.stdev, capped[0]->writes.stdev);
     sum_impr_cap100 +=
-        util::improvement_percent(naive.writes.stdev, capped[3].writes.stdev);
+        util::improvement_percent(naive.writes.stdev, capped[3]->writes.stdev);
     naive_rrams += static_cast<double>(naive.rrams);
-    table.add_row(std::move(row));
+    doc.add_row(std::move(row));
     ++count;
   }
 
   const auto denom = static_cast<double>(count);
-  table.add_separator();
+  doc.add_separator();
   std::vector<std::string> avg{"AVG", ""};
   for (int c = 0; c < 4; ++c) {
     avg.push_back(util::Table::fixed(sum_instr[c] / denom));
     avg.push_back(util::Table::fixed(sum_rrams[c] / denom));
     avg.push_back(util::Table::fixed(sum_stdev[c] / denom));
   }
-  table.add_row(std::move(avg));
-  std::cout << table.to_string() << '\n';
+  doc.add_row(std::move(avg));
 
-  std::cout << "avg STDEV improvement vs naive: cap 10 "
-            << util::Table::percent(sum_impr_cap10 / denom) << ", cap 100 "
-            << util::Table::percent(sum_impr_cap100 / denom) << '\n'
-            << "avg #R overhead vs naive at cap 10: "
-            << util::Table::percent(100.0 * (sum_rrams[0] - naive_rrams) /
-                                    naive_rrams)
-            << '\n'
-            << "paper reference: cap 10 improves STDEV by 96.8% at +50.59% #R; "
-               "cap 100 improves 86.85% while still cutting #I/#R vs naive\n";
+  doc.add_note("avg STDEV improvement vs naive: cap 10 " +
+               util::Table::percent(sum_impr_cap10 / denom) + ", cap 100 " +
+               util::Table::percent(sum_impr_cap100 / denom));
+  doc.add_note("avg #R overhead vs naive at cap 10: " +
+               util::Table::percent(100.0 * (sum_rrams[0] - naive_rrams) /
+                                    naive_rrams));
+  doc.add_note("paper reference: cap 10 improves STDEV by 96.8% at +50.59% #R; "
+               "cap 100 improves 86.85% while still cutting #I/#R vs naive");
+
+  flow::make_sink(opts.format)->write(doc, std::cout);
   return 0;
+} catch (const std::exception& error) {
+  std::cerr << "table3_max_write: " << error.what() << '\n';
+  return 1;
 }

@@ -1,6 +1,7 @@
 // Building a custom in-memory compute kernel with the word-level builder:
 // an 8-bit, 4-operation ALU (ADD / SUB / AND / XOR selected by a 2-bit
-// opcode), compiled once naively and once with full endurance management.
+// opcode), compiled once naively and once with full endurance management —
+// both configurations as one flow::Runner batch over a shared Source.
 // Shows the end-to-end flow a downstream user follows for their own logic.
 //
 //   $ ./build/examples/custom_alu
@@ -8,8 +9,8 @@
 #include <iostream>
 
 #include "benchmarks/wordlib.hpp"
-#include "core/endurance.hpp"
 #include "core/lifetime.hpp"
+#include "flow/runner.hpp"
 #include "plim/controller.hpp"
 #include "util/table.hpp"
 
@@ -37,42 +38,50 @@ int main() {
   std::cout << "ALU MIG: " << graph.num_gates() << " majority gates, depth "
             << graph.depth() << "\n\n";
 
-  // 2. Compile under both extremes and compare.
-  util::Table table({"flow", "#I", "#R", "min/max writes", "STDEV",
-                     "executions @1e10"});
-  core::EnduranceReport reports[2];
+  // 2. Compile under both extremes as one batch and compare.
+  const auto source = flow::Source::graph(graph, "alu");
   const core::Strategy strategies[2] = {core::Strategy::Naive,
                                         core::Strategy::FullEndurance};
+  std::vector<flow::Job> jobs;
+  for (const auto strategy : strategies) {
+    jobs.push_back({source, core::make_config(strategy), {}});
+  }
+  flow::Runner runner;
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
+
+  util::Table table({"flow", "#I", "#R", "min/max writes", "STDEV",
+                     "executions @1e10"});
   for (int i = 0; i < 2; ++i) {
-    reports[i] = core::run_pipeline(graph, core::make_config(strategies[i]), "alu");
-    const auto lifetime = core::estimate_lifetime(reports[i].writes);
+    const auto& report = results[i].report;
+    const auto lifetime = core::estimate_lifetime(report.writes);
     table.add_row({to_string(strategies[i]),
-                   std::to_string(reports[i].instructions),
-                   std::to_string(reports[i].rrams),
-                   std::to_string(reports[i].writes.min) + "/" +
-                       std::to_string(reports[i].writes.max),
-                   util::Table::fixed(reports[i].writes.stdev),
+                   std::to_string(report.instructions),
+                   std::to_string(report.rrams),
+                   std::to_string(report.writes.min) + "/" +
+                       std::to_string(report.writes.max),
+                   util::Table::fixed(report.writes.stdev),
                    std::to_string(lifetime.executions_to_first_failure)});
   }
   std::cout << table.to_string() << '\n';
 
   // 3. Both programs must behave identically on the crossbar; check a few
-  //    thousand random vectors (64 per word x 32 rounds x 2 programs).
+  //    thousand random vectors (64 per word x 32 rounds x 2 programs). The
+  //    rewritten graph each job compiled ships with its result.
   bool all_match = true;
-  for (int i = 0; i < 2; ++i) {
-    const auto& config = reports[i].config;
-    const auto prepared = core::prepare(graph, config);
-    all_match &= plim::program_matches_mig(reports[i].program, prepared, 32, 7);
+  for (const auto& result : results) {
+    all_match &= plim::program_matches_mig(result.report.program,
+                                           *result.prepared, 32, 7);
   }
   std::cout << "functional cross-check on the crossbar simulator: "
             << (all_match ? "passed" : "FAILED") << '\n';
   std::cout << "endurance flow lifetime gain: "
             << util::Table::fixed(
                    static_cast<double>(
-                       core::estimate_lifetime(reports[1].writes)
+                       core::estimate_lifetime(results[1].report.writes)
                            .executions_to_first_failure) /
                    static_cast<double>(
-                       core::estimate_lifetime(reports[0].writes)
+                       core::estimate_lifetime(results[0].report.writes)
                            .executions_to_first_failure),
                    2)
             << "x\n";

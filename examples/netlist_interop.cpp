@@ -8,7 +8,7 @@
 #include <sstream>
 
 #include "benchmarks/control.hpp"
-#include "core/endurance.hpp"
+#include "flow/runner.hpp"
 #include "mig/io.hpp"
 #include "mig/simulate.hpp"
 
@@ -44,11 +44,18 @@ int main() {
             << (mig::equivalent_random(original, reread, 16, 43) ? "yes" : "NO")
             << "\n\n";
 
-  // Imported netlists drop straight into the endurance pipeline.
-  const auto report = core::run_pipeline(
-      imported, core::make_config(core::Strategy::FullEndurance), "imported");
-  std::cout << "compiled imported netlist: " << report.instructions
-            << " instructions, " << report.rrams << " cells, write stdev "
-            << report.writes.stdev << '\n';
+  // Imported netlists drop straight into the endurance pipeline as flow
+  // Sources (files would use flow::Source::netlist("path.blif") instead).
+  const auto result = flow::run_job(
+      {flow::Source::graph(imported, "imported"),
+       core::make_config(core::Strategy::FullEndurance),
+       {}});
+  if (!result.ok()) {
+    std::cerr << "pipeline failed: " << result.error << '\n';
+    return 1;
+  }
+  std::cout << "compiled imported netlist: " << result.report.instructions
+            << " instructions, " << result.report.rrams
+            << " cells, write stdev " << result.report.writes.stdev << '\n';
   return 0;
 }

@@ -1,5 +1,5 @@
-// Quickstart: build a Boolean function as an MIG, compile it for the PLiM
-// architecture with full endurance management, execute the program on the
+// Quickstart: build a Boolean function as an MIG, compile it through the
+// flow job-runner with full endurance management, execute the program on the
 // RRAM crossbar simulator, and inspect the write traffic.
 //
 //   $ ./build/examples/quickstart
@@ -7,8 +7,8 @@
 #include <iostream>
 #include <vector>
 
-#include "core/endurance.hpp"
 #include "core/lifetime.hpp"
+#include "flow/runner.hpp"
 #include "mig/mig.hpp"
 #include "mig/simulate.hpp"
 #include "plim/controller.hpp"
@@ -27,10 +27,18 @@ int main() {
   graph.create_po(sum, "sum");
   graph.create_po(carry, "cout");
 
-  // 2. Compile with the paper's full endurance-management flow:
-  //    Algorithm 2 rewriting + Algorithm 3 selection + min-write allocation.
-  const auto config = core::make_config(core::Strategy::FullEndurance);
-  const auto report = core::run_pipeline(graph, config, "full-adder");
+  // 2. Compile with the paper's full endurance-management flow (Algorithm 2
+  //    rewriting + Algorithm 3 selection + min-write allocation) as a
+  //    one-job flow batch. Sweeps simply push more jobs — same API.
+  const flow::Job job{flow::Source::graph(graph, "full-adder"),
+                      core::make_config(core::Strategy::FullEndurance),
+                      {}};
+  const auto result = flow::run_job(job);
+  if (!result.ok()) {
+    std::cerr << "pipeline failed: " << result.error << '\n';
+    return 1;
+  }
+  const auto& report = result.report;
 
   std::cout << "compiled " << report.benchmark << ": " << report.instructions
             << " RM3 instructions over " << report.rrams << " RRAM cells\n"

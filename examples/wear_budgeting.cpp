@@ -1,15 +1,17 @@
 // Wear budgeting: a downstream-user scenario for the maximum write count
 // strategy (paper Table III). Given a deployment that must survive N program
 // executions on cells with endurance E, find the loosest write cap that
-// meets the target and report its area/latency price.
+// meets the target and report its area/latency price. The whole cap sweep is
+// one flow::Runner batch over a shared Source — the Algorithm-2 rewrite runs
+// once and every capped compilation reuses it from the rewrite cache.
 //
 //   $ ./build/examples/wear_budgeting
 
 #include <iostream>
 
 #include "benchmarks/arithmetic.hpp"
-#include "core/endurance.hpp"
 #include "core/lifetime.hpp"
+#include "flow/runner.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -19,30 +21,35 @@ int main() {
   constexpr std::uint64_t kTargetExecutions = 800'000'000ULL;
 
   // The workload: a 16-bit multiplier kernel executed on every invocation.
-  const auto graph = bench::make_multiplier(16);
+  const auto source = flow::Source::graph(bench::make_multiplier(16),
+                                          "multiplier16");
   std::cout << "workload: 16-bit multiplier, target " << kTargetExecutions
             << " executions at cell endurance " << kEndurance << "\n\n";
 
-  const auto base_config = core::make_config(core::Strategy::FullEndurance);
-  const auto prepared = core::prepare(graph, base_config);
+  constexpr std::uint64_t kCaps[] = {0, 100, 50, 20, 10};  // 0 = uncapped
+  std::vector<flow::Job> jobs;
+  for (const std::uint64_t cap : kCaps) {
+    jobs.push_back({source,
+                    cap == 0 ? core::make_config(core::Strategy::FullEndurance)
+                             : core::make_config(core::Strategy::FullEndurance,
+                                                 cap),
+                    {}});
+  }
+  flow::Runner runner;
+  const auto results = runner.run(jobs);
+  flow::throw_on_error(results);
 
   util::Table table({"write cap", "#I", "#R", "max writes", "STDEV",
                      "guaranteed executions", "meets target"});
   std::optional<std::uint64_t> chosen;
-  const auto uncapped =
-      core::compile_prepared(prepared, base_config, "multiplier16");
-  for (const std::uint64_t cap : {0ULL, 100ULL, 50ULL, 20ULL, 10ULL}) {
-    const auto report =
-        cap == 0 ? uncapped
-                 : core::compile_prepared(
-                       prepared, core::make_config(core::Strategy::FullEndurance, cap),
-                       "multiplier16");
+  for (std::size_t i = 0; i < std::size(kCaps); ++i) {
+    const auto& report = results[i].report;
     const auto lifetime = core::estimate_lifetime(report.writes, kEndurance);
     const bool ok = lifetime.executions_to_first_failure >= kTargetExecutions;
     if (ok && !chosen) {
-      chosen = cap;
+      chosen = kCaps[i];
     }
-    table.add_row({cap == 0 ? "none" : std::to_string(cap),
+    table.add_row({kCaps[i] == 0 ? "none" : std::to_string(kCaps[i]),
                    std::to_string(report.instructions),
                    std::to_string(report.rrams),
                    std::to_string(report.writes.max),

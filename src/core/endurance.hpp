@@ -67,7 +67,10 @@ struct EnduranceReport {
                                                std::string benchmark_name = {},
                                                std::size_t gates_before = 0);
 
-/// prepare + compile in one call.
+/// prepare + compile in one call — a single-job convenience. Sweeps and
+/// batches should go through flow::Runner (src/flow/runner.hpp), which adds
+/// a thread pool and a content-addressed rewrite cache on top of these
+/// primitives.
 [[nodiscard]] EnduranceReport run_pipeline(const mig::Mig& graph,
                                            const PipelineConfig& config,
                                            std::string benchmark_name = {});

@@ -1,0 +1,66 @@
+#include "flow/cache.hpp"
+
+#include "util/hash.hpp"
+
+namespace rlim::flow {
+
+std::size_t RewriteCache::KeyHash::operator()(const Key& key) const {
+  return static_cast<std::size_t>(util::Fnv1a64()
+                                      .u64(key.fingerprint)
+                                      .u32(static_cast<std::uint32_t>(key.kind))
+                                      .u32(static_cast<std::uint32_t>(key.effort))
+                                      .digest());
+}
+
+RewriteCache::Entry RewriteCache::get(const Source& source,
+                                      mig::RewriteKind kind, int effort) {
+  const Key key{source.fingerprint(), kind, effort};
+
+  std::promise<Entry> promise;
+  std::shared_future<Entry> future;
+  bool owner = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      future = it->second;
+      hits_.fetch_add(1);
+    } else {
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+      misses_.fetch_add(1);
+      owner = true;
+    }
+  }
+
+  if (owner) {
+    try {
+      Entry entry;
+      mig::RewriteStats stats;
+      entry.graph = std::make_shared<const mig::Mig>(
+          mig::rewrite(source.original(), kind, effort, &stats));
+      entry.stats = stats;
+      rewrites_by_kind_[static_cast<std::size_t>(kind)].fetch_add(1);
+      promise.set_value(std::move(entry));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
+}
+
+std::size_t RewriteCache::rewrites(mig::RewriteKind kind) const {
+  return rewrites_by_kind_[static_cast<std::size_t>(kind)].load();
+}
+
+void RewriteCache::clear() {
+  const std::scoped_lock lock(mutex_);
+  entries_.clear();
+  hits_.store(0);
+  misses_.store(0);
+  for (auto& count : rewrites_by_kind_) {
+    count.store(0);
+  }
+}
+
+}  // namespace rlim::flow

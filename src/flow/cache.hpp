@@ -1,0 +1,65 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "flow/job.hpp"
+#include "mig/rewriting.hpp"
+
+namespace rlim::flow {
+
+/// Content-addressed cache of rewritten MIGs, shared by every job of a
+/// Runner batch. Keyed by (graph fingerprint, RewriteKind, effort), so a
+/// sweep that compiles the same benchmark under many strategies runs each
+/// rewriting flow exactly once — the generalization of the manual
+/// "PreparedBenchmark" sharing the bench drivers used to hand-roll.
+///
+/// Thread-safe with single-flight semantics: when two workers request the
+/// same missing key concurrently, one performs the rewrite and the other
+/// blocks on its result, never duplicating work.
+class RewriteCache {
+public:
+  struct Entry {
+    std::shared_ptr<const mig::Mig> graph;
+    mig::RewriteStats stats;
+  };
+
+  /// Returns the rewritten graph for the triple, computing it on a miss.
+  /// Exceptions from graph construction / rewriting propagate to every
+  /// waiter of the entry.
+  Entry get(const Source& source, mig::RewriteKind kind, int effort);
+
+  /// Number of cache lookups answered without rewriting.
+  [[nodiscard]] std::size_t hits() const { return hits_.load(); }
+  /// Number of lookups that ran a rewriting flow (== distinct keys seen).
+  [[nodiscard]] std::size_t misses() const { return misses_.load(); }
+  /// How many times the given flow actually ran.
+  [[nodiscard]] std::size_t rewrites(mig::RewriteKind kind) const;
+
+  void clear();
+
+private:
+  struct Key {
+    std::uint64_t fingerprint;
+    mig::RewriteKind kind;
+    int effort;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+
+  std::mutex mutex_;
+  std::unordered_map<Key, std::shared_future<Entry>, KeyHash> entries_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::array<std::atomic<std::size_t>, mig::kRewriteKindCount>
+      rewrites_by_kind_{};
+};
+
+}  // namespace rlim::flow

@@ -1,0 +1,171 @@
+#include "flow/report.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace rlim::flow {
+
+std::string to_string(ReportFormat format) {
+  switch (format) {
+    case ReportFormat::Table: return "table";
+    case ReportFormat::Csv: return "csv";
+    case ReportFormat::Json: return "json";
+  }
+  return "?";
+}
+
+ReportFormat parse_format(const std::string& name) {
+  if (name == "table") {
+    return ReportFormat::Table;
+  }
+  if (name == "csv") {
+    return ReportFormat::Csv;
+  }
+  if (name == "json") {
+    return ReportFormat::Json;
+  }
+  throw Error("unknown report format '" + name + "' (expect table|csv|json)");
+}
+
+void TableSink::write(const Report& report, std::ostream& os) {
+  if (!report.title.empty()) {
+    os << report.title << "\n\n";
+  }
+  util::Table table(report.columns);
+  for (const auto& row : report.rows) {
+    if (row.separator) {
+      table.add_separator();
+    } else {
+      table.add_row(row.cells);
+    }
+  }
+  os << table.to_string();
+  for (const auto& note : report.notes) {
+    os << note << '\n';
+  }
+}
+
+namespace {
+
+void write_csv_cell(const std::string& cell, std::ostream& os) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (const char c : cell) {
+    if (c == '"') {
+      os << '"';
+    }
+    os << c;
+  }
+  os << '"';
+}
+
+void write_csv_row(const std::vector<std::string>& cells, std::ostream& os) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    write_csv_cell(cells[i], os);
+  }
+  os << '\n';
+}
+
+void write_json_string(const std::string& text, std::ostream& os) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_json_strings(const std::vector<std::string>& items,
+                        std::ostream& os) {
+  os << '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    write_json_string(items[i], os);
+  }
+  os << ']';
+}
+
+/// Emits `text` as `# `-prefixed comment lines (multi-line safe).
+void write_csv_comment(const std::string& text, std::ostream& os) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto end = text.find('\n', start);
+    os << "# " << text.substr(start, end - start) << '\n';
+    if (end == std::string::npos) {
+      break;
+    }
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+void CsvSink::write(const Report& report, std::ostream& os) {
+  if (!report.title.empty()) {
+    write_csv_comment(report.title, os);
+  }
+  write_csv_row(report.columns, os);
+  for (const auto& row : report.rows) {
+    if (!row.separator) {
+      write_csv_row(row.cells, os);
+    }
+  }
+  for (const auto& note : report.notes) {
+    write_csv_comment(note, os);
+  }
+}
+
+void JsonSink::write(const Report& report, std::ostream& os) {
+  os << "{\"title\":";
+  write_json_string(report.title, os);
+  os << ",\"columns\":";
+  write_json_strings(report.columns, os);
+  os << ",\"rows\":[";
+  bool first = true;
+  for (const auto& row : report.rows) {
+    if (row.separator) {
+      continue;
+    }
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    write_json_strings(row.cells, os);
+  }
+  os << "],\"notes\":";
+  write_json_strings(report.notes, os);
+  os << "}\n";
+}
+
+std::unique_ptr<ReportSink> make_sink(ReportFormat format) {
+  switch (format) {
+    case ReportFormat::Table: return std::make_unique<TableSink>();
+    case ReportFormat::Csv: return std::make_unique<CsvSink>();
+    case ReportFormat::Json: return std::make_unique<JsonSink>();
+  }
+  throw Error("make_sink: unknown format");
+}
+
+}  // namespace rlim::flow

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rlim::flow {
+
+/// Output format of a ReportSink.
+enum class ReportFormat {
+  Table,  ///< aligned ASCII table (the paper-table look)
+  Csv,    ///< RFC-4180 cells; title/notes as `#` comment lines
+  Json,   ///< one object: {"title", "columns", "rows", "notes"}
+};
+
+[[nodiscard]] std::string to_string(ReportFormat format);
+/// Parses "table" / "csv" / "json" (throws rlim::Error otherwise).
+[[nodiscard]] ReportFormat parse_format(const std::string& name);
+
+/// A rendered result document: the tabular payload every driver produces,
+/// decoupled from how it is serialized. Drivers fill one (or several) of
+/// these and hand them to a ReportSink.
+struct Report {
+  std::string title;
+  std::vector<std::string> columns;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<Row> rows;
+  /// Free-text annotations (paper reference values, expected shapes, ...).
+  std::vector<std::string> notes;
+
+  void add_row(std::vector<std::string> cells) {
+    rows.push_back({std::move(cells), false});
+  }
+  void add_separator() { rows.push_back({{}, true}); }
+  void add_note(std::string note) { notes.push_back(std::move(note)); }
+};
+
+/// Serialization strategy for Reports. Implementations must be stateless
+/// w.r.t. the document (every write() is self-contained), so one sink can
+/// render any number of reports.
+class ReportSink {
+public:
+  virtual ~ReportSink() = default;
+  virtual void write(const Report& report, std::ostream& os) = 0;
+};
+
+/// Aligned ASCII table (util::Table layout), title first, notes after.
+class TableSink final : public ReportSink {
+public:
+  void write(const Report& report, std::ostream& os) override;
+};
+
+/// Header + data rows with RFC-4180 quoting; separators are skipped and
+/// title/notes become `# ` comment lines.
+class CsvSink final : public ReportSink {
+public:
+  void write(const Report& report, std::ostream& os) override;
+};
+
+/// One JSON object per report, rows as arrays of strings.
+class JsonSink final : public ReportSink {
+public:
+  void write(const Report& report, std::ostream& os) override;
+};
+
+[[nodiscard]] std::unique_ptr<ReportSink> make_sink(ReportFormat format);
+
+}  // namespace rlim::flow

@@ -1,0 +1,135 @@
+#include "flow/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace rlim::flow {
+
+Runner::Runner(RunnerOptions options) : options_(options) {}
+
+unsigned Runner::concurrency(std::size_t job_count) const {
+  unsigned workers = options_.jobs;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return static_cast<unsigned>(
+      std::min<std::size_t>(workers, std::max<std::size_t>(1, job_count)));
+}
+
+JobResult Runner::execute(const Job& job) {
+  JobResult result;
+  try {
+    require(job.source != nullptr, "flow: job without a source");
+    const auto& config = job.config;
+    if (config.rewrite == mig::RewriteKind::None) {
+      // The paper's naive baseline compiles the graph exactly as
+      // constructed — no cleanup pass, unlike mig::rewrite(None). The
+      // source's graph is shared directly; no cache entry is needed.
+      result.prepared = job.source->original_ptr();
+      result.rewrite_stats.initial_gates = result.rewrite_stats.final_gates =
+          result.prepared->num_gates();
+      result.rewrite_stats.initial_complement_edges =
+          result.rewrite_stats.final_complement_edges =
+              result.prepared->complement_edge_count();
+    } else if (options_.cache_rewrites) {
+      auto entry = cache_.get(*job.source, config.rewrite, config.effort);
+      result.prepared = std::move(entry.graph);
+      result.rewrite_stats = entry.stats;
+    } else {
+      mig::RewriteStats stats;
+      result.prepared = std::make_shared<const mig::Mig>(
+          mig::rewrite(job.source->original(), config.rewrite, config.effort,
+                       &stats));
+      result.rewrite_stats = stats;
+    }
+    result.report =
+        core::compile_prepared(*result.prepared, config, job.display_label(),
+                               job.source->original().num_gates());
+  } catch (const std::exception& error) {
+    result.error = error.what();
+    if (result.error.empty()) {
+      result.error = "unknown error";
+    }
+  }
+  return result;
+}
+
+std::vector<JobResult> Runner::run(const std::vector<Job>& jobs) {
+  std::vector<JobResult> results(jobs.size());
+  const unsigned workers = concurrency(jobs.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = execute(jobs[i]);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const auto index = next.fetch_add(1);
+      if (index >= jobs.size()) {
+        return;
+      }
+      results[index] = execute(jobs[index]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    pool.emplace_back(worker);
+  }
+  for (auto& thread : pool) {
+    thread.join();
+  }
+  return results;
+}
+
+JobResult run_job(const Job& job) {
+  Runner runner({.jobs = 1});
+  return runner.run({job}).front();
+}
+
+void throw_on_error(const std::vector<JobResult>& results) {
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      throw Error("flow job failed: " + result.error);
+    }
+  }
+}
+
+DriverOptions parse_driver_args(int argc, char** argv) {
+  DriverOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": option " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--format") {
+        options.format = parse_format(next());
+      } else if (arg == "--jobs") {
+        options.jobs = static_cast<unsigned>(std::stoul(next()));
+      } else {
+        throw Error("unknown option '" + arg + "'");
+      }
+    } catch (const std::exception& error) {
+      std::cerr << argv[0] << ": " << error.what()
+                << "\nusage: " << argv[0]
+                << " [--format table|csv|json] [--jobs N]\n";
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+}  // namespace rlim::flow

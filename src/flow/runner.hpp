@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "flow/cache.hpp"
+#include "flow/job.hpp"
+#include "flow/report.hpp"
+
+namespace rlim::flow {
+
+struct RunnerOptions {
+  /// Worker-thread count; 0 selects std::thread::hardware_concurrency().
+  unsigned jobs = 0;
+  /// Share rewritten graphs across jobs via the RewriteCache. Disable only
+  /// to measure cold rewriting cost.
+  bool cache_rewrites = true;
+};
+
+/// Executes a batch of Jobs on a thread pool and returns one JobResult per
+/// job, in job order. This is the single public way to run endurance
+/// pipelines; `core::run_pipeline` remains only as a one-job convenience.
+///
+/// Determinism: every pipeline stage is a pure function of its job, so the
+/// results — and any report rendered from them — are byte-identical for any
+/// worker count. Job-level failures are captured in JobResult::error instead
+/// of aborting the batch.
+///
+/// The rewrite cache persists across run() calls, so multi-phase sweeps
+/// (e.g. "run uncapped first, then only the binding caps") reuse earlier
+/// rewrites by handing their batches to the same Runner.
+class Runner {
+public:
+  explicit Runner(RunnerOptions options = {});
+
+  [[nodiscard]] std::vector<JobResult> run(const std::vector<Job>& jobs);
+
+  /// Worker threads a run() over `job_count` jobs would use.
+  [[nodiscard]] unsigned concurrency(std::size_t job_count) const;
+
+  [[nodiscard]] const RewriteCache& cache() const { return cache_; }
+
+private:
+  JobResult execute(const Job& job);
+
+  RunnerOptions options_;
+  RewriteCache cache_;
+};
+
+/// Runs one job inline on the calling thread (no pool, fresh cache).
+[[nodiscard]] JobResult run_job(const Job& job);
+
+/// Throws rlim::Error with the first failed job's message, if any.
+void throw_on_error(const std::vector<JobResult>& results);
+
+/// Shared command-line options of the bench drivers.
+struct DriverOptions {
+  ReportFormat format = ReportFormat::Table;
+  unsigned jobs = 0;  ///< Runner worker count (0 = hardware concurrency)
+};
+
+/// Parses `--format table|csv|json` and `--jobs N` from a bench driver's
+/// argv. On bad usage, prints a message to stderr and exits with code 2
+/// (bench drivers have no other CLI surface).
+[[nodiscard]] DriverOptions parse_driver_args(int argc, char** argv);
+
+}  // namespace rlim::flow

@@ -1,0 +1,85 @@
+#include "flow/job.hpp"
+
+#include "benchmarks/suite.hpp"
+#include "mig/io.hpp"
+#include "util/error.hpp"
+
+namespace rlim::flow {
+
+namespace {
+
+bool has_suffix(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+SourcePtr Source::benchmark(const bench::BenchmarkSpec& spec) {
+  auto source = std::shared_ptr<Source>(new Source());
+  source->label_ = spec.name;
+  source->pis_ = spec.pis;
+  source->pos_ = spec.pos;
+  source->build_ = spec.build;
+  return source;
+}
+
+SourcePtr Source::benchmark(const std::string& name) {
+  return benchmark(bench::find_benchmark(name));
+}
+
+SourcePtr Source::netlist(const std::string& spec) {
+  if (spec.rfind("bench:", 0) == 0) {
+    auto source = benchmark(spec.substr(6));
+    source->label_ = spec;
+    return source;
+  }
+  auto source = std::shared_ptr<Source>(new Source());
+  source->label_ = spec;
+  if (has_suffix(spec, ".blif")) {
+    source->build_ = [spec] { return mig::read_blif_file(spec); };
+  } else if (has_suffix(spec, ".mig")) {
+    source->build_ = [spec] { return mig::read_mig_file(spec); };
+  } else {
+    throw Error("cannot determine format of '" + spec +
+                "' (expect .mig, .blif, or bench:NAME)");
+  }
+  return source;
+}
+
+SourcePtr Source::graph(mig::Mig graph, std::string label) {
+  auto source = std::shared_ptr<Source>(new Source());
+  source->label_ = std::move(label);
+  source->pis_ = graph.num_pis();
+  source->pos_ = graph.num_pos();
+  source->graph_ = std::make_shared<const mig::Mig>(std::move(graph));
+  return source;
+}
+
+const mig::Mig& Source::original_locked() const {
+  if (!graph_) {
+    graph_ = std::make_shared<const mig::Mig>(build_());
+  }
+  return *graph_;
+}
+
+std::shared_ptr<const mig::Mig> Source::original_ptr() const {
+  const std::scoped_lock lock(mutex_);
+  static_cast<void>(original_locked());
+  return graph_;
+}
+
+const mig::Mig& Source::original() const {
+  const std::scoped_lock lock(mutex_);
+  return original_locked();
+}
+
+std::uint64_t Source::fingerprint() const {
+  const std::scoped_lock lock(mutex_);
+  if (!fingerprint_) {
+    fingerprint_ = original_locked().fingerprint();
+  }
+  return *fingerprint_;
+}
+
+}  // namespace rlim::flow

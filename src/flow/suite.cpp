@@ -1,0 +1,41 @@
+#include "flow/suite.hpp"
+
+#include <cstdlib>
+
+#include "benchmarks/suite.hpp"
+
+namespace rlim::flow {
+
+SuiteSelection suite() {
+  SuiteSelection selection;
+  const char* env = std::getenv("RLIM_SUITE");
+  selection.mini = env != nullptr && std::string(env) == "mini";
+  if (selection.mini) {
+    selection.specs = &bench::mini_suite();
+    selection.label = "mini (RLIM_SUITE=mini)";
+  } else {
+    selection.specs = &bench::paper_suite();
+    selection.label = "paper profile";
+  }
+  return selection;
+}
+
+std::vector<SourcePtr> suite_sources(const SuiteSelection& selection) {
+  std::vector<SourcePtr> sources;
+  sources.reserve(selection.specs->size());
+  for (const auto& spec : *selection.specs) {
+    sources.push_back(Source::benchmark(spec));
+  }
+  return sources;
+}
+
+std::vector<SourcePtr> suite_sources() { return suite_sources(suite()); }
+
+std::span<const core::Strategy> paper_strategies() {
+  static constexpr core::Strategy kStrategies[5] = {
+      core::Strategy::Naive, core::Strategy::Plim21, core::Strategy::MinWrite,
+      core::Strategy::MinWriteEnduranceRewrite, core::Strategy::FullEndurance};
+  return kStrategies;
+}
+
+}  // namespace rlim::flow

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flow/job.hpp"
+
+namespace rlim::bench {
+struct BenchmarkSpec;
+}
+
+namespace rlim::flow {
+
+/// Which built-in evaluation suite a sweep runs over. The single place that
+/// interprets the RLIM_SUITE environment variable (the bench drivers used to
+/// re-parse it in every helper).
+struct SuiteSelection {
+  /// Points at bench::paper_suite() or bench::mini_suite().
+  const std::vector<bench::BenchmarkSpec>* specs = nullptr;
+  /// Human-readable provenance, e.g. "paper profile" / "mini (RLIM_SUITE=mini)".
+  std::string label;
+  bool mini = false;
+};
+
+/// Reads RLIM_SUITE: "mini" selects the scaled-down instances, anything else
+/// (or unset) the full paper profile.
+[[nodiscard]] SuiteSelection suite();
+
+/// One shared Source per benchmark of the selection, in suite order.
+[[nodiscard]] std::vector<SourcePtr> suite_sources(const SuiteSelection& selection);
+[[nodiscard]] std::vector<SourcePtr> suite_sources();
+
+/// The five incremental endurance-management configurations of the paper's
+/// Table I, in column order — the canonical strategy sweep.
+[[nodiscard]] std::span<const core::Strategy> paper_strategies();
+
+}  // namespace rlim::flow

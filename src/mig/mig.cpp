@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace rlim::mig {
@@ -215,6 +216,22 @@ Mig Mig::cleanup() const {
     fresh.create_po(map[po.index()] ^ po.is_complemented(), po_names_[i]);
   }
   return fresh;
+}
+
+std::uint64_t Mig::fingerprint() const {
+  util::Fnv1a64 hash;
+  hash.u32(num_pis_);
+  hash.u32(num_gates());
+  for (std::uint32_t gate = first_gate(); gate < num_nodes(); ++gate) {
+    for (const auto fanin : nodes_[gate].fanin) {
+      hash.u32(fanin.raw());
+    }
+  }
+  hash.u32(num_pos());
+  for (const auto po : pos_) {
+    hash.u32(po.raw());
+  }
+  return hash.digest();
 }
 
 }  // namespace rlim::mig

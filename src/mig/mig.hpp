@@ -108,6 +108,13 @@ public:
   /// re-simplified; PI/PO profile and names preserved).
   [[nodiscard]] Mig cleanup() const;
 
+  /// Stable 64-bit content hash of the graph *structure*: PI count, gate
+  /// fanins in topological order, and PO signals. PI/PO names are excluded,
+  /// so two graphs describing the same netlist hash equal regardless of
+  /// labeling. Byte-order independent; suitable as a cache key (FNV-1a, not
+  /// cryptographic).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
 private:
   struct Node {
     std::array<Signal, 3> fanin{};

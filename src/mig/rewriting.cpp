@@ -8,11 +8,16 @@
 
 namespace rlim::mig {
 
+static_assert(static_cast<std::size_t>(RewriteKind::LevelBalanced) + 1 ==
+                  kRewriteKindCount,
+              "kRewriteKindCount is out of sync with RewriteKind");
+
 std::string to_string(RewriteKind kind) {
   switch (kind) {
     case RewriteKind::None: return "none";
     case RewriteKind::Plim21: return "plim21";
     case RewriteKind::Endurance: return "endurance";
+    case RewriteKind::LevelBalanced: return "level-balanced";
   }
   return "?";
 }
@@ -106,6 +111,8 @@ Mig rewrite(const Mig& mig, RewriteKind kind, int effort, RewriteStats* stats) {
       return rewrite_plim21(mig, effort, stats);
     case RewriteKind::Endurance:
       return rewrite_endurance(mig, effort, stats);
+    case RewriteKind::LevelBalanced:
+      return rewrite_level_balanced(mig, effort, stats);
   }
   throw Error("rewrite: unknown kind");
 }

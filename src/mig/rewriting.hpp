@@ -20,10 +20,15 @@ struct RewriteStats {
 
 /// Which rewriting flow to run before compilation.
 enum class RewriteKind {
-  None,       ///< naive: compile the MIG as constructed
-  Plim21,     ///< paper Algorithm 1 — the original PLiM compiler flow [21]
-  Endurance,  ///< paper Algorithm 2 — endurance-aware rewriting
+  None,           ///< naive: compile the MIG as constructed (cleanup only)
+  Plim21,         ///< paper Algorithm 1 — the original PLiM compiler flow [21]
+  Endurance,      ///< paper Algorithm 2 — endurance-aware rewriting
+  LevelBalanced,  ///< §III-B.4 experimental flow (rewrite_level_balanced)
 };
+
+/// Number of RewriteKind enumerators — keep in sync when extending the enum
+/// (per-kind tables, e.g. the flow layer's rewrite counters, size on it).
+inline constexpr std::size_t kRewriteKindCount = 4;
 
 [[nodiscard]] std::string to_string(RewriteKind kind);
 

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rlim::util {
+
+/// Streaming FNV-1a 64-bit hasher. Used wherever the code base needs a
+/// stable, platform-independent content hash (e.g. the MIG fingerprints that
+/// key the flow layer's rewrite cache). Not cryptographic.
+class Fnv1a64 {
+public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x00000100000001b3ULL;
+
+  constexpr Fnv1a64& byte(std::uint8_t value) {
+    state_ = (state_ ^ value) * kPrime;
+    return *this;
+  }
+
+  constexpr Fnv1a64& bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      byte(p[i]);
+    }
+    return *this;
+  }
+
+  /// Hashes the value little-endian, independent of host byte order.
+  constexpr Fnv1a64& u32(std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      byte(static_cast<std::uint8_t>(value >> shift));
+    }
+    return *this;
+  }
+
+  constexpr Fnv1a64& u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      byte(static_cast<std::uint8_t>(value >> shift));
+    }
+    return *this;
+  }
+
+  constexpr Fnv1a64& str(std::string_view text) {
+    for (const char c : text) {
+      byte(static_cast<std::uint8_t>(c));
+    }
+    return *this;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const { return state_; }
+
+private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot convenience over a byte range.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view text) {
+  return Fnv1a64().str(text).digest();
+}
+
+}  // namespace rlim::util

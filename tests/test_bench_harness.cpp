@@ -4,6 +4,7 @@
 
 #include "bench_common.hpp"
 #include "benchmarks/suite.hpp"
+#include "flow/suite.hpp"
 
 namespace rlim::benchharness {
 namespace {
@@ -45,18 +46,29 @@ TEST(BenchHarness, DefaultsToPaperSuite) {
   const SuiteEnvGuard guard(nullptr);
   EXPECT_EQ(&selected_suite(), &bench::paper_suite());
   EXPECT_EQ(suite_label(), "paper profile");
+  EXPECT_FALSE(flow::suite().mini);
 }
 
 TEST(BenchHarness, MiniEnvSelectsMiniSuite) {
   const SuiteEnvGuard guard("mini");
   EXPECT_EQ(&selected_suite(), &bench::mini_suite());
   EXPECT_EQ(suite_label(), "mini (RLIM_SUITE=mini)");
+  EXPECT_TRUE(flow::suite().mini);
 }
 
 TEST(BenchHarness, UnknownValueFallsBackToPaperSuite) {
   const SuiteEnvGuard guard("jumbo");
   EXPECT_EQ(&selected_suite(), &bench::paper_suite());
   EXPECT_EQ(suite_label(), "paper profile");
+}
+
+TEST(BenchHarness, ShimForwardsToFlowSelection) {
+  // The harness helpers are a shim over the single RLIM_SUITE parser in the
+  // flow layer; both views must agree.
+  const SuiteEnvGuard guard("mini");
+  const auto selection = flow::suite();
+  EXPECT_EQ(&selected_suite(), selection.specs);
+  EXPECT_EQ(suite_label(), selection.label);
 }
 
 TEST(BenchHarness, SuitesShareNamesButDifferInSize) {
@@ -68,20 +80,11 @@ TEST(BenchHarness, SuitesShareNamesButDifferInSize) {
   }
 }
 
-TEST(BenchHarness, PrepareBenchmarkRunsAllRewriteFlavours) {
-  const SuiteEnvGuard guard("mini");
-  const auto& suite = selected_suite();
-  ASSERT_FALSE(suite.empty());
-  const auto prepared = prepare_benchmark(suite.front(), /*effort=*/1);
-  EXPECT_EQ(prepared.name, suite.front().name);
-  EXPECT_GT(prepared.original.num_gates(), 0u);
-  // Each rewrite flavour must be reachable through for_config().
-  for (const auto strategy :
-       {core::Strategy::Naive, core::Strategy::Plim21,
-        core::Strategy::FullEndurance}) {
-    const auto config = core::make_config(strategy);
-    EXPECT_GT(prepared.for_config(config).num_gates(), 0u);
-  }
+TEST(BenchHarness, MinMaxUsesPaperNotation) {
+  util::WriteStats stats;
+  stats.min = 3;
+  stats.max = 17;
+  EXPECT_EQ(min_max(stats), "3/17");
 }
 
 }  // namespace

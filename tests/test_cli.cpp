@@ -98,6 +98,55 @@ TEST(Cli, CompileDisassembles) {
   EXPECT_NE(result.out.find("RM3("), std::string::npos);
 }
 
+TEST(Cli, CompileBatchRendersOneRowPerNetlist) {
+  const auto result = run_cli({"compile", "bench:ctrl", "bench:router",
+                               "--strategy", "full", "--jobs", "2"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("bench:ctrl"), std::string::npos);
+  EXPECT_NE(result.out.find("bench:router"), std::string::npos);
+  EXPECT_NE(result.out.find("| benchmark"), std::string::npos);
+}
+
+TEST(Cli, CompileJobCountDoesNotChangeOutput) {
+  const auto serial = run_cli({"compile", "bench:ctrl", "bench:router",
+                               "--jobs", "1", "--format", "csv"});
+  const auto parallel = run_cli({"compile", "bench:ctrl", "bench:router",
+                                 "--jobs", "8", "--format", "csv"});
+  EXPECT_EQ(serial.code, 0) << serial.err;
+  EXPECT_EQ(serial.out, parallel.out);
+}
+
+TEST(Cli, CompileBatchKeepsGoodResultsOnPartialFailure) {
+  const auto result = run_cli(
+      {"compile", "bench:ctrl", "/nonexistent/x.mig", "--format", "csv"});
+  EXPECT_EQ(result.code, 1);
+  // The good netlist's row survives; the bad one reports its error inline.
+  EXPECT_NE(result.out.find("bench:ctrl,"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("error: "), std::string::npos) << result.out;
+}
+
+TEST(Cli, CompileJsonFormat) {
+  const auto result =
+      run_cli({"compile", "bench:ctrl", "--format", "json"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out.rfind("{\"title\":", 0), 0u) << result.out;
+  EXPECT_NE(result.out.find("\"bench:ctrl\""), std::string::npos);
+}
+
+TEST(Cli, SuiteCsvFormat) {
+  const auto result = run_cli({"suite", "--format", "csv"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("benchmark,PI/PO,class"), std::string::npos);
+  EXPECT_NE(result.out.find("adder,256/129,arithmetic"), std::string::npos);
+}
+
+TEST(Cli, BadFormatFails) {
+  const auto result =
+      run_cli({"compile", "bench:ctrl", "--format", "yaml"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("unknown report format"), std::string::npos);
+}
+
 TEST(Cli, RewriteRoundTrip) {
   const auto input = temp_netlist();
   const auto output = ::testing::TempDir() + "/cli_rewritten.blif";

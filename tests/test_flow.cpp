@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchmarks/arithmetic.hpp"
+#include "benchmarks/suite.hpp"
+#include "flow/runner.hpp"
+#include "flow/suite.hpp"
+#include "util/error.hpp"
+
+namespace rlim::flow {
+namespace {
+
+std::vector<Job> strategy_sweep(const std::vector<SourcePtr>& sources) {
+  std::vector<Job> jobs;
+  for (const auto& source : sources) {
+    for (const auto strategy : paper_strategies()) {
+      jobs.push_back({source, core::make_config(strategy), {}});
+    }
+  }
+  return jobs;
+}
+
+/// Renders a batch's results the way the table drivers do — used to compare
+/// runs byte-for-byte.
+std::string render(const std::vector<JobResult>& results, ReportFormat format) {
+  Report doc;
+  doc.title = "sweep";
+  doc.columns = {"benchmark", "#I", "#R", "min", "max", "STDEV"};
+  for (const auto& result : results) {
+    doc.add_row({result.report.benchmark,
+                 std::to_string(result.report.instructions),
+                 std::to_string(result.report.rrams),
+                 std::to_string(result.report.writes.min),
+                 std::to_string(result.report.writes.max),
+                 std::to_string(result.report.writes.stdev)});
+  }
+  std::ostringstream os;
+  make_sink(format)->write(doc, os);
+  return os.str();
+}
+
+// ---- sources ---------------------------------------------------------------
+
+TEST(FlowSource, BenchmarkCarriesSpecProfile) {
+  const auto source = Source::benchmark("adder");
+  EXPECT_EQ(source->label(), "adder");
+  EXPECT_EQ(source->pis(), 256u);
+  EXPECT_EQ(source->pos(), 129u);
+}
+
+TEST(FlowSource, GraphSourceIsImmediatelyAvailable) {
+  auto graph = bench::make_adder(4);
+  const auto fingerprint = graph.fingerprint();
+  const auto source = Source::graph(std::move(graph), "adder4");
+  EXPECT_EQ(source->label(), "adder4");
+  EXPECT_EQ(source->pis(), 8u);
+  EXPECT_EQ(source->fingerprint(), fingerprint);
+}
+
+TEST(FlowSource, NetlistRejectsUnknownExtension) {
+  EXPECT_THROW(Source::netlist("whatever.v"), Error);
+}
+
+TEST(FlowSource, NetlistBenchPrefixResolvesSuite) {
+  const auto source = Source::netlist("bench:ctrl");
+  EXPECT_EQ(source->label(), "bench:ctrl");
+  EXPECT_GT(source->original().num_gates(), 0u);
+}
+
+TEST(FlowSource, MissingFileFailsAsJobError) {
+  const auto result = run_job({Source::netlist("/nonexistent/x.mig"),
+                               core::make_config(core::Strategy::Naive),
+                               {}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.error.empty());
+}
+
+// ---- rewrite cache ---------------------------------------------------------
+
+TEST(FlowCache, FullSuiteSweepRewritesEachBenchmarkExactlyOnce) {
+  // The acceptance property of the redesign: a full-suite × all-strategies
+  // sweep runs rewrite_plim21 and rewrite_endurance exactly once per
+  // benchmark, however many configurations consume them.
+  const auto& specs = bench::mini_suite();
+  std::vector<SourcePtr> sources;
+  for (const auto& spec : specs) {
+    sources.push_back(Source::benchmark(spec));
+  }
+  Runner runner({.jobs = 4});
+  const auto results = runner.run(strategy_sweep(sources));
+  throw_on_error(results);
+
+  const auto n = specs.size();
+  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Plim21), n);
+  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Endurance), n);
+  // Naive jobs bypass the cache entirely (they compile the original graph),
+  // so the 5 strategies per benchmark touch 2 distinct rewrite kinds.
+  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::None), 0u);
+  EXPECT_EQ(runner.cache().misses(), 2 * n);
+  EXPECT_EQ(runner.cache().hits(), 5 * n - n - 2 * n);
+
+  // Jobs sharing a cache entry share the rewritten graph instance.
+  for (std::size_t b = 0; b < n; ++b) {
+    EXPECT_EQ(results[b * 5 + 1].prepared, results[b * 5 + 2].prepared)
+        << specs[b].name;  // Plim21 + MinWrite both use RewriteKind::Plim21
+    EXPECT_EQ(results[b * 5 + 3].prepared, results[b * 5 + 4].prepared)
+        << specs[b].name;  // both endurance flavours
+  }
+}
+
+TEST(FlowRunner, NaiveJobsCompileTheOriginalGraph) {
+  // The paper's naive baseline is "node translation only": RewriteKind::None
+  // must compile the graph exactly as constructed — no cleanup pass — and
+  // share the Source's graph instance instead of a cache copy.
+  const auto source = Source::benchmark(bench::mini_suite().front());
+  const auto result =
+      run_job({source, core::make_config(core::Strategy::Naive), {}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.prepared.get(), &source->original());
+  EXPECT_EQ(result.report.gates_after_rewrite, source->original().num_gates());
+  EXPECT_EQ(result.rewrite_stats.initial_gates,
+            result.rewrite_stats.final_gates);
+}
+
+TEST(FlowCache, CachePersistsAcrossRunnerBatches) {
+  const auto source = Source::graph(bench::make_adder(8), "adder8");
+  Runner runner({.jobs = 2});
+  const auto first =
+      runner.run({{source, core::make_config(core::Strategy::FullEndurance), {}}});
+  const auto second = runner.run(
+      {{source, core::make_config(core::Strategy::FullEndurance, 10), {}}});
+  throw_on_error(first);
+  throw_on_error(second);
+  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Endurance), 1u);
+  EXPECT_EQ(first.front().prepared, second.front().prepared);
+}
+
+TEST(FlowCache, EffortIsPartOfTheKey) {
+  const auto source = Source::graph(bench::make_adder(8), "adder8");
+  auto low = core::make_config(core::Strategy::FullEndurance);
+  low.effort = 1;
+  auto high = core::make_config(core::Strategy::FullEndurance);
+  high.effort = 5;
+  Runner runner;
+  throw_on_error(runner.run({{source, low, {}}, {source, high, {}}}));
+  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Endurance), 2u);
+}
+
+TEST(FlowCache, IdenticalGraphsShareEntriesAcrossSources) {
+  // Content addressing: two distinct Sources with equal graphs hit the same
+  // cache entry.
+  const auto a = Source::graph(bench::make_adder(8), "a");
+  const auto b = Source::graph(bench::make_adder(8), "b");
+  Runner runner;
+  const auto config = core::make_config(core::Strategy::FullEndurance);
+  throw_on_error(runner.run({{a, config, {}}, {b, config, {}}}));
+  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Endurance), 1u);
+  EXPECT_EQ(runner.cache().hits(), 1u);
+}
+
+TEST(FlowCache, DisablingTheCacheRewritesPerJob) {
+  const auto source = Source::graph(bench::make_adder(8), "adder8");
+  Runner runner({.jobs = 2, .cache_rewrites = false});
+  const auto config = core::make_config(core::Strategy::FullEndurance);
+  const auto results = runner.run({{source, config, {}}, {source, config, {}}});
+  throw_on_error(results);
+  EXPECT_EQ(runner.cache().misses(), 0u);
+  // Independent rewrites of the same graph still agree structurally.
+  EXPECT_EQ(results[0].prepared->fingerprint(),
+            results[1].prepared->fingerprint());
+}
+
+// ---- determinism -----------------------------------------------------------
+
+TEST(FlowRunner, ReportsAreByteIdenticalForAnyWorkerCount) {
+  const auto& specs = bench::mini_suite();
+  std::vector<SourcePtr> serial_sources;
+  std::vector<SourcePtr> parallel_sources;
+  for (std::size_t i = 0; i < 4; ++i) {
+    serial_sources.push_back(Source::benchmark(specs[i]));
+    parallel_sources.push_back(Source::benchmark(specs[i]));
+  }
+  Runner serial({.jobs = 1});
+  Runner parallel({.jobs = 8});
+  const auto serial_results = serial.run(strategy_sweep(serial_sources));
+  const auto parallel_results = parallel.run(strategy_sweep(parallel_sources));
+  throw_on_error(serial_results);
+  throw_on_error(parallel_results);
+
+  for (const auto format :
+       {ReportFormat::Table, ReportFormat::Csv, ReportFormat::Json}) {
+    EXPECT_EQ(render(serial_results, format), render(parallel_results, format))
+        << to_string(format);
+  }
+}
+
+TEST(FlowRunner, ResultsArriveInJobOrder) {
+  std::vector<Job> jobs;
+  for (const unsigned bits : {2u, 3u, 4u, 5u}) {
+    jobs.push_back({Source::graph(bench::make_adder(bits),
+                                  "adder" + std::to_string(bits)),
+                    core::make_config(core::Strategy::Naive),
+                    {}});
+  }
+  Runner runner({.jobs = 4});
+  const auto results = runner.run(jobs);
+  throw_on_error(results);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(results[i].report.benchmark, jobs[i].display_label());
+  }
+}
+
+TEST(FlowRunner, ErrorsAreCapturedPerJob) {
+  std::vector<Job> jobs = {
+      {Source::netlist("/nonexistent/a.mig"),
+       core::make_config(core::Strategy::Naive),
+       {}},
+      {Source::graph(bench::make_adder(4), "ok"),
+       core::make_config(core::Strategy::Naive),
+       {}},
+  };
+  Runner runner({.jobs = 2});
+  const auto results = runner.run(jobs);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_THROW(throw_on_error(results), Error);
+}
+
+TEST(FlowRunner, MatchesRunPipeline) {
+  const auto graph = bench::make_adder(6);
+  const auto config = core::make_config(core::Strategy::FullEndurance);
+  const auto direct = core::run_pipeline(graph, config, "adder6");
+  const auto result =
+      run_job({Source::graph(graph, "adder6"), config, {}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.report.instructions, direct.instructions);
+  EXPECT_EQ(result.report.rrams, direct.rrams);
+  EXPECT_EQ(result.report.writes.stdev, direct.writes.stdev);
+}
+
+// ---- report sinks ----------------------------------------------------------
+
+Report sample_report() {
+  Report doc;
+  doc.title = "sample";
+  doc.columns = {"name", "value"};
+  doc.add_row({"plain", "1"});
+  doc.add_separator();
+  doc.add_row({"with,comma", "quote\"inside"});
+  doc.add_note("a note");
+  return doc;
+}
+
+TEST(ReportSinks, TableSinkAlignsAndKeepsSeparators) {
+  std::ostringstream os;
+  TableSink().write(sample_report(), os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("sample\n\n"), std::string::npos);
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("plain"), std::string::npos);
+  EXPECT_NE(text.find("a note\n"), std::string::npos);
+  // header rule + separator + closing rule = at least 4 '+--' lines.
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = text.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(ReportSinks, CsvSinkQuotesAndComments) {
+  std::ostringstream os;
+  CsvSink().write(sample_report(), os);
+  EXPECT_EQ(os.str(),
+            "# sample\n"
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",\"quote\"\"inside\"\n"
+            "# a note\n");
+}
+
+TEST(ReportSinks, JsonSinkEscapesAndSkipsSeparators) {
+  std::ostringstream os;
+  JsonSink().write(sample_report(), os);
+  EXPECT_EQ(os.str(),
+            "{\"title\":\"sample\",\"columns\":[\"name\",\"value\"],"
+            "\"rows\":[[\"plain\",\"1\"],"
+            "[\"with,comma\",\"quote\\\"inside\"]],"
+            "\"notes\":[\"a note\"]}\n");
+}
+
+TEST(ReportSinks, FormatParsingRoundTrips) {
+  for (const auto format :
+       {ReportFormat::Table, ReportFormat::Csv, ReportFormat::Json}) {
+    EXPECT_EQ(parse_format(to_string(format)), format);
+  }
+  EXPECT_THROW(static_cast<void>(parse_format("xml")), Error);
+}
+
+// ---- suite selection -------------------------------------------------------
+
+TEST(FlowSuite, SourcesMatchSelection) {
+  const auto selection = suite();
+  const auto sources = suite_sources(selection);
+  ASSERT_EQ(sources.size(), selection.specs->size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(sources[i]->label(), (*selection.specs)[i].name);
+  }
+}
+
+}  // namespace
+}  // namespace rlim::flow

@@ -282,5 +282,41 @@ TEST(Mig, CreateMajRejectsUnknownNodes) {
   EXPECT_THROW(mig.create_po(bogus), Error);
 }
 
+TEST(Mig, FingerprintIsStableAndNameBlind) {
+  const auto build = [](const char* pi_name) {
+    Mig mig;
+    const auto a = mig.create_pi(pi_name);
+    const auto b = mig.create_pi();
+    const auto c = mig.create_pi();
+    mig.create_po(mig.create_maj(a, !b, c), "out");
+    return mig;
+  };
+  // Same structure hashes equal, independent of names and across instances.
+  EXPECT_EQ(build("x").fingerprint(), build("y").fingerprint());
+  const auto graph = build("x");
+  EXPECT_EQ(graph.fingerprint(), graph.fingerprint());
+}
+
+TEST(Mig, FingerprintSeparatesStructures) {
+  Mig mig;
+  const auto a = mig.create_pi();
+  const auto b = mig.create_pi();
+  const auto and_ = mig.create_and(a, b);
+  Mig other;
+  const auto c = other.create_pi();
+  const auto d = other.create_pi();
+  const auto or_ = other.create_or(c, d);
+  mig.create_po(and_);
+  other.create_po(or_);
+  EXPECT_NE(mig.fingerprint(), other.fingerprint());
+
+  // Complement placement is part of the identity (it drives RM3 cost).
+  Mig inverted;
+  const auto e = inverted.create_pi();
+  const auto f = inverted.create_pi();
+  inverted.create_po(!inverted.create_and(e, f));
+  EXPECT_NE(mig.fingerprint(), inverted.fingerprint());
+}
+
 }  // namespace
 }  // namespace rlim::mig

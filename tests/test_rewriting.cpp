@@ -111,6 +111,13 @@ TEST(Rewriting, ToStringNames) {
   EXPECT_EQ(to_string(RewriteKind::None), "none");
   EXPECT_EQ(to_string(RewriteKind::Plim21), "plim21");
   EXPECT_EQ(to_string(RewriteKind::Endurance), "endurance");
+  EXPECT_EQ(to_string(RewriteKind::LevelBalanced), "level-balanced");
+}
+
+TEST(Rewriting, LevelBalancedDispatchPreservesFunction) {
+  const auto mig = redundant_circuit(5);
+  const auto balanced = rewrite(mig, RewriteKind::LevelBalanced);
+  EXPECT_TRUE(equivalent_exhaustive(mig, balanced));
 }
 
 class RewritePreservation : public ::testing::TestWithParam<std::uint64_t> {};

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -130,6 +131,25 @@ TEST(Table, NumberFormatting) {
   EXPECT_EQ(Table::fixed(12.6, 2), "12.60");
   EXPECT_EQ(Table::percent(86.65), "86.65%");
   EXPECT_EQ(Table::fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Hash, Fnv1a64KnownVectors) {
+  // Reference values of the canonical FNV-1a 64-bit function.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, IntegerUpdatesAreByteOrderIndependent) {
+  // u32/u64 hash their little-endian byte sequences.
+  EXPECT_EQ(Fnv1a64().u32(0x01020304u).digest(),
+            Fnv1a64().bytes("\x04\x03\x02\x01", 4).digest());
+  EXPECT_EQ(Fnv1a64().u64(0x0102030405060708ULL).digest(),
+            Fnv1a64().bytes("\x08\x07\x06\x05\x04\x03\x02\x01", 8).digest());
+}
+
+TEST(Hash, StreamingMatchesOneShot) {
+  EXPECT_EQ(Fnv1a64().str("foo").str("bar").digest(), fnv1a64("foobar"));
 }
 
 TEST(Error, RequirePassesAndThrows) {

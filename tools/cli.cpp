@@ -5,13 +5,15 @@
 #include <optional>
 
 #include "benchmarks/suite.hpp"
-#include "core/endurance.hpp"
 #include "core/lifetime.hpp"
+#include "flow/runner.hpp"
+#include "flow/suite.hpp"
 #include "mig/io.hpp"
 #include "mig/rewriting.hpp"
 #include "plim/controller.hpp"
 #include "plim/cost_model.hpp"
 #include "util/error.hpp"
+#include "util/table.hpp"
 
 namespace rlim::cli {
 
@@ -24,6 +26,8 @@ struct Options {
   std::optional<std::uint64_t> cap;
   std::string flow = "endurance";
   int effort = 5;
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  flow::ReportFormat format = flow::ReportFormat::Table;
   bool disasm = false;
   bool verify = false;
 };
@@ -46,6 +50,10 @@ Options parse(const std::vector<std::string>& args) {
       options.flow = next();
     } else if (arg == "--effort") {
       options.effort = std::stoi(next());
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<unsigned>(std::stoul(next()));
+    } else if (arg == "--format") {
+      options.format = flow::parse_format(next());
     } else if (arg == "--disasm") {
       options.disasm = true;
     } else if (arg == "--verify") {
@@ -73,17 +81,7 @@ core::Strategy strategy_from(const std::string& name) {
 }
 
 mig::Mig load_netlist(const std::string& source) {
-  if (source.rfind("bench:", 0) == 0) {
-    return bench::find_benchmark(source.substr(6)).build();
-  }
-  if (source.size() >= 5 && source.substr(source.size() - 5) == ".blif") {
-    return mig::read_blif_file(source);
-  }
-  if (source.size() >= 4 && source.substr(source.size() - 4) == ".mig") {
-    return mig::read_mig_file(source);
-  }
-  throw Error("cannot determine format of '" + source +
-              "' (expect .mig, .blif, or bench:NAME)");
+  return flow::Source::netlist(source)->original();
 }
 
 void save_netlist(const mig::Mig& graph, const std::string& path) {
@@ -138,16 +136,10 @@ int cmd_rewrite(const Options& options, std::ostream& out) {
   return 0;
 }
 
-int cmd_compile(const Options& options, std::ostream& out) {
-  require(options.positional.size() == 1, "compile needs one netlist");
-  const auto graph = load_netlist(options.positional[0]);
-  auto config = core::make_config(strategy_from(options.strategy), options.cap);
-  config.effort = options.effort;
-
-  const auto prepared = core::prepare(graph, config);
-  const auto report =
-      core::compile_prepared(prepared, config, options.positional[0],
-                             graph.num_gates());
+/// The verbose single-netlist report (the historical `compile` output).
+int print_compile_details(const Options& options, const flow::JobResult& result,
+                          std::ostream& out) {
+  const auto& report = result.report;
   const auto lifetime = core::estimate_lifetime(report.writes);
 
   out << "strategy:        " << options.strategy;
@@ -170,7 +162,8 @@ int cmd_compile(const Options& options, std::ostream& out) {
       << " reads, " << cost.cell_writes << " writes)\n";
 
   if (options.verify) {
-    const bool ok = plim::program_matches_mig(report.program, prepared, 16, 1);
+    const bool ok =
+        plim::program_matches_mig(report.program, *result.prepared, 16, 1);
     out << "verification:    " << (ok ? "passed" : "FAILED") << '\n';
     if (!ok) {
       return 2;
@@ -182,12 +175,87 @@ int cmd_compile(const Options& options, std::ostream& out) {
   return 0;
 }
 
-int cmd_suite(std::ostream& out) {
-  out << "built-in benchmarks (compile with bench:NAME):\n";
-  for (const auto& spec : bench::paper_suite()) {
-    out << "  " << spec.name << "  (" << spec.pis << "/" << spec.pos << ", "
-        << (spec.arithmetic ? "arithmetic" : "control") << ")\n";
+int cmd_compile(const Options& options, std::ostream& out) {
+  require(!options.positional.empty(),
+          "compile needs at least one netlist or bench:NAME");
+  require(!options.disasm || options.positional.size() == 1,
+          "--disasm requires a single netlist");
+
+  auto config = core::make_config(strategy_from(options.strategy), options.cap);
+  config.effort = options.effort;
+
+  std::vector<flow::Job> jobs;
+  jobs.reserve(options.positional.size());
+  for (const auto& spec : options.positional) {
+    jobs.push_back({flow::Source::netlist(spec), config, spec});
   }
+  flow::Runner runner({.jobs = options.jobs});
+  const auto results = runner.run(jobs);
+
+  if (options.positional.size() == 1 &&
+      options.format == flow::ReportFormat::Table) {
+    flow::throw_on_error(results);
+    return print_compile_details(options, results.front(), out);
+  }
+
+  flow::Report doc;
+  doc.title = "compile — strategy " + options.strategy +
+              (options.cap ? " (cap " + std::to_string(*options.cap) + ")" : "");
+  doc.columns = {"benchmark", "gates", "#I", "#R", "min/max", "STDEV",
+                 "executions@1e10"};
+  if (options.verify) {
+    doc.columns.push_back("verified");
+  }
+  bool all_verified = true;
+  bool any_failed = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    if (!result.ok()) {
+      // Failed jobs keep their row (error in the gates column, dashes
+      // elsewhere) so the successful rest of the batch still reports.
+      any_failed = true;
+      std::vector<std::string> row{jobs[i].display_label(),
+                                   "error: " + result.error};
+      row.resize(doc.columns.size(), "-");
+      doc.add_row(std::move(row));
+      continue;
+    }
+    const auto& report = result.report;
+    std::vector<std::string> row{
+        report.benchmark,
+        std::to_string(report.gates_before_rewrite) + " -> " +
+            std::to_string(report.gates_after_rewrite),
+        std::to_string(report.instructions), std::to_string(report.rrams),
+        std::to_string(report.writes.min) + "/" +
+            std::to_string(report.writes.max),
+        util::Table::fixed(report.writes.stdev),
+        std::to_string(core::estimate_lifetime(report.writes)
+                           .executions_to_first_failure)};
+    if (options.verify) {
+      const bool ok =
+          plim::program_matches_mig(report.program, *result.prepared, 16, 1);
+      all_verified &= ok;
+      row.push_back(ok ? "passed" : "FAILED");
+    }
+    doc.add_row(std::move(row));
+  }
+  flow::make_sink(options.format)->write(doc, out);
+  if (any_failed) {
+    return 1;
+  }
+  return all_verified ? 0 : 2;
+}
+
+int cmd_suite(const Options& options, std::ostream& out) {
+  flow::Report doc;
+  doc.title = "built-in benchmarks (compile with bench:NAME):";
+  doc.columns = {"benchmark", "PI/PO", "class"};
+  for (const auto& spec : bench::paper_suite()) {
+    doc.add_row({spec.name,
+                 std::to_string(spec.pis) + "/" + std::to_string(spec.pos),
+                 spec.arithmetic ? "arithmetic" : "control"});
+  }
+  flow::make_sink(options.format)->write(doc, out);
   return 0;
 }
 
@@ -207,7 +275,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return cmd_compile(options, out);
     }
     if (options.command == "suite") {
-      return cmd_suite(out);
+      return cmd_suite(options, out);
     }
     throw Error("unknown command '" + options.command + "'");
   } catch (const std::exception& error) {

@@ -11,7 +11,7 @@ namespace rlim::cli {
 /// Commands:
 ///   info    <netlist>                     — PI/PO/gate/depth statistics
 ///   rewrite <in> <out> [options]          — run a rewriting flow
-///   compile <netlist|bench:NAME> [opts]   — compile to RM3, print the report
+///   compile <netlist|bench:NAME>... [opts]— compile to RM3, print report(s)
 ///   suite                                 — list the built-in benchmarks
 ///
 /// Options:
@@ -19,8 +19,18 @@ namespace rlim::cli {
 ///   --cap N        maximum write count strategy                (compile)
 ///   --flow plim21|endurance|level                              (rewrite)
 ///   --effort N     rewriting cycles (default 5)
-///   --disasm       print the RM3 program                       (compile)
+///   --jobs N       worker threads for batch compiles           (compile)
+///                  (default: hardware concurrency)
+///   --format table|csv|json   report serialization             (compile, suite)
+///   --disasm       print the RM3 program (single netlist only) (compile)
 ///   --verify       cross-check the program on the crossbar     (compile)
+///
+/// `compile` accepts any number of netlists and runs them as one
+/// flow::Runner batch: rewriting results are shared through the content-
+/// addressed cache and the batch is executed on `--jobs` worker threads.
+/// A single netlist in `table` format keeps the verbose key/value report;
+/// everything else renders one summary row per netlist through the selected
+/// ReportSink.
 ///
 /// Netlist files are selected by extension: `.mig` (text format) or `.blif`.
 /// `bench:NAME` compiles a generator from the built-in suite.

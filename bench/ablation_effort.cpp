@@ -21,7 +21,7 @@ int main(int argc, char** argv) try {
     sources.push_back(flow::Source::benchmark(name));
     for (const int effort : kEfforts) {
       auto config = core::make_config(core::Strategy::FullEndurance);
-      config.effort = effort;
+      config.set_effort(effort);
       jobs.push_back({sources.back(), config, {}});
     }
   }

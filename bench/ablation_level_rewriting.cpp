@@ -47,11 +47,11 @@ int main(int argc, char** argv) try {
 
   struct Flow {
     std::string label;
-    mig::RewriteKind kind;
+    std::string key;  // mig::rewrites() registry key
   };
   const Flow flows[] = {
-      {"Algorithm 2", mig::RewriteKind::Endurance},
-      {"level-balanced", mig::RewriteKind::LevelBalanced},
+      {"Algorithm 2", "endurance"},
+      {"level-balanced", "level_balanced"},
   };
   const char* names[] = {"adder", "sin", "priority", "router", "cavlc", "voter"};
 
@@ -60,9 +60,10 @@ int main(int argc, char** argv) try {
   for (const auto* name : names) {
     sources.push_back(flow::Source::benchmark(name));
     for (const auto& flow_case : flows) {
-      auto config = core::make_config(core::Strategy::FullEndurance);
-      config.rewrite = flow_case.kind;
-      jobs.push_back({sources.back(), config, {}});
+      // The full-endurance preset with its rewrite flow swapped out.
+      jobs.push_back({sources.back(),
+                      core::PipelineConfig::parse("full,rewrite=" + flow_case.key),
+                      {}});
     }
   }
   flow::Runner runner({.jobs = opts.jobs});

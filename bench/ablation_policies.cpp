@@ -37,10 +37,10 @@ int main(int argc, char** argv) try {
     sources.push_back(flow::Source::benchmark(*spec));
     for (const auto selection : kSelections) {
       for (const auto allocation : kAllocations) {
-        core::PipelineConfig config;
-        config.rewrite = mig::RewriteKind::Endurance;
-        config.selection = selection;
-        config.allocation = allocation;
+        const auto config = core::PipelineConfig::parse(
+            "rewrite=endurance,select=" +
+            std::string(plim::selection_key(selection)) +
+            ",alloc=" + std::string(plim::allocation_key(allocation)));
         jobs.push_back({sources.back(), config, {}});
       }
     }

@@ -88,19 +88,18 @@ int main(int argc, char** argv) try {
 
   struct Case {
     std::string label;
-    plim::SelectionPolicy selection;
+    std::string selection;  // plim::selectors() registry key
   };
   const Case cases[] = {
-      {"naive order", plim::SelectionPolicy::NaiveOrder},
-      {"plim21 [21]", plim::SelectionPolicy::Plim21},
-      {"endurance-aware (Alg. 3)", plim::SelectionPolicy::EnduranceAware},
+      {"naive order", "naive"},
+      {"plim21 [21]", "plim21"},
+      {"endurance-aware (Alg. 3)", "endurance"},
   };
   std::vector<flow::Job> jobs;
   for (const auto& c : cases) {
-    core::PipelineConfig config;
-    config.rewrite = mig::RewriteKind::None;  // isolate the selection effect
-    config.selection = c.selection;
-    config.allocation = plim::AllocPolicy::MinWrite;
+    // rewrite=none isolates the selection effect.
+    const auto config = core::PipelineConfig::parse(
+        "rewrite=none,select=" + c.selection + ",alloc=min_write");
     jobs.push_back({source, config, {}});
   }
   flow::Runner runner({.jobs = opts.jobs});

@@ -146,6 +146,45 @@ void BM_FlowBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// The same batch against a persistent Runner whose program cache is already
+// warm: every job is a (fingerprint, canonical config key) hit, so the
+// pipeline work collapses to cache lookups + report copies. The gap to
+// BM_FlowBatch/1 is the compile-cache win for repeated sweeps.
+void BM_FlowBatchWarmProgramCache(benchmark::State& state) {
+  std::vector<flow::SourcePtr> sources;
+  for (const unsigned bits : {16u, 24u, 32u}) {
+    sources.push_back(flow::Source::graph(
+        bench::make_adder(bits), "adder" + std::to_string(bits)));
+  }
+  std::vector<flow::Job> jobs;
+  for (const auto& source : sources) {
+    for (const auto strategy : flow::paper_strategies()) {
+      jobs.push_back({source, core::make_config(strategy), {}});
+    }
+  }
+  flow::Runner runner({.jobs = 1});
+  benchmark::DoNotOptimize(runner.run(jobs));  // cold fill
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_FlowBatchWarmProgramCache)->Unit(benchmark::kMillisecond);
+
+// Cost of the config front-end itself: spec parse (registry validation
+// included) + canonical key rendering — the per-job key path of the cache.
+void BM_ConfigParseCanonicalKey(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto config = core::PipelineConfig::parse(
+        "rewrite=endurance:effort=5,select=wear_quota:quota=4,"
+        "alloc=start_gap:interval=8,cap=100");
+    benchmark::DoNotOptimize(config.canonical_key());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConfigParseCanonicalKey)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

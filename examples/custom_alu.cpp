@@ -1,12 +1,19 @@
 // Building a custom in-memory compute kernel with the word-level builder:
 // an 8-bit, 4-operation ALU (ADD / SUB / AND / XOR selected by a 2-bit
-// opcode), compiled once naively and once with full endurance management —
-// both configurations as one flow::Runner batch over a shared Source.
-// Shows the end-to-end flow a downstream user follows for their own logic.
+// opcode), compiled naively, with full endurance management, and with a
+// *custom allocation policy registered by this example* — all three
+// configurations as one flow::Runner batch over a shared Source. Shows the
+// end-to-end flow a downstream user follows for their own logic, including
+// how to plug a new policy into the registries.
 //
 //   $ ./build/examples/custom_alu
 
 #include <iostream>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "benchmarks/wordlib.hpp"
 #include "core/lifetime.hpp"
@@ -38,13 +45,48 @@ int main() {
   std::cout << "ALU MIG: " << graph.num_gates() << " majority gates, depth "
             << graph.depth() << "\n\n";
 
-  // 2. Compile under both extremes as one batch and compare.
+  // 2. The policy registries are open: plug in a deliberately wear-hostile
+  //    allocation policy — most-written free cell first, the mirror image of
+  //    the paper's min-write strategy — and it immediately composes with
+  //    every other pipeline dimension through the config-spec grammar.
+  class MostWriteAllocator final : public plim::Allocator {
+  public:
+    void push(plim::Cell cell, std::uint64_t writes) override {
+      by_writes_.emplace(writes, cell);
+    }
+    std::optional<plim::Cell> pop() override {
+      if (by_writes_.empty()) {
+        return std::nullopt;
+      }
+      const auto it = std::prev(by_writes_.end());
+      const auto cell = it->second;
+      by_writes_.erase(it);
+      return cell;
+    }
+    [[nodiscard]] std::size_t size() const override {
+      return by_writes_.size();
+    }
+
+  private:
+    std::multimap<std::uint64_t, plim::Cell> by_writes_;
+  };
+  plim::allocators().add(
+      {"most_write", "anti-policy demo: most-written free cell first", {}},
+      [](const util::Params&) -> plim::AllocatorPtr {
+        return std::make_unique<MostWriteAllocator>();
+      });
+
+  // 3. Compile the extremes and the custom policy as one batch and compare.
   const auto source = flow::Source::graph(graph, "alu");
-  const core::Strategy strategies[2] = {core::Strategy::Naive,
-                                        core::Strategy::FullEndurance};
+  const std::pair<const char*, const char*> cases[] = {
+      {"naive", "naive"},
+      {"full-endurance", "full"},
+      {"full + most_write", "full,alloc=most_write"},
+  };
   std::vector<flow::Job> jobs;
-  for (const auto strategy : strategies) {
-    jobs.push_back({source, core::make_config(strategy), {}});
+  for (const auto& [label, spec] : cases) {
+    (void)label;
+    jobs.push_back({source, core::PipelineConfig::parse(spec), {}});
   }
   flow::Runner runner;
   const auto results = runner.run(jobs);
@@ -52,10 +94,10 @@ int main() {
 
   util::Table table({"flow", "#I", "#R", "min/max writes", "STDEV",
                      "executions @1e10"});
-  for (int i = 0; i < 2; ++i) {
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
     const auto& report = results[i].report;
     const auto lifetime = core::estimate_lifetime(report.writes);
-    table.add_row({to_string(strategies[i]),
+    table.add_row({cases[i].first,
                    std::to_string(report.instructions),
                    std::to_string(report.rrams),
                    std::to_string(report.writes.min) + "/" +
@@ -65,8 +107,8 @@ int main() {
   }
   std::cout << table.to_string() << '\n';
 
-  // 3. Both programs must behave identically on the crossbar; check a few
-  //    thousand random vectors (64 per word x 32 rounds x 2 programs). The
+  // 4. All programs must behave identically on the crossbar; check a few
+  //    thousand random vectors (64 per word x 32 rounds x 3 programs). The
   //    rewritten graph each job compiled ships with its result.
   bool all_match = true;
   for (const auto& result : results) {

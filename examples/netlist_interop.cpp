@@ -48,7 +48,7 @@ int main() {
   // Sources (files would use flow::Source::netlist("path.blif") instead).
   const auto result = flow::run_job(
       {flow::Source::graph(imported, "imported"),
-       core::make_config(core::Strategy::FullEndurance),
+       core::PipelineConfig::parse("full"),
        {}});
   if (!result.ok()) {
     std::cerr << "pipeline failed: " << result.error << '\n';

@@ -29,9 +29,12 @@ int main() {
 
   // 2. Compile with the paper's full endurance-management flow (Algorithm 2
   //    rewriting + Algorithm 3 selection + min-write allocation) as a
-  //    one-job flow batch. Sweeps simply push more jobs — same API.
+  //    one-job flow batch. "full" is the preset alias for
+  //    rewrite=endurance:effort=5,select=endurance,alloc=min_write — any
+  //    registered policy combination parses the same way (`rlim policies`
+  //    lists them). Sweeps simply push more jobs — same API.
   const flow::Job job{flow::Source::graph(graph, "full-adder"),
-                      core::make_config(core::Strategy::FullEndurance),
+                      core::PipelineConfig::parse("full"),
                       {}};
   const auto result = flow::run_job(job);
   if (!result.ok()) {

@@ -29,11 +29,11 @@ int main() {
   constexpr std::uint64_t kCaps[] = {0, 100, 50, 20, 10};  // 0 = uncapped
   std::vector<flow::Job> jobs;
   for (const std::uint64_t cap : kCaps) {
-    jobs.push_back({source,
-                    cap == 0 ? core::make_config(core::Strategy::FullEndurance)
-                             : core::make_config(core::Strategy::FullEndurance,
-                                                 cap),
-                    {}});
+    // Preset alias + cap override in the config-spec grammar; "full" alone
+    // is the uncapped full-endurance flow.
+    const auto spec =
+        cap == 0 ? std::string("full") : "full,cap=" + std::to_string(cap);
+    jobs.push_back({source, core::PipelineConfig::parse(spec), {}});
   }
   flow::Runner runner;
   const auto results = runner.run(jobs);

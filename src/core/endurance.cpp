@@ -4,58 +4,8 @@
 
 namespace rlim::core {
 
-std::string to_string(Strategy strategy) {
-  switch (strategy) {
-    case Strategy::Naive: return "naive";
-    case Strategy::Plim21: return "plim21-compiler";
-    case Strategy::MinWrite: return "min-write";
-    case Strategy::MinWriteEnduranceRewrite: return "min-write+endurance-rewrite";
-    case Strategy::FullEndurance: return "full-endurance";
-  }
-  return "?";
-}
-
-PipelineConfig make_config(Strategy strategy,
-                           std::optional<std::uint64_t> max_writes) {
-  PipelineConfig config;
-  config.max_writes = max_writes;
-  switch (strategy) {
-    case Strategy::Naive:
-      config.rewrite = mig::RewriteKind::None;
-      config.selection = plim::SelectionPolicy::NaiveOrder;
-      config.allocation = plim::AllocPolicy::Lifo;
-      break;
-    case Strategy::Plim21:
-      config.rewrite = mig::RewriteKind::Plim21;
-      config.selection = plim::SelectionPolicy::Plim21;
-      // [21] does not publish its free-list discipline; we model it as a
-      // rotating scan over the free devices (round-robin), distinct from the
-      // worst-case LIFO of the naive baseline and from this paper's
-      // min-write strategy. See EXPERIMENTS.md for the sensitivity of the
-      // Table-I "[21]" column to this choice.
-      config.allocation = plim::AllocPolicy::RoundRobin;
-      break;
-    case Strategy::MinWrite:
-      config.rewrite = mig::RewriteKind::Plim21;
-      config.selection = plim::SelectionPolicy::Plim21;
-      config.allocation = plim::AllocPolicy::MinWrite;
-      break;
-    case Strategy::MinWriteEnduranceRewrite:
-      config.rewrite = mig::RewriteKind::Endurance;
-      config.selection = plim::SelectionPolicy::Plim21;
-      config.allocation = plim::AllocPolicy::MinWrite;
-      break;
-    case Strategy::FullEndurance:
-      config.rewrite = mig::RewriteKind::Endurance;
-      config.selection = plim::SelectionPolicy::EnduranceAware;
-      config.allocation = plim::AllocPolicy::MinWrite;
-      break;
-  }
-  return config;
-}
-
 mig::Mig prepare(const mig::Mig& graph, const PipelineConfig& config) {
-  return mig::rewrite(graph, config.rewrite, config.effort);
+  return mig::make_rewrite(config.rewrite)(graph, nullptr);
 }
 
 EnduranceReport compile_prepared(const mig::Mig& prepared,
@@ -63,8 +13,12 @@ EnduranceReport compile_prepared(const mig::Mig& prepared,
                                  std::string benchmark_name,
                                  std::size_t gates_before) {
   plim::CompilerOptions options;
-  options.selection = config.selection;
-  options.allocation = config.allocation;
+  options.selector = [spec = config.selection] {
+    return plim::make_selector(spec);
+  };
+  options.allocator = [spec = config.allocation] {
+    return plim::make_allocator(spec);
+  };
   options.max_writes = config.max_writes;
   auto compiled = plim::PlimCompiler(options).compile(prepared);
 

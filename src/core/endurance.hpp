@@ -4,45 +4,13 @@
 #include <optional>
 #include <string>
 
+#include "core/config.hpp"
 #include "mig/mig.hpp"
 #include "mig/rewriting.hpp"
 #include "plim/compiler.hpp"
 #include "util/stats.hpp"
 
 namespace rlim::core {
-
-/// The incremental endurance-management configurations evaluated in the
-/// paper (Table I columns; FullEndurance + max_writes gives Table III).
-enum class Strategy {
-  /// Node translation only: no MIG rewriting, creation-order selection,
-  /// LIFO cell reuse. The paper's baseline.
-  Naive,
-  /// The PLiM compiler of [21]: Algorithm 1 rewriting + area-greedy node
-  /// selection (still LIFO reuse).
-  Plim21,
-  /// + the minimum write count strategy (least-written free cell first).
-  MinWrite,
-  /// + endurance-aware MIG rewriting (Algorithm 2 replaces Algorithm 1).
-  MinWriteEnduranceRewrite,
-  /// + endurance-aware node selection (Algorithm 3) — the full flow.
-  FullEndurance,
-};
-
-[[nodiscard]] std::string to_string(Strategy strategy);
-
-/// Everything needed to run one pipeline: rewriting flow, selection policy,
-/// allocation policy, optional write cap.
-struct PipelineConfig {
-  mig::RewriteKind rewrite = mig::RewriteKind::None;
-  plim::SelectionPolicy selection = plim::SelectionPolicy::NaiveOrder;
-  plim::AllocPolicy allocation = plim::AllocPolicy::Lifo;
-  std::optional<std::uint64_t> max_writes;
-  int effort = 5;  ///< rewriting cycles (paper: 5)
-};
-
-/// Maps a strategy to its pipeline configuration.
-[[nodiscard]] PipelineConfig make_config(
-    Strategy strategy, std::optional<std::uint64_t> max_writes = std::nullopt);
 
 /// Result of one benchmark × configuration run — one cell of the paper's
 /// tables.

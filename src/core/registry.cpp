@@ -1,0 +1,49 @@
+#include "core/registry.hpp"
+
+#include "util/error.hpp"
+
+namespace rlim::registry {
+
+std::vector<std::string_view> kinds() { return {"rewrite", "select", "alloc"}; }
+
+std::vector<util::PolicyInfo> list(std::string_view kind) {
+  if (kind == "rewrite") {
+    return mig::rewrites().list();
+  }
+  if (kind == "select") {
+    return plim::selectors().list();
+  }
+  if (kind == "alloc") {
+    return plim::allocators().list();
+  }
+  throw Error("unknown policy kind '" + std::string(kind) +
+              "' (expected rewrite, select, alloc)");
+}
+
+const util::PolicyInfo& describe(std::string_view kind, std::string_view key) {
+  if (kind == "rewrite") {
+    return mig::rewrites().describe(key);
+  }
+  if (kind == "select") {
+    return plim::selectors().describe(key);
+  }
+  if (kind == "alloc") {
+    return plim::allocators().describe(key);
+  }
+  throw Error("unknown policy kind '" + std::string(kind) +
+              "' (expected rewrite, select, alloc)");
+}
+
+mig::RewriteFn make_rewrite(const util::PolicySpec& spec) {
+  return mig::make_rewrite(spec);
+}
+
+plim::SelectorPtr make_selector(const util::PolicySpec& spec) {
+  return plim::make_selector(spec);
+}
+
+plim::AllocatorPtr make_allocator(const util::PolicySpec& spec) {
+  return plim::make_allocator(spec);
+}
+
+}  // namespace rlim::registry

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "mig/rewriting.hpp"
+#include "plim/allocator.hpp"
+#include "plim/selector.hpp"
+
+/// Unified, string-keyed view over the three policy registries behind a
+/// core::PipelineConfig — the discovery surface of the pluggable-policy API
+/// (`rlim policies` renders it). Kinds are named after the config-spec
+/// grammar fields: "rewrite" (mig::rewrites()), "select" (plim::selectors()),
+/// "alloc" (plim::allocators()).
+namespace rlim::registry {
+
+/// The policy dimensions of a PipelineConfig, in spec-grammar field order.
+[[nodiscard]] std::vector<std::string_view> kinds();
+
+/// Every registered policy of one kind, sorted by key (throws rlim::Error
+/// for an unknown kind).
+[[nodiscard]] std::vector<util::PolicyInfo> list(std::string_view kind);
+
+/// Metadata of one policy (throws for unknown kind or key).
+[[nodiscard]] const util::PolicyInfo& describe(std::string_view kind,
+                                               std::string_view key);
+
+/// Typed `make`: normalize `spec` against the kind's registry and
+/// factory-construct the policy, validating key and parameter values.
+[[nodiscard]] mig::RewriteFn make_rewrite(const util::PolicySpec& spec);
+[[nodiscard]] plim::SelectorPtr make_selector(const util::PolicySpec& spec);
+[[nodiscard]] plim::AllocatorPtr make_allocator(const util::PolicySpec& spec);
+
+}  // namespace rlim::registry

@@ -4,30 +4,30 @@
 
 namespace rlim::flow {
 
-std::size_t RewriteCache::KeyHash::operator()(const Key& key) const {
-  return static_cast<std::size_t>(util::Fnv1a64()
-                                      .u64(key.fingerprint)
-                                      .u32(static_cast<std::uint32_t>(key.kind))
-                                      .u32(static_cast<std::uint32_t>(key.effort))
-                                      .digest());
+std::size_t PipelineCache::KeyHash::operator()(const Key& key) const {
+  return static_cast<std::size_t>(
+      util::Fnv1a64().u64(key.fingerprint).str(key.spec).digest());
 }
 
-RewriteCache::Entry RewriteCache::get(const Source& source,
-                                      mig::RewriteKind kind, int effort) {
-  const Key key{source.fingerprint(), kind, effort};
+PipelineCache::RewriteEntry PipelineCache::rewrite(
+    const Source& source, const util::PolicySpec& spec) {
+  // Normalizing here makes the cache key canonical, so callers may pass
+  // partially-specified specs without splitting entries.
+  const auto normalized = mig::rewrites().normalize(spec);
+  const Key key{source.fingerprint(), normalized.canonical()};
 
-  std::promise<Entry> promise;
-  std::shared_future<Entry> future;
+  std::promise<RewriteEntry> promise;
+  std::shared_future<RewriteEntry> future;
   bool owner = false;
   {
     const std::scoped_lock lock(mutex_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end()) {
+    const auto it = rewrites_.find(key);
+    if (it != rewrites_.end()) {
       future = it->second;
       hits_.fetch_add(1);
     } else {
       future = promise.get_future().share();
-      entries_.emplace(key, future);
+      rewrites_.emplace(key, future);
       misses_.fetch_add(1);
       owner = true;
     }
@@ -35,12 +35,15 @@ RewriteCache::Entry RewriteCache::get(const Source& source,
 
   if (owner) {
     try {
-      Entry entry;
+      RewriteEntry entry;
       mig::RewriteStats stats;
       entry.graph = std::make_shared<const mig::Mig>(
-          mig::rewrite(source.original(), kind, effort, &stats));
+          mig::make_rewrite(normalized)(source.original(), &stats));
       entry.stats = stats;
-      rewrites_by_kind_[static_cast<std::size_t>(kind)].fetch_add(1);
+      {
+        const std::scoped_lock lock(mutex_);
+        ++rewrites_by_key_[normalized.key];
+      }
       promise.set_value(std::move(entry));
     } catch (...) {
       promise.set_exception(std::current_exception());
@@ -49,18 +52,74 @@ RewriteCache::Entry RewriteCache::get(const Source& source,
   return future.get();
 }
 
-std::size_t RewriteCache::rewrites(mig::RewriteKind kind) const {
-  return rewrites_by_kind_[static_cast<std::size_t>(kind)].load();
+PipelineCache::CompiledEntry PipelineCache::compiled(
+    const Source& source, const core::PipelineConfig& raw_config) {
+  // Normalize (as rewrite() does) so equal-behavior configs share one entry
+  // whether they came from parse()/make_config or were hand-assembled.
+  const auto config = raw_config.normalized();
+  const Key key{source.fingerprint(), config.canonical_key()};
+
+  std::promise<CompiledEntry> promise;
+  std::shared_future<CompiledEntry> future;
+  bool owner = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = programs_.find(key);
+    if (it != programs_.end()) {
+      future = it->second;
+      program_hits_.fetch_add(1);
+    } else {
+      future = promise.get_future().share();
+      programs_.emplace(key, future);
+      program_misses_.fetch_add(1);
+      owner = true;
+    }
+  }
+
+  if (owner) {
+    try {
+      CompiledEntry entry;
+      auto rewritten = config.rewrite.key == "none"
+                           ? passthrough_rewrite(source)
+                           : rewrite(source, config.rewrite);
+      entry.prepared = std::move(rewritten.graph);
+      entry.rewrite_stats = rewritten.stats;
+      entry.report = std::make_shared<const core::EnduranceReport>(
+          core::compile_prepared(*entry.prepared, config, {},
+                                 source.original().num_gates()));
+      promise.set_value(std::move(entry));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();
 }
 
-void RewriteCache::clear() {
+std::size_t PipelineCache::rewrites(std::string_view key) const {
   const std::scoped_lock lock(mutex_);
-  entries_.clear();
+  const auto it = rewrites_by_key_.find(std::string(key));
+  return it == rewrites_by_key_.end() ? 0 : it->second;
+}
+
+PipelineCache::RewriteEntry passthrough_rewrite(const Source& source) {
+  PipelineCache::RewriteEntry entry;
+  entry.graph = source.original_ptr();
+  entry.stats.initial_gates = entry.stats.final_gates =
+      entry.graph->num_gates();
+  entry.stats.initial_complement_edges = entry.stats.final_complement_edges =
+      entry.graph->complement_edge_count();
+  return entry;
+}
+
+void PipelineCache::clear() {
+  const std::scoped_lock lock(mutex_);
+  rewrites_.clear();
+  programs_.clear();
+  rewrites_by_key_.clear();
   hits_.store(0);
   misses_.store(0);
-  for (auto& count : rewrites_by_kind_) {
-    count.store(0);
-  }
+  program_hits_.store(0);
+  program_misses_.store(0);
 }
 
 }  // namespace rlim::flow

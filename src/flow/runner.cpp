@@ -26,25 +26,31 @@ JobResult Runner::execute(const Job& job) {
   try {
     require(job.source != nullptr, "flow: job without a source");
     const auto& config = job.config;
-    if (config.rewrite == mig::RewriteKind::None) {
-      // The paper's naive baseline compiles the graph exactly as
-      // constructed — no cleanup pass, unlike mig::rewrite(None). The
-      // source's graph is shared directly; no cache entry is needed.
-      result.prepared = job.source->original_ptr();
-      result.rewrite_stats.initial_gates = result.rewrite_stats.final_gates =
-          result.prepared->num_gates();
-      result.rewrite_stats.initial_complement_edges =
-          result.rewrite_stats.final_complement_edges =
-              result.prepared->complement_edge_count();
+    if (options_.cache_rewrites && options_.cache_programs) {
+      // Two-level path: repeated (fingerprint, canonical config) pairs skip
+      // compilation entirely; the cached report is label-agnostic, so patch
+      // in this job's label.
+      auto entry = cache_.compiled(*job.source, config);
+      result.prepared = std::move(entry.prepared);
+      result.rewrite_stats = entry.rewrite_stats;
+      result.report = *entry.report;
+      result.report.benchmark = job.display_label();
+      return result;
+    }
+    if (config.rewrite.key == "none") {
+      // The paper's naive baseline: share the source's graph exactly as
+      // constructed (no cleanup pass, unlike the registered "none" flow).
+      auto entry = passthrough_rewrite(*job.source);
+      result.prepared = std::move(entry.graph);
+      result.rewrite_stats = entry.stats;
     } else if (options_.cache_rewrites) {
-      auto entry = cache_.get(*job.source, config.rewrite, config.effort);
+      auto entry = cache_.rewrite(*job.source, config.rewrite);
       result.prepared = std::move(entry.graph);
       result.rewrite_stats = entry.stats;
     } else {
       mig::RewriteStats stats;
       result.prepared = std::make_shared<const mig::Mig>(
-          mig::rewrite(job.source->original(), config.rewrite, config.effort,
-                       &stats));
+          mig::make_rewrite(config.rewrite)(job.source->original(), &stats));
       result.rewrite_stats = stats;
     }
     result.report =

@@ -11,9 +11,13 @@ namespace rlim::flow {
 struct RunnerOptions {
   /// Worker-thread count; 0 selects std::thread::hardware_concurrency().
   unsigned jobs = 0;
-  /// Share rewritten graphs across jobs via the RewriteCache. Disable only
-  /// to measure cold rewriting cost.
+  /// Share rewritten graphs across jobs via the cache's rewrite level.
+  /// Disabling also disables program caching (it measures cold cost).
   bool cache_rewrites = true;
+  /// Memoize compiled programs on (fingerprint, canonical config key):
+  /// repeated (source, config) pairs skip compilation entirely. Disable to
+  /// measure cold compilation cost; requires cache_rewrites.
+  bool cache_programs = true;
 };
 
 /// Executes a batch of Jobs on a thread pool and returns one JobResult per
@@ -25,9 +29,10 @@ struct RunnerOptions {
 /// worker count. Job-level failures are captured in JobResult::error instead
 /// of aborting the batch.
 ///
-/// The rewrite cache persists across run() calls, so multi-phase sweeps
+/// The pipeline cache persists across run() calls, so multi-phase sweeps
 /// (e.g. "run uncapped first, then only the binding caps") reuse earlier
-/// rewrites by handing their batches to the same Runner.
+/// rewrites — and whole compiled programs — by handing their batches to the
+/// same Runner.
 class Runner {
 public:
   explicit Runner(RunnerOptions options = {});
@@ -37,13 +42,13 @@ public:
   /// Worker threads a run() over `job_count` jobs would use.
   [[nodiscard]] unsigned concurrency(std::size_t job_count) const;
 
-  [[nodiscard]] const RewriteCache& cache() const { return cache_; }
+  [[nodiscard]] const PipelineCache& cache() const { return cache_; }
 
 private:
   JobResult execute(const Job& job);
 
   RunnerOptions options_;
-  RewriteCache cache_;
+  PipelineCache cache_;
 };
 
 /// Runs one job inline on the calling thread (no pool, fresh cache).

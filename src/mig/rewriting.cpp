@@ -4,6 +4,7 @@
 #include <span>
 
 #include "mig/axioms.hpp"
+#include "util/enum_names.hpp"
 #include "util/error.hpp"
 
 namespace rlim::mig {
@@ -12,14 +13,29 @@ static_assert(static_cast<std::size_t>(RewriteKind::LevelBalanced) + 1 ==
                   kRewriteKindCount,
               "kRewriteKindCount is out of sync with RewriteKind");
 
+namespace {
+
+constexpr util::EnumTable kRewriteKindNames{
+    std::string_view("rewrite kind"),
+    std::array{
+        util::EnumName<RewriteKind>{RewriteKind::None, "none"},
+        util::EnumName<RewriteKind>{RewriteKind::Plim21, "plim21"},
+        util::EnumName<RewriteKind>{RewriteKind::Endurance, "endurance"},
+        util::EnumName<RewriteKind>{RewriteKind::LevelBalanced,
+                                    "level-balanced"},
+        // Registry-key spelling accepted as a parse alias.
+        util::EnumName<RewriteKind>{RewriteKind::LevelBalanced,
+                                    "level_balanced"},
+    }};
+
+}  // namespace
+
 std::string to_string(RewriteKind kind) {
-  switch (kind) {
-    case RewriteKind::None: return "none";
-    case RewriteKind::Plim21: return "plim21";
-    case RewriteKind::Endurance: return "endurance";
-    case RewriteKind::LevelBalanced: return "level-balanced";
-  }
-  return "?";
+  return std::string(kRewriteKindNames.name(kind));
+}
+
+RewriteKind parse_rewrite_kind(std::string_view name) {
+  return kRewriteKindNames.parse(name);
 }
 
 namespace {
@@ -115,6 +131,64 @@ Mig rewrite(const Mig& mig, RewriteKind kind, int effort, RewriteStats* stats) {
       return rewrite_level_balanced(mig, effort, stats);
   }
   throw Error("rewrite: unknown kind");
+}
+
+namespace {
+
+/// Shared by every effort-driven flow: read + validate the effort parameter,
+/// bind it into a RewriteFn over the enum dispatch.
+RewriteFactory effort_flow(RewriteKind kind) {
+  return [kind](const util::Params& params) -> RewriteFn {
+    const int effort = util::param_int(params, "effort");
+    require(effort >= 0, "rewrite flow '" + std::string(rewrite_key(kind)) +
+                             "': effort must be non-negative");
+    return [kind, effort](const Mig& mig, RewriteStats* stats) {
+      return rewrite(mig, kind, effort, stats);
+    };
+  };
+}
+
+}  // namespace
+
+util::Registry<RewriteFactory>& rewrites() {
+  static auto* registry = [] {
+    auto* reg = new util::Registry<RewriteFactory>("rewrite flow");
+    const util::ParamInfo effort{"effort", "5",
+                                 "rewriting cycles before the fixpoint check"};
+    reg->add({"none", "compile the MIG as constructed (cleanup only)", {}},
+             [](const util::Params&) -> RewriteFn {
+               return [](const Mig& mig, RewriteStats* stats) {
+                 return rewrite(mig, RewriteKind::None, 0, stats);
+               };
+             });
+    reg->add({"plim21",
+              "paper Algorithm 1 — the original PLiM compiler flow [21]",
+              {effort}},
+             effort_flow(RewriteKind::Plim21));
+    reg->add({"endurance", "paper Algorithm 2 — endurance-aware rewriting",
+              {effort}},
+             effort_flow(RewriteKind::Endurance));
+    reg->add({"level_balanced",
+              "Algorithm 2 + level balancing (the paper's §III-B.4 direction)",
+              {effort}},
+             effort_flow(RewriteKind::LevelBalanced));
+    return reg;
+  }();
+  return *registry;
+}
+
+RewriteFn make_rewrite(const util::PolicySpec& spec) {
+  return rewrites().make(spec);
+}
+
+std::string_view rewrite_key(RewriteKind kind) {
+  switch (kind) {
+    case RewriteKind::None: return "none";
+    case RewriteKind::Plim21: return "plim21";
+    case RewriteKind::Endurance: return "endurance";
+    case RewriteKind::LevelBalanced: return "level_balanced";
+  }
+  throw Error("rewrite_key: unknown kind");
 }
 
 }  // namespace rlim::mig

@@ -1,10 +1,14 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mig/mig.hpp"
+#include "util/registry.hpp"
+#include "util/spec.hpp"
 
 namespace rlim::mig {
 
@@ -26,11 +30,30 @@ enum class RewriteKind {
   LevelBalanced,  ///< §III-B.4 experimental flow (rewrite_level_balanced)
 };
 
-/// Number of RewriteKind enumerators — keep in sync when extending the enum
-/// (per-kind tables, e.g. the flow layer's rewrite counters, size on it).
+/// Number of RewriteKind enumerators — keep in sync when extending the enum.
 inline constexpr std::size_t kRewriteKindCount = 4;
 
 [[nodiscard]] std::string to_string(RewriteKind kind);
+/// Inverse of to_string over every enumerator (throws rlim::Error).
+[[nodiscard]] RewriteKind parse_rewrite_kind(std::string_view name);
+
+/// A rewriting flow instantiated from a registry spec: graph in, rewritten
+/// graph out, telemetry into the optional stats sink.
+using RewriteFn = std::function<Mig(const Mig&, RewriteStats*)>;
+using RewriteFactory = std::function<RewriteFn(const util::Params&)>;
+
+/// Registry of rewriting flows, keyed for PipelineConfig specs. Built-ins:
+/// `none`, `plim21`, `endurance`, `level_balanced` (all but `none` declare an
+/// `effort` parameter, default 5). Open for downstream registration.
+[[nodiscard]] util::Registry<RewriteFactory>& rewrites();
+
+/// Normalizes `spec` against rewrites() and constructs the flow — the
+/// string-keyed equivalent of rewrite(kind, effort).
+[[nodiscard]] RewriteFn make_rewrite(const util::PolicySpec& spec);
+
+/// Registry key of an enum-backed flow ("none", "plim21", "endurance",
+/// "level_balanced").
+[[nodiscard]] std::string_view rewrite_key(RewriteKind kind);
 
 /// Paper Algorithm 1 — MIG rewriting of the PLiM compiler [21]:
 ///   Ω.M; Ω.D(R→L); Ω.A; Ψ.C; Ω.M; Ω.D(R→L); Ω.I(R→L)(1–3); Ω.I(R→L)

@@ -1,99 +1,230 @@
 #include "plim/allocator.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <set>
 #include <utility>
 
+#include "util/enum_names.hpp"
 #include "util/error.hpp"
 
 namespace rlim::plim {
 
+namespace {
+
+constexpr util::EnumTable kAllocPolicyNames{
+    std::string_view("allocation policy"),
+    std::array{
+        util::EnumName<AllocPolicy>{AllocPolicy::Lifo, "lifo"},
+        util::EnumName<AllocPolicy>{AllocPolicy::Fifo, "fifo"},
+        util::EnumName<AllocPolicy>{AllocPolicy::RoundRobin, "round-robin"},
+        util::EnumName<AllocPolicy>{AllocPolicy::MinWrite, "min-write"},
+        // Registry-key spellings accepted as parse aliases.
+        util::EnumName<AllocPolicy>{AllocPolicy::RoundRobin, "round_robin"},
+        util::EnumName<AllocPolicy>{AllocPolicy::MinWrite, "min_write"},
+    }};
+
+/// Most recently freed first — maximizes reuse locality, and wear.
+class LifoAllocator final : public Allocator {
+public:
+  void push(Cell cell, std::uint64_t) override { queue_.push_back(cell); }
+  std::optional<Cell> pop() override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    const auto cell = queue_.back();
+    queue_.pop_back();
+    return cell;
+  }
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+private:
+  std::deque<Cell> queue_;
+};
+
+/// Oldest freed first.
+class FifoAllocator final : public Allocator {
+public:
+  void push(Cell cell, std::uint64_t) override { queue_.push_back(cell); }
+  std::optional<Cell> pop() override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    const auto cell = queue_.front();
+    queue_.pop_front();
+    return cell;
+  }
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+private:
+  std::deque<Cell> queue_;
+};
+
+/// Cycle through free cells by index: the cursor follows the last allocation.
+class RoundRobinAllocator final : public Allocator {
+public:
+  void push(Cell cell, std::uint64_t) override { by_index_.insert(cell); }
+  std::optional<Cell> pop() override {
+    if (by_index_.empty()) {
+      return std::nullopt;
+    }
+    auto it = by_index_.lower_bound(cursor_);
+    if (it == by_index_.end()) {
+      it = by_index_.begin();  // wrap around
+    }
+    const auto cell = *it;
+    by_index_.erase(it);
+    cursor_ = cell + 1;
+    return cell;
+  }
+  [[nodiscard]] std::size_t size() const override { return by_index_.size(); }
+
+private:
+  std::set<Cell> by_index_;
+  Cell cursor_ = 0;
+};
+
+/// The paper's minimum write count strategy: least-written free cell first.
+/// Counts cannot change while a cell is free, so the ordering captured at
+/// push time stays valid without rebalancing.
+class MinWriteAllocator final : public Allocator {
+public:
+  void push(Cell cell, std::uint64_t writes) override {
+    by_writes_.emplace(writes, cell);
+  }
+  std::optional<Cell> pop() override {
+    if (by_writes_.empty()) {
+      return std::nullopt;
+    }
+    const auto cell = by_writes_.begin()->second;
+    by_writes_.erase(by_writes_.begin());
+    return cell;
+  }
+  [[nodiscard]] std::size_t size() const override { return by_writes_.size(); }
+
+private:
+  std::set<std::pair<std::uint64_t, Cell>> by_writes_;
+};
+
+/// Start-Gap-inspired rotation (Qureshi et al., MICRO 2009; modeled at the
+/// memory level in core/startgap.hpp): allocations are served from a roving
+/// start pointer that advances once every `interval` allocations — on a
+/// fixed schedule, unlike round_robin's allocation-following cursor — so
+/// reuse pressure slowly rotates across the whole cell array.
+class StartGapAllocator final : public Allocator {
+public:
+  explicit StartGapAllocator(std::uint64_t interval) : interval_(interval) {}
+
+  void push(Cell cell, std::uint64_t) override {
+    max_cell_ = std::max(max_cell_, cell);
+    free_.insert(cell);
+  }
+
+  std::optional<Cell> pop() override {
+    if (free_.empty()) {
+      return std::nullopt;
+    }
+    auto it = free_.lower_bound(start_);
+    if (it == free_.end()) {
+      it = free_.begin();  // wrap around
+    }
+    const auto cell = *it;
+    free_.erase(it);
+    if (++allocations_ % interval_ == 0) {
+      ++start_;  // the gap roves one slot
+      if (start_ > max_cell_) {
+        start_ = 0;
+      }
+    }
+    return cell;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return free_.size(); }
+
+private:
+  std::uint64_t interval_;
+  std::uint64_t allocations_ = 0;
+  Cell start_ = 0;
+  Cell max_cell_ = 0;
+  std::set<Cell> free_;
+};
+
+}  // namespace
+
 std::string to_string(AllocPolicy policy) {
+  return std::string(kAllocPolicyNames.name(policy));
+}
+
+AllocPolicy parse_alloc_policy(std::string_view name) {
+  return kAllocPolicyNames.parse(name);
+}
+
+util::Registry<AllocatorFactory>& allocators() {
+  static auto* registry = [] {
+    auto* reg = new util::Registry<AllocatorFactory>("allocation policy");
+    reg->add({"lifo", "most recently freed first (the naive baseline)", {}},
+             [](const util::Params&) -> AllocatorPtr {
+               return std::make_unique<LifoAllocator>();
+             });
+    reg->add({"fifo", "oldest freed first", {}},
+             [](const util::Params&) -> AllocatorPtr {
+               return std::make_unique<FifoAllocator>();
+             });
+    reg->add({"round_robin", "cycle through free cells by index", {}},
+             [](const util::Params&) -> AllocatorPtr {
+               return std::make_unique<RoundRobinAllocator>();
+             });
+    reg->add({"min_write",
+              "the paper's minimum write count strategy: least-written free "
+              "cell first",
+              {}},
+             [](const util::Params&) -> AllocatorPtr {
+               return std::make_unique<MinWriteAllocator>();
+             });
+    reg->add({"start_gap",
+              "Start-Gap-style rotation [8]: roving start pointer advances "
+              "every `interval` allocations",
+              {{"interval", "16", "allocations between start advances"}}},
+             [](const util::Params& params) -> AllocatorPtr {
+               const auto interval = util::param_u64(params, "interval");
+               require(interval >= 1,
+                       "allocation policy 'start_gap': interval must be >= 1");
+               return std::make_unique<StartGapAllocator>(interval);
+             });
+    return reg;
+  }();
+  return *registry;
+}
+
+AllocatorPtr make_allocator(const util::PolicySpec& spec) {
+  return allocators().make(spec);
+}
+
+AllocatorPtr make_allocator(AllocPolicy policy) {
+  return make_allocator(util::PolicySpec{std::string(allocation_key(policy)), {}});
+}
+
+std::string_view allocation_key(AllocPolicy policy) {
   switch (policy) {
     case AllocPolicy::Lifo: return "lifo";
     case AllocPolicy::Fifo: return "fifo";
-    case AllocPolicy::RoundRobin: return "round-robin";
-    case AllocPolicy::MinWrite: return "min-write";
+    case AllocPolicy::RoundRobin: return "round_robin";
+    case AllocPolicy::MinWrite: return "min_write";
   }
-  return "?";
+  throw Error("allocation_key: unknown policy");
 }
 
-/// Policy-specific container for the free set. `push` receives the cell's
-/// write count at release time; counts cannot change while a cell is free,
-/// so MinWrite ordering stays valid without rebalancing.
-class CellAllocator::FreeList {
-public:
-  explicit FreeList(AllocPolicy policy) : policy_(policy) {}
-
-  void push(Cell cell, std::uint64_t writes) {
-    switch (policy_) {
-      case AllocPolicy::Lifo:
-      case AllocPolicy::Fifo:
-        queue_.push_back(cell);
-        break;
-      case AllocPolicy::RoundRobin:
-        by_index_.insert(cell);
-        break;
-      case AllocPolicy::MinWrite:
-        by_writes_.emplace(writes, cell);
-        break;
-    }
-  }
-
-  std::optional<Cell> pop() {
-    switch (policy_) {
-      case AllocPolicy::Lifo: {
-        if (queue_.empty()) return std::nullopt;
-        const auto cell = queue_.back();
-        queue_.pop_back();
-        return cell;
-      }
-      case AllocPolicy::Fifo: {
-        if (queue_.empty()) return std::nullopt;
-        const auto cell = queue_.front();
-        queue_.pop_front();
-        return cell;
-      }
-      case AllocPolicy::RoundRobin: {
-        if (by_index_.empty()) return std::nullopt;
-        auto it = by_index_.lower_bound(cursor_);
-        if (it == by_index_.end()) {
-          it = by_index_.begin();  // wrap around
-        }
-        const auto cell = *it;
-        by_index_.erase(it);
-        cursor_ = cell + 1;
-        return cell;
-      }
-      case AllocPolicy::MinWrite: {
-        if (by_writes_.empty()) return std::nullopt;
-        const auto [writes, cell] = *by_writes_.begin();
-        by_writes_.erase(by_writes_.begin());
-        return cell;
-      }
-    }
-    return std::nullopt;
-  }
-
-  [[nodiscard]] std::size_t size() const {
-    return queue_.size() + by_index_.size() + by_writes_.size();
-  }
-
-private:
-  AllocPolicy policy_;
-  std::deque<Cell> queue_;                              // Lifo / Fifo
-  std::set<Cell> by_index_;                             // RoundRobin
-  std::set<std::pair<std::uint64_t, Cell>> by_writes_;  // MinWrite
-  Cell cursor_ = 0;                                     // RoundRobin position
-};
-
 CellAllocator::CellAllocator(Options options)
-    : options_(options), free_list_(std::make_unique<FreeList>(options.policy)) {
-  if (options_.max_writes) {
+    : CellAllocator(make_allocator(options.policy), options.max_writes) {}
+
+CellAllocator::CellAllocator(AllocatorPtr policy,
+                             std::optional<std::uint64_t> max_writes)
+    : max_writes_(max_writes), free_list_(std::move(policy)) {
+  require(free_list_ != nullptr, "CellAllocator: null allocation policy");
+  if (max_writes_) {
     // The copy idioms need up to 3 writes on one fresh cell; smaller caps
     // would make compilation infeasible.
-    require(*options_.max_writes >= 3,
-            "CellAllocator: max_writes must be at least 3");
+    require(*max_writes_ >= 3, "CellAllocator: max_writes must be at least 3");
   }
 }
 
@@ -109,10 +240,10 @@ Cell CellAllocator::add_live_cell() {
 }
 
 bool CellAllocator::has_headroom(Cell cell, std::uint64_t headroom) const {
-  if (!options_.max_writes) {
+  if (!max_writes_) {
     return true;
   }
-  return writes_[cell] + headroom <= *options_.max_writes;
+  return writes_[cell] + headroom <= *max_writes_;
 }
 
 Cell CellAllocator::acquire(std::uint64_t headroom) {
@@ -148,7 +279,7 @@ void CellAllocator::release(Cell cell) {
 void CellAllocator::note_write(Cell cell) {
   require(cell < writes_.size(), "CellAllocator::note_write: unknown cell");
   ++writes_[cell];
-  if (options_.max_writes && writes_[cell] >= *options_.max_writes) {
+  if (max_writes_ && writes_[cell] >= *max_writes_) {
     quarantined_[cell] = true;
   }
 }

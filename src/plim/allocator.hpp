@@ -1,16 +1,22 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "plim/instruction.hpp"
+#include "util/registry.hpp"
+#include "util/spec.hpp"
 
 namespace rlim::plim {
 
 /// How the compiler picks a cell from the free set when it requests one.
+/// The enum covers the closed set of unparameterized disciplines;
+/// parameterized policies register into allocators() instead.
 enum class AllocPolicy {
   Lifo,        ///< naive: most recently freed first (maximizes reuse locality — and wear)
   Fifo,        ///< oldest freed first
@@ -19,28 +25,69 @@ enum class AllocPolicy {
 };
 
 [[nodiscard]] std::string to_string(AllocPolicy policy);
+/// Inverse of to_string over every enumerator (throws rlim::Error).
+[[nodiscard]] AllocPolicy parse_alloc_policy(std::string_view name);
+
+/// Free-set discipline: orders dead cells for reuse. `push` receives the
+/// cell's write count at release time; counts cannot change while a cell is
+/// free, so ordering decisions made at push time stay valid. One instance
+/// per compilation (factory-constructed); implementations may keep state.
+class Allocator {
+public:
+  virtual ~Allocator() = default;
+
+  virtual void push(Cell cell, std::uint64_t writes) = 0;
+  virtual std::optional<Cell> pop() = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+using AllocatorPtr = std::unique_ptr<Allocator>;
+using AllocatorFactory = std::function<AllocatorPtr(const util::Params&)>;
+
+/// Registry of allocation policies. Built-ins: `lifo`, `fifo`, `round_robin`,
+/// `min_write` (the enum-backed disciplines) and `start_gap` (parameter
+/// `interval`, default 16): a Start-Gap-style rotating allocator — free
+/// cells are served from a roving start pointer that advances on a fixed
+/// allocation schedule (core/startgap.hpp models the memory-level original),
+/// rotating reuse pressure across the array instead of following the last
+/// allocation the way round_robin does.
+[[nodiscard]] util::Registry<AllocatorFactory>& allocators();
+
+/// Normalizes `spec` against allocators() and constructs the policy object.
+[[nodiscard]] AllocatorPtr make_allocator(const util::PolicySpec& spec);
+/// The enum-backed built-ins, by value.
+[[nodiscard]] AllocatorPtr make_allocator(AllocPolicy policy);
+/// Registry key of an enum-backed policy ("lifo", "fifo", "round_robin",
+/// "min_write").
+[[nodiscard]] std::string_view allocation_key(AllocPolicy policy);
 
 /// Compile-time RRAM cell allocator with write accounting.
 ///
 /// Implements both direct endurance-management techniques of the paper:
-///  * **minimum write count strategy** — `AllocPolicy::MinWrite` returns the
+///  * **minimum write count strategy** — the `min_write` policy returns the
 ///    free cell with the smallest write count;
 ///  * **maximum write count strategy** — with `max_writes` set, a cell whose
 ///    write count reaches the cap is *quarantined*: it is never returned to
 ///    the free set and `writable()` rejects it as an in-place destination,
 ///    forcing the compiler to allocate fresh cells (area/latency cost).
 ///
-/// Write counts are maintained by the compiler calling `note_write` once per
+/// The free-set ordering itself is delegated to a policy object (Allocator);
+/// write counts are maintained by the compiler calling `note_write` once per
 /// emitted instruction (writes are statically known — every RM3 writes its
 /// destination exactly once).
 class CellAllocator {
 public:
   struct Options {
     AllocPolicy policy = AllocPolicy::Lifo;
-    std::optional<std::uint64_t> max_writes;  ///< paper's cap W (>= 3 required)
+    std::optional<std::uint64_t> max_writes;  ///< paper's cap W (>= 3 enforced)
   };
 
+  /// Enum-backed shorthand over the policy-object constructor.
   explicit CellAllocator(Options options);
+  /// Factory-constructed policy. `max_writes` below 3 is rejected with a
+  /// clear error: the copy idioms need up to 3 writes on one fresh cell, so
+  /// smaller caps make compilation infeasible.
+  CellAllocator(AllocatorPtr policy, std::optional<std::uint64_t> max_writes);
   ~CellAllocator();
   CellAllocator(CellAllocator&&) noexcept;
   CellAllocator& operator=(CellAllocator&&) noexcept;
@@ -76,14 +123,12 @@ public:
   [[nodiscard]] std::size_t quarantined_count() const;
 
 private:
-  class FreeList;
-
   [[nodiscard]] bool has_headroom(Cell cell, std::uint64_t headroom) const;
 
-  Options options_;
+  std::optional<std::uint64_t> max_writes_;
   std::vector<std::uint64_t> writes_;
   std::vector<bool> quarantined_;
-  std::unique_ptr<FreeList> free_list_;
+  AllocatorPtr free_list_;
 };
 
 }  // namespace rlim::plim

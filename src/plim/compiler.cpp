@@ -6,19 +6,18 @@
 #include <map>
 #include <set>
 #include <tuple>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace rlim::plim {
 
-std::string to_string(SelectionPolicy policy) {
-  switch (policy) {
-    case SelectionPolicy::NaiveOrder: return "naive-order";
-    case SelectionPolicy::Plim21: return "plim21";
-    case SelectionPolicy::EnduranceAware: return "endurance-aware";
-  }
-  return "?";
-}
+CompilerOptions::CompilerOptions(SelectionPolicy selection,
+                                 AllocPolicy allocation,
+                                 std::optional<std::uint64_t> max_writes)
+    : selector([selection] { return make_selector(selection); }),
+      allocator([allocation] { return make_allocator(allocation); }),
+      max_writes(max_writes) {}
 
 namespace {
 
@@ -33,22 +32,31 @@ class Compilation {
 public:
   Compilation(const Mig& graph, const CompilerOptions& options)
       : mig_(graph),
-        options_(options),
-        allocator_({options.allocation, options.max_writes}),
+        selector_(options.selector()),
+        allocator_(options.allocator(), options.max_writes),
         reachable_(graph.reachable_from_pos()),
         use_count_(graph.num_nodes(), 0),
         cell_of_(graph.num_nodes()),
         parents_(graph.num_nodes()),
         pending_(graph.num_nodes(), 0),
         fanout_level_(graph.num_nodes(), 0),
-        key_of_(graph.num_nodes()) {}
+        key_of_(graph.num_nodes()) {
+    require(selector_ != nullptr, "PlimCompiler: selector factory returned null");
+  }
 
   CompileResult run() {
     analyze();
     bind_inputs();
     seed_candidates();
     while (!candidates_.empty()) {
-      compute_gate(pop_candidate());
+      const auto gate = pop_candidate();
+      // Snapshot before translation: compute_gate consumes the fanins'
+      // use counts, which would skew info.releasing for the notification.
+      const auto info = candidate_info(gate);
+      compute_gate(gate);
+      if (selector_->on_compiled(info)) {
+        refresh_all_candidates();
+      }
     }
     materialize_outputs();
     return finish();
@@ -109,7 +117,9 @@ private:
 
   // ---- candidate management -------------------------------------------------
 
-  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+  /// A Selector's 3-component priority plus the node index as the final
+  /// tiebreaker — equal priorities resolve by construction order.
+  using Key = std::array<std::uint32_t, 4>;
 
   /// RRAMs released by computing `gate`: distinct non-constant fanins whose
   /// value dies with this use (the in-place destination counts — its cell is
@@ -124,18 +134,13 @@ private:
     return count;
   }
 
-  [[nodiscard]] Key make_key(std::uint32_t gate) const {
-    switch (options_.selection) {
-      case SelectionPolicy::NaiveOrder:
-        return {gate, 0, 0};
-      case SelectionPolicy::Plim21:
-        // max releasing first (stored inverted), then min fanout level index.
-        return {3u - releasing_count(gate), fanout_level_[gate], gate};
-      case SelectionPolicy::EnduranceAware:
-        // Algorithm 3: min fanout level index first, then max releasing.
-        return {fanout_level_[gate], 3u - releasing_count(gate), gate};
-    }
-    throw Error("PlimCompiler: unknown selection policy");
+  [[nodiscard]] CandidateInfo candidate_info(std::uint32_t gate) const {
+    return {gate, releasing_count(gate), fanout_level_[gate]};
+  }
+
+  [[nodiscard]] Key make_key(std::uint32_t gate) {
+    const auto priority = selector_->priority(candidate_info(gate));
+    return {priority[0], priority[1], priority[2], gate};
   }
 
   void seed_candidates() {
@@ -160,13 +165,23 @@ private:
     insert_candidate(gate);
   }
 
+  /// Recomputes every pending candidate's key — requested by stateful
+  /// selectors whose ranking shifted globally.
+  void refresh_all_candidates() {
+    candidates_.clear();
+    for (std::uint32_t gate = mig_.first_gate(); gate < mig_.num_nodes();
+         ++gate) {
+      if (key_of_[gate]) {
+        insert_candidate(gate);
+      }
+    }
+  }
+
   std::uint32_t pop_candidate() {
     assert(!candidates_.empty());
     const auto key = *candidates_.begin();
     candidates_.erase(candidates_.begin());
-    const auto gate = options_.selection == SelectionPolicy::NaiveOrder
-                          ? std::get<0>(key)
-                          : std::get<2>(key);
+    const auto gate = key[3];
     key_of_[gate].reset();
     return gate;
   }
@@ -412,7 +427,7 @@ private:
   // ---- state ---------------------------------------------------------------
 
   const Mig& mig_;
-  const CompilerOptions& options_;
+  SelectorPtr selector_;
   CellAllocator allocator_;
   Program program_;
   std::vector<bool> reachable_;
@@ -430,7 +445,11 @@ private:
 
 }  // namespace
 
-PlimCompiler::PlimCompiler(CompilerOptions options) : options_(options) {}
+PlimCompiler::PlimCompiler(CompilerOptions options)
+    : options_(std::move(options)) {
+  require(options_.selector != nullptr && options_.allocator != nullptr,
+          "PlimCompiler: options need selector and allocator factories");
+}
 
 CompileResult PlimCompiler::compile(const mig::Mig& graph) const {
   Compilation compilation(graph, options_);

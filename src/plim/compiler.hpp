@@ -1,38 +1,36 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
 #include "mig/mig.hpp"
 #include "plim/allocator.hpp"
 #include "plim/program.hpp"
+#include "plim/selector.hpp"
 #include "util/stats.hpp"
 
 namespace rlim::plim {
 
-/// Node selection policy — the order in which computable MIG nodes are
-/// translated to RM3 instructions.
-enum class SelectionPolicy {
-  /// No selection: nodes are compiled in construction (topological index)
-  /// order. The paper's "naive" configurations use this.
-  NaiveOrder,
-  /// [21]: maximize the number of RRAMs released by the node; ties broken by
-  /// the smaller fanout level index. Greedy for area.
-  Plim21,
-  /// Paper Algorithm 3: *smallest fanout level index first* (shortest
-  /// storage duration ⇒ cells cycle through the free list with similar
-  /// frequency); ties broken by the larger number of releasing RRAMs.
-  EnduranceAware,
-};
-
-[[nodiscard]] std::string to_string(SelectionPolicy policy);
-
+/// Compiler policies as factories: compile() constructs one fresh Selector /
+/// Allocator pair per compilation, so stateful policy objects never leak
+/// state across graphs. Built from enums (the shorthand constructor), from
+/// registry specs (core::PipelineConfig), or from any user-supplied factory.
 struct CompilerOptions {
-  SelectionPolicy selection = SelectionPolicy::Plim21;
-  AllocPolicy allocation = AllocPolicy::Lifo;
+  std::function<SelectorPtr()> selector = [] {
+    return make_selector(SelectionPolicy::Plim21);
+  };
+  std::function<AllocatorPtr()> allocator = [] {
+    return make_allocator(AllocPolicy::Lifo);
+  };
   /// Maximum write count strategy (paper Table III caps: 10/20/50/100).
   std::optional<std::uint64_t> max_writes;
+
+  CompilerOptions() = default;
+  /// Enum-backed shorthand for the built-in policies.
+  CompilerOptions(SelectionPolicy selection, AllocPolicy allocation,
+                  std::optional<std::uint64_t> max_writes = std::nullopt);
 };
 
 /// Outcome of compiling one MIG.

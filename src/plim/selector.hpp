@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/registry.hpp"
+#include "util/spec.hpp"
+
+namespace rlim::plim {
+
+/// Node selection policy — the order in which computable MIG nodes are
+/// translated to RM3 instructions. The enum covers the paper's three
+/// orderings; parameterized policies register into selectors() instead.
+enum class SelectionPolicy {
+  /// No selection: nodes are compiled in construction (topological index)
+  /// order. The paper's "naive" configurations use this.
+  NaiveOrder,
+  /// [21]: maximize the number of RRAMs released by the node; ties broken by
+  /// the smaller fanout level index. Greedy for area.
+  Plim21,
+  /// Paper Algorithm 3: *smallest fanout level index first* (shortest
+  /// storage duration ⇒ cells cycle through the free list with similar
+  /// frequency); ties broken by the larger number of releasing RRAMs.
+  EnduranceAware,
+};
+
+[[nodiscard]] std::string to_string(SelectionPolicy policy);
+/// Inverse of to_string over every enumerator (throws rlim::Error).
+[[nodiscard]] SelectionPolicy parse_selection_policy(std::string_view name);
+
+/// Context the compiler exposes when ranking a candidate node.
+struct CandidateInfo {
+  std::uint32_t gate = 0;          ///< topological node index
+  std::uint32_t releasing = 0;     ///< RRAMs freed by computing it (0..3)
+  std::uint32_t fanout_level = 0;  ///< farthest consumer's level index
+};
+
+/// Priority returned by a Selector: the candidate with the smallest key
+/// (lexicographic) compiles next. The compiler appends the node index as a
+/// final tiebreaker, so equal keys still resolve deterministically.
+using SelectionKey = std::array<std::uint32_t, 3>;
+
+/// Node-selection policy object. The compiler constructs one fresh instance
+/// per compilation (factory-constructed), so implementations may keep
+/// arbitrary state across priority() calls.
+class Selector {
+public:
+  virtual ~Selector() = default;
+
+  [[nodiscard]] virtual SelectionKey priority(const CandidateInfo& info) = 0;
+
+  /// Called once after `info` has been translated. Return true to make the
+  /// compiler recompute every pending candidate's key — for stateful
+  /// policies whose ranking just shifted globally (see WearQuotaSelector).
+  virtual bool on_compiled(const CandidateInfo& info) {
+    (void)info;
+    return false;
+  }
+};
+
+using SelectorPtr = std::unique_ptr<Selector>;
+using SelectorFactory = std::function<SelectorPtr(const util::Params&)>;
+
+/// Registry of node-selection policies. Built-ins: `naive`, `plim21`,
+/// `endurance` (the enum-backed orderings) and `wear_quota` (parameter
+/// `quota`, default 8): endurance-aware ordering under a per-level quota —
+/// a fanout level that has charged `quota` compiled nodes is demoted behind
+/// every fresher level, rotating selection pressure across levels instead of
+/// draining one level's long-lived cells at a time.
+[[nodiscard]] util::Registry<SelectorFactory>& selectors();
+
+/// Normalizes `spec` against selectors() and constructs the policy object.
+[[nodiscard]] SelectorPtr make_selector(const util::PolicySpec& spec);
+/// The enum-backed built-ins, by value.
+[[nodiscard]] SelectorPtr make_selector(SelectionPolicy policy);
+/// Registry key of an enum-backed policy ("naive", "plim21", "endurance").
+[[nodiscard]] std::string_view selection_key(SelectionPolicy policy);
+
+}  // namespace rlim::plim

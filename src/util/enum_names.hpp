@@ -1,0 +1,74 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace rlim::util {
+
+/// One name<->value binding of an EnumTable row. A value may appear in
+/// several rows (aliases); the first row is the canonical name, every row
+/// parses.
+template <typename Enum>
+struct EnumName {
+  Enum value;
+  std::string_view name;
+};
+
+/// The single name<->value table behind an enum's `to_string` / `parse_*`
+/// pair. Replaces the hand-written switch helpers that used to be duplicated
+/// per enum; keeping both directions in one table makes them impossible to
+/// drift apart.
+template <typename Enum, std::size_t N>
+class EnumTable {
+public:
+  constexpr EnumTable(std::string_view what,
+                      std::array<EnumName<Enum>, N> rows)
+      : what_(what), rows_(rows) {}
+
+  /// Canonical name of `value` ("?" for a value outside the table, matching
+  /// the old switch helpers' fallback).
+  [[nodiscard]] constexpr std::string_view name(Enum value) const {
+    for (const auto& row : rows_) {
+      if (row.value == value) {
+        return row.name;
+      }
+    }
+    return "?";
+  }
+
+  /// Inverse lookup over every row, aliases included.
+  [[nodiscard]] Enum parse(std::string_view name) const {
+    for (const auto& row : rows_) {
+      if (row.name == name) {
+        return row.value;
+      }
+    }
+    throw Error("unknown " + std::string(what_) + " '" + std::string(name) +
+                "' (expected " + choices() + ")");
+  }
+
+  /// Comma-separated list of every accepted name, for error messages.
+  [[nodiscard]] std::string choices() const {
+    std::string out;
+    for (const auto& row : rows_) {
+      if (!out.empty()) {
+        out += ", ";
+      }
+      out += row.name;
+    }
+    return out;
+  }
+
+  [[nodiscard]] constexpr const std::array<EnumName<Enum>, N>& rows() const {
+    return rows_;
+  }
+
+private:
+  std::string_view what_;
+  std::array<EnumName<Enum>, N> rows_;
+};
+
+}  // namespace rlim::util

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/spec.hpp"
+
+namespace rlim::util {
+
+/// One declared parameter of a registered policy. Normalization fills the
+/// default when the spec omits the parameter, so factories always see a
+/// complete parameter set.
+struct ParamInfo {
+  std::string name;
+  std::string default_value;
+  std::string summary;
+};
+
+/// Self-description of a registered policy — what `rlim policies` prints.
+struct PolicyInfo {
+  std::string key;
+  std::string summary;
+  std::vector<ParamInfo> params;
+};
+
+/// String-keyed policy registry: maps a key to a description and a factory.
+/// Registration is open — downstream code can add policies next to the
+/// built-ins (see examples/custom_alu.cpp) — but is not thread-safe; register
+/// before handing configurations to worker threads.
+template <typename Factory>
+class Registry {
+public:
+  explicit Registry(std::string what) : what_(std::move(what)) {}
+
+  void add(PolicyInfo info, Factory factory) {
+    require(valid_identifier(info.key),
+            what_ + " key '" + info.key +
+                "' must be a lowercase [a-z0-9_]+ identifier");
+    require(find(info.key) == nullptr,
+            what_ + " '" + info.key + "' is already registered");
+    entries_.push_back({std::move(info), std::move(factory)});
+  }
+
+  [[nodiscard]] const PolicyInfo* find(std::string_view key) const {
+    for (const auto& entry : entries_) {
+      if (entry.info.key == key) {
+        return &entry.info;
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] const PolicyInfo& describe(std::string_view key) const {
+    const auto* info = find(key);
+    if (info == nullptr) {
+      throw Error(unknown_message(key));
+    }
+    return *info;
+  }
+
+  /// Every registered policy, sorted by key for stable listings.
+  [[nodiscard]] std::vector<PolicyInfo> list() const {
+    std::vector<PolicyInfo> out;
+    out.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      out.push_back(entry.info);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PolicyInfo& a, const PolicyInfo& b) {
+                return a.key < b.key;
+              });
+    return out;
+  }
+
+  /// Fills parameter defaults and rejects parameters the policy does not
+  /// declare; the result is the canonical form of `spec`.
+  [[nodiscard]] PolicySpec normalize(const PolicySpec& spec) const {
+    const auto& info = describe(spec.key);
+    PolicySpec out;
+    out.key = spec.key;
+    for (const auto& param : info.params) {
+      out.params[param.name] = param.default_value;
+    }
+    for (const auto& [name, value] : spec.params) {
+      require(out.params.count(name) != 0,
+              what_ + " '" + spec.key + "' has no parameter '" + name + "'");
+      out.params[name] = value;
+    }
+    return out;
+  }
+
+  /// Factory for `key`; call it with normalized parameters.
+  [[nodiscard]] const Factory& factory(std::string_view key) const {
+    for (const auto& entry : entries_) {
+      if (entry.info.key == key) {
+        return entry.factory;
+      }
+    }
+    throw Error(unknown_message(key));
+  }
+
+  /// Normalize + construct in one step — the registry's `make`.
+  [[nodiscard]] auto make(const PolicySpec& spec) const {
+    const auto normalized = normalize(spec);
+    return factory(normalized.key)(normalized.params);
+  }
+
+private:
+  struct Entry {
+    PolicyInfo info;
+    Factory factory;
+  };
+
+  [[nodiscard]] std::string unknown_message(std::string_view key) const {
+    std::string keys;
+    for (const auto& info : list()) {
+      if (!keys.empty()) {
+        keys += ", ";
+      }
+      keys += info.key;
+    }
+    return "unknown " + what_ + " '" + std::string(key) +
+           "' (registered: " + keys + ")";
+  }
+
+  std::string what_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rlim::util

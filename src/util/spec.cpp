@@ -1,0 +1,104 @@
+#include "util/spec.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace rlim::util {
+
+bool valid_identifier(std::string_view text) {
+  if (text.empty()) {
+    return false;
+  }
+  for (const char c : text) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string PolicySpec::canonical() const {
+  std::string out = key;
+  for (const auto& [name, value] : params) {
+    out += ':';
+    out += name;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+PolicySpec PolicySpec::parse(std::string_view text) {
+  PolicySpec spec;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= text.size()) {
+    auto end = text.find(':', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    const auto token = text.substr(start, end - start);
+    if (first) {
+      require(valid_identifier(token),
+              "policy spec '" + std::string(text) +
+                  "': key must be a lowercase [a-z0-9_]+ identifier");
+      spec.key = std::string(token);
+      first = false;
+    } else {
+      const auto eq = token.find('=');
+      require(eq != std::string_view::npos,
+              "policy spec '" + std::string(text) + "': parameter '" +
+                  std::string(token) + "' is not of the form name=value");
+      const auto name = token.substr(0, eq);
+      require(valid_identifier(name),
+              "policy spec '" + std::string(text) + "': parameter name '" +
+                  std::string(name) + "' must be lowercase [a-z0-9_]+");
+      require(spec.params.count(std::string(name)) == 0,
+              "policy spec '" + std::string(text) + "': duplicate parameter '" +
+                  std::string(name) + "'");
+      spec.params[std::string(name)] = std::string(token.substr(eq + 1));
+    }
+    if (end == text.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+  return spec;
+}
+
+namespace {
+
+const std::string& find_param(const Params& params, const std::string& name) {
+  const auto it = params.find(name);
+  require(it != params.end(), "missing policy parameter '" + name + "'");
+  return it->second;
+}
+
+}  // namespace
+
+std::uint64_t param_u64(const Params& params, const std::string& name) {
+  const auto& text = find_param(params, name);
+  std::uint64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  require(ec == std::errc() && ptr == end,
+          "policy parameter " + name + "='" + text +
+              "' is not an unsigned integer");
+  return value;
+}
+
+int param_int(const Params& params, const std::string& name) {
+  const auto& text = find_param(params, name);
+  int value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  require(ec == std::errc() && ptr == end,
+          "policy parameter " + name + "='" + text + "' is not an integer");
+  return value;
+}
+
+}  // namespace rlim::util

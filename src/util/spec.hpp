@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace rlim::util {
+
+/// Policy parameters as canonical text, name -> value. std::map keeps the
+/// names sorted, so the canonical encoding of a parameter set is unique.
+using Params = std::map<std::string, std::string>;
+
+/// One string-keyed policy choice: a registry key plus its parameters.
+/// Canonical text form: `key` or `key:p=v:q=w` (parameters sorted by name).
+/// Registry normalization (util/registry.hpp) fills every declared parameter
+/// with its default, so two normalized specs are equal iff they configure
+/// the same policy the same way.
+struct PolicySpec {
+  std::string key;
+  Params params;
+
+  /// `key[:param=value...]`, parameters in sorted order — the exact inverse
+  /// of parse().
+  [[nodiscard]] std::string canonical() const;
+
+  /// Parses the canonical form. Accepts any parameter order; rejects empty
+  /// keys, empty parameter names, and malformed `param=value` pairs. Keys
+  /// and parameter names are lowercase [a-z0-9_]+.
+  [[nodiscard]] static PolicySpec parse(std::string_view text);
+
+  bool operator==(const PolicySpec&) const = default;
+};
+
+/// The shared key / parameter-name grammar: lowercase [a-z0-9_]+. Used by
+/// both PolicySpec::parse and Registry::add so a spec that parses always
+/// names something a registry could hold.
+[[nodiscard]] bool valid_identifier(std::string_view text);
+
+/// Typed parameter accessors. Registry normalization fills defaults before
+/// factories run, so a missing name is a programming error and throws, as
+/// does a value that fails to parse completely.
+[[nodiscard]] std::uint64_t param_u64(const Params& params,
+                                      const std::string& name);
+[[nodiscard]] int param_int(const Params& params, const std::string& name);
+
+}  // namespace rlim::util

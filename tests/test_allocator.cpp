@@ -164,5 +164,81 @@ TEST(Allocator, MoveSemantics) {
   EXPECT_EQ(moved.num_cells(), 1u);
 }
 
+// ---- quarantine under the rotating policies --------------------------------
+
+TEST(Allocator, RoundRobinSkipsQuarantinedCellsMidRotation) {
+  // Cap reached mid-rotation: the quarantined cell drops out of the cycle
+  // while the rest keep rotating in index order.
+  CellAllocator alloc({AllocPolicy::RoundRobin, 3});
+  const auto a = alloc.acquire();  // 0
+  const auto b = alloc.acquire();  // 1
+  const auto c = alloc.acquire();  // 2
+  // b hits the cap while in use.
+  alloc.note_write(b);
+  alloc.note_write(b);
+  alloc.note_write(b);
+  EXPECT_FALSE(alloc.writable(b));
+  alloc.release(a);
+  alloc.release(b);  // retired — never re-enters the rotation
+  alloc.release(c);
+  EXPECT_EQ(alloc.free_count(), 2u);
+  EXPECT_EQ(alloc.quarantined_count(), 1u);
+  EXPECT_EQ(alloc.acquire(), a);
+  EXPECT_EQ(alloc.acquire(), c);  // b skipped
+  // Free set exhausted: the next acquire grows the array past b.
+  const auto d = alloc.acquire();
+  EXPECT_EQ(d, 3u);
+  EXPECT_EQ(alloc.num_cells(), 4u);
+}
+
+TEST(Allocator, FifoDropsQuarantinedCellsFromTheQueue) {
+  CellAllocator alloc({AllocPolicy::Fifo, 3});
+  const auto a = alloc.acquire();
+  const auto b = alloc.acquire();
+  alloc.note_write(a);
+  alloc.note_write(a);
+  alloc.note_write(a);  // a saturates while in use
+  alloc.release(a);     // retired
+  alloc.release(b);
+  EXPECT_EQ(alloc.free_count(), 1u);
+  EXPECT_EQ(alloc.quarantined_count(), 1u);
+  EXPECT_EQ(alloc.acquire(), b);  // oldest *surviving* entry
+  const auto c = alloc.acquire();
+  EXPECT_EQ(c, 2u);  // growth, not resurrection of a
+}
+
+// ---- the registry-only start_gap policy ------------------------------------
+
+TEST(Allocator, StartGapServesFromRovingStart) {
+  // interval=2: the start pointer advances after every 2nd allocation,
+  // detaching the service order from the allocation stream (unlike
+  // round-robin, whose cursor follows every allocation).
+  CellAllocator alloc(make_allocator(util::PolicySpec{"start_gap",
+                                                      {{"interval", "2"}}}),
+                      std::nullopt);
+  const auto a = alloc.acquire();  // 0
+  const auto b = alloc.acquire();  // 1
+  const auto c = alloc.acquire();  // 2
+  alloc.release(a);
+  alloc.release(b);
+  alloc.release(c);
+  EXPECT_EQ(alloc.acquire(), a);  // start=0 → cell 0 (1st alloc)
+  alloc.release(a);
+  EXPECT_EQ(alloc.acquire(), a);  // still start=0 (2nd alloc) → start moves
+  EXPECT_EQ(alloc.acquire(), b);  // start=1 → cell 1
+  EXPECT_EQ(alloc.acquire(), c);
+}
+
+TEST(Allocator, StartGapIntervalMustBePositive) {
+  EXPECT_THROW(
+      static_cast<void>(make_allocator(
+          util::PolicySpec{"start_gap", {{"interval", "0"}}})),
+      Error);
+}
+
+TEST(Allocator, NullPolicyRejected) {
+  EXPECT_THROW(CellAllocator(AllocatorPtr{}, std::nullopt), Error);
+}
+
 }  // namespace
 }  // namespace rlim::plim

@@ -188,5 +188,119 @@ TEST(Cli, UnknownBenchFails) {
   EXPECT_EQ(result.code, 1);
 }
 
+// ---- policy registry surface ------------------------------------------------
+
+TEST(Cli, PoliciesListsEveryRegistryKind) {
+  const auto result = run_cli({"policies"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  for (const auto* needle :
+       {"rewrite", "select", "alloc", "endurance", "wear_quota", "start_gap",
+        "min_write", "quota=8", "interval=16", "presets:"}) {
+    EXPECT_NE(result.out.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Cli, PoliciesCsvFormat) {
+  const auto result = run_cli({"policies", "--format", "csv"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("kind,key,parameters,summary"), std::string::npos);
+}
+
+TEST(Cli, ConfigSpecMatchesEquivalentStrategy) {
+  // --config with a preset alias (or its canonical expansion) reproduces the
+  // --strategy output byte for byte, modulo the title line.
+  const auto by_strategy = run_cli({"compile", "bench:ctrl", "--strategy",
+                                    "full", "--cap", "10", "--format", "csv"});
+  const auto by_alias = run_cli(
+      {"compile", "bench:ctrl", "--config", "full,cap=10", "--format", "csv"});
+  const auto by_canonical = run_cli(
+      {"compile", "bench:ctrl", "--config",
+       "rewrite=endurance:effort=5,select=endurance,alloc=min_write,cap=10",
+       "--format", "csv"});
+  EXPECT_EQ(by_strategy.code, 0) << by_strategy.err;
+  EXPECT_EQ(by_alias.code, 0) << by_alias.err;
+  // Everything after the `#` title comment must agree.
+  const auto body = [](const std::string& text) {
+    return text.substr(text.find('\n'));
+  };
+  EXPECT_EQ(body(by_strategy.out), body(by_alias.out));
+  EXPECT_EQ(by_alias.out, by_canonical.out);
+}
+
+TEST(Cli, ConfigSpecReachesRegistryOnlyPolicies) {
+  const auto result = run_cli(
+      {"compile", temp_netlist(), "--config",
+       "rewrite=endurance,select=wear_quota:quota=4,alloc=start_gap",
+       "--verify"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("config:          rewrite=endurance:effort=5,"
+                            "select=wear_quota:quota=4,"
+                            "alloc=start_gap:interval=16"),
+            std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("verification:    passed"), std::string::npos);
+}
+
+TEST(Cli, BadConfigSpecFails) {
+  EXPECT_EQ(run_cli({"compile", "bench:ctrl", "--config", "bogus"}).code, 1);
+  EXPECT_EQ(
+      run_cli({"compile", "bench:ctrl", "--config", "select=unregistered"})
+          .code,
+      1);
+  EXPECT_EQ(run_cli({"compile", "bench:ctrl", "--config", "full,cap=2"}).code,
+            1);
+  // --config conflicts with --strategy / --cap.
+  EXPECT_EQ(run_cli({"compile", "bench:ctrl", "--config", "full", "--strategy",
+                     "naive"})
+                .code,
+            1);
+  EXPECT_EQ(
+      run_cli({"compile", "bench:ctrl", "--config", "full", "--cap", "10"})
+          .code,
+      1);
+}
+
+TEST(Cli, SuiteWithConfigCompilesTheWholeSuite) {
+  // RLIM_SUITE is read by the flow layer; the unit-test environment runs the
+  // paper profile, so just check the sweep renders one row per benchmark.
+  const auto result =
+      run_cli({"suite", "--config", "naive", "--format", "csv", "--jobs", "4"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("suite ("), std::string::npos);
+  EXPECT_NE(result.out.find("config rewrite=none,select=naive,alloc=lifo"),
+            std::string::npos);
+  for (const auto* name : {"adder", "voter", "mem_ctrl", "dec"}) {
+    EXPECT_NE(result.out.find("\n" + std::string(name) + ","),
+              std::string::npos)
+        << name;
+  }
+}
+
+TEST(Cli, SuiteWithStrategyKeepsLegacyWording) {
+  const auto result =
+      run_cli({"suite", "--strategy", "naive", "--format", "csv"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("strategy naive"), std::string::npos);
+}
+
+TEST(Cli, NegativeEffortFailsUpFrontNotPerJob) {
+  // set_effort bypasses parse()'s eager validation; config_from re-checks so
+  // the whole batch fails with one clear message instead of per-job errors.
+  const auto result = run_cli({"compile", "bench:ctrl", "bench:router",
+                               "--config", "full", "--effort", "-2"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("effort must be non-negative"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, SuiteRejectsSweepFlagsWithoutConfiguration) {
+  // Listing mode must not silently drop sweep-only flags.
+  const auto result = run_cli({"suite", "--cap", "10"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--strategy or --config"), std::string::npos);
+  EXPECT_EQ(run_cli({"suite", "--verify"}).code, 1);
+  EXPECT_EQ(run_cli({"suite", "--jobs", "4"}).code, 1);
+}
+
 }  // namespace
 }  // namespace rlim::cli

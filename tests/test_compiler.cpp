@@ -329,5 +329,67 @@ TEST(Compiler, SelectionPolicyNames) {
   EXPECT_EQ(to_string(SelectionPolicy::EnduranceAware), "endurance-aware");
 }
 
+TEST(Compiler, FactoryOptionsMatchEnumShorthand) {
+  // CompilerOptions built from explicit factories and from the enum-backed
+  // shorthand are the same policies — identical programs.
+  const auto graph = test::random_mig(77, 9, 80, 4);
+  CompilerOptions factory_options;
+  factory_options.selector = [] {
+    return make_selector(SelectionPolicy::EnduranceAware);
+  };
+  factory_options.allocator = [] {
+    return make_allocator(AllocPolicy::MinWrite);
+  };
+  const auto via_factories = PlimCompiler(factory_options).compile(graph);
+  const auto via_enums =
+      PlimCompiler({SelectionPolicy::EnduranceAware, AllocPolicy::MinWrite})
+          .compile(graph);
+  EXPECT_EQ(via_factories.num_instructions(), via_enums.num_instructions());
+  EXPECT_EQ(via_factories.num_cells, via_enums.num_cells);
+  EXPECT_DOUBLE_EQ(via_factories.write_stats.stdev,
+                   via_enums.write_stats.stdev);
+}
+
+TEST(Compiler, NullFactoriesAreRejected) {
+  CompilerOptions options;
+  options.selector = nullptr;
+  EXPECT_THROW(PlimCompiler{options}, Error);
+}
+
+TEST(Compiler, WearQuotaSelectorCompilesCorrectPrograms) {
+  // The stateful registry-only selector goes through the same contract as
+  // the built-ins: every cap honored, function preserved.
+  const auto graph = test::random_mig(88, 10, 120, 6);
+  for (const auto* quota : {"1", "4", "1000000"}) {
+    CompilerOptions options;
+    options.selector = [quota] {
+      return make_selector(
+          util::PolicySpec{"wear_quota", {{"quota", quota}}});
+    };
+    options.allocator = [] { return make_allocator(AllocPolicy::MinWrite); };
+    const auto result = PlimCompiler(options).compile(graph);
+    EXPECT_TRUE(program_matches_mig(result.program, graph, 10, 3))
+        << "quota " << quota;
+  }
+}
+
+TEST(Compiler, HugeWearQuotaMatchesEnduranceAware) {
+  // A quota no level can exhaust never rotates: the schedule degenerates to
+  // Algorithm 3 exactly.
+  const auto graph = test::random_mig(99, 10, 120, 6);
+  CompilerOptions quota_options;
+  quota_options.selector = [] {
+    return make_selector(
+        util::PolicySpec{"wear_quota", {{"quota", "1000000"}}});
+  };
+  quota_options.allocator = [] { return make_allocator(AllocPolicy::MinWrite); };
+  const auto quota = PlimCompiler(quota_options).compile(graph);
+  const auto endurance =
+      PlimCompiler({SelectionPolicy::EnduranceAware, AllocPolicy::MinWrite})
+          .compile(graph);
+  EXPECT_EQ(quota.num_instructions(), endurance.num_instructions());
+  EXPECT_DOUBLE_EQ(quota.write_stats.stdev, endurance.write_stats.stdev);
+}
+
 }  // namespace
 }  // namespace rlim::plim

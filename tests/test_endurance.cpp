@@ -10,36 +10,42 @@ namespace {
 
 TEST(Config, StrategyMappingsMatchThePaper) {
   const auto naive = make_config(Strategy::Naive);
-  EXPECT_EQ(naive.rewrite, mig::RewriteKind::None);
-  EXPECT_EQ(naive.selection, plim::SelectionPolicy::NaiveOrder);
-  EXPECT_EQ(naive.allocation, plim::AllocPolicy::Lifo);
+  EXPECT_EQ(naive.rewrite.key, "none");
+  EXPECT_EQ(naive.selection.key, "naive");
+  EXPECT_EQ(naive.allocation.key, "lifo");
 
   const auto plim21 = make_config(Strategy::Plim21);
-  EXPECT_EQ(plim21.rewrite, mig::RewriteKind::Plim21);
-  EXPECT_EQ(plim21.selection, plim::SelectionPolicy::Plim21);
+  EXPECT_EQ(plim21.rewrite.key, "plim21");
+  EXPECT_EQ(plim21.selection.key, "plim21");
   // [21]'s own free-list discipline is modelled as a rotating scan (see
   // EXPERIMENTS.md for the sensitivity analysis).
-  EXPECT_EQ(plim21.allocation, plim::AllocPolicy::RoundRobin);
+  EXPECT_EQ(plim21.allocation.key, "round_robin");
 
   const auto min_write = make_config(Strategy::MinWrite);
-  EXPECT_EQ(min_write.rewrite, mig::RewriteKind::Plim21);
-  EXPECT_EQ(min_write.allocation, plim::AllocPolicy::MinWrite);
+  EXPECT_EQ(min_write.rewrite.key, "plim21");
+  EXPECT_EQ(min_write.allocation.key, "min_write");
 
   const auto rewrite = make_config(Strategy::MinWriteEnduranceRewrite);
-  EXPECT_EQ(rewrite.rewrite, mig::RewriteKind::Endurance);
-  EXPECT_EQ(rewrite.selection, plim::SelectionPolicy::Plim21);
+  EXPECT_EQ(rewrite.rewrite.key, "endurance");
+  EXPECT_EQ(rewrite.selection.key, "plim21");
 
   const auto full = make_config(Strategy::FullEndurance, 20);
-  EXPECT_EQ(full.rewrite, mig::RewriteKind::Endurance);
-  EXPECT_EQ(full.selection, plim::SelectionPolicy::EnduranceAware);
-  EXPECT_EQ(full.allocation, plim::AllocPolicy::MinWrite);
+  EXPECT_EQ(full.rewrite.key, "endurance");
+  EXPECT_EQ(full.selection.key, "endurance");
+  EXPECT_EQ(full.allocation.key, "min_write");
   ASSERT_TRUE(full.max_writes.has_value());
   EXPECT_EQ(*full.max_writes, 20u);
+
+  // Presets come out normalized: the effort default is materialized.
+  EXPECT_EQ(full.effort(), 5);
+  EXPECT_EQ(full.rewrite.canonical(), "endurance:effort=5");
 }
 
 TEST(Config, StrategyNames) {
   EXPECT_EQ(to_string(Strategy::Naive), "naive");
   EXPECT_EQ(to_string(Strategy::FullEndurance), "full-endurance");
+  EXPECT_EQ(parse_strategy("full-endurance"), Strategy::FullEndurance);
+  EXPECT_EQ(parse_strategy("full"), Strategy::FullEndurance);
 }
 
 TEST(Pipeline, ReportCarriesAllMetrics) {

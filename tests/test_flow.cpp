@@ -92,13 +92,17 @@ TEST(FlowCache, FullSuiteSweepRewritesEachBenchmarkExactlyOnce) {
   throw_on_error(results);
 
   const auto n = specs.size();
-  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Plim21), n);
-  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Endurance), n);
-  // Naive jobs bypass the cache entirely (they compile the original graph),
-  // so the 5 strategies per benchmark touch 2 distinct rewrite kinds.
-  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::None), 0u);
+  EXPECT_EQ(runner.cache().rewrites("plim21"), n);
+  EXPECT_EQ(runner.cache().rewrites("endurance"), n);
+  // Naive jobs bypass the rewrite level entirely (they compile the original
+  // graph), so the 5 strategies per benchmark touch 2 distinct rewrite keys.
+  EXPECT_EQ(runner.cache().rewrites("none"), 0u);
   EXPECT_EQ(runner.cache().misses(), 2 * n);
   EXPECT_EQ(runner.cache().hits(), 5 * n - n - 2 * n);
+  // All 5 configs per benchmark are distinct, so the program level compiles
+  // each exactly once.
+  EXPECT_EQ(runner.cache().program_misses(), 5 * n);
+  EXPECT_EQ(runner.cache().program_hits(), 0u);
 
   // Jobs sharing a cache entry share the rewritten graph instance.
   for (std::size_t b = 0; b < n; ++b) {
@@ -132,31 +136,98 @@ TEST(FlowCache, CachePersistsAcrossRunnerBatches) {
       {{source, core::make_config(core::Strategy::FullEndurance, 10), {}}});
   throw_on_error(first);
   throw_on_error(second);
-  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Endurance), 1u);
+  EXPECT_EQ(runner.cache().rewrites("endurance"), 1u);
   EXPECT_EQ(first.front().prepared, second.front().prepared);
 }
 
 TEST(FlowCache, EffortIsPartOfTheKey) {
   const auto source = Source::graph(bench::make_adder(8), "adder8");
   auto low = core::make_config(core::Strategy::FullEndurance);
-  low.effort = 1;
+  low.set_effort(1);
   auto high = core::make_config(core::Strategy::FullEndurance);
-  high.effort = 5;
+  high.set_effort(5);
   Runner runner;
   throw_on_error(runner.run({{source, low, {}}, {source, high, {}}}));
-  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Endurance), 2u);
+  EXPECT_EQ(runner.cache().rewrites("endurance"), 2u);
 }
 
 TEST(FlowCache, IdenticalGraphsShareEntriesAcrossSources) {
   // Content addressing: two distinct Sources with equal graphs hit the same
-  // cache entry.
+  // program-cache entry — the second job skips rewrite and compile alike,
+  // but still reports under its own label.
   const auto a = Source::graph(bench::make_adder(8), "a");
   const auto b = Source::graph(bench::make_adder(8), "b");
   Runner runner;
   const auto config = core::make_config(core::Strategy::FullEndurance);
-  throw_on_error(runner.run({{a, config, {}}, {b, config, {}}}));
-  EXPECT_EQ(runner.cache().rewrites(mig::RewriteKind::Endurance), 1u);
+  const auto results = runner.run({{a, config, {}}, {b, config, {}}});
+  throw_on_error(results);
+  EXPECT_EQ(runner.cache().rewrites("endurance"), 1u);
+  EXPECT_EQ(runner.cache().program_misses(), 1u);
+  EXPECT_EQ(runner.cache().program_hits(), 1u);
+  EXPECT_EQ(results[0].prepared, results[1].prepared);
+  EXPECT_EQ(results[0].report.benchmark, "a");
+  EXPECT_EQ(results[1].report.benchmark, "b");
+  EXPECT_EQ(results[0].report.instructions, results[1].report.instructions);
+}
+
+TEST(FlowCache, RepeatedConfigsSkipCompilation) {
+  // The program level of the two-level cache: repeated (fingerprint,
+  // canonical_key) pairs compile once, under any worker count, and the
+  // rendered reports stay byte-identical between serial and parallel runs.
+  const auto source = Source::graph(bench::make_adder(8), "adder8");
+  std::vector<Job> jobs;
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    for (const auto strategy : paper_strategies()) {
+      jobs.push_back({source, core::make_config(strategy), {}});
+    }
+  }
+  Runner serial({.jobs = 1});
+  Runner parallel({.jobs = 8});
+  const auto serial_results = serial.run(jobs);
+  const auto parallel_results = parallel.run(jobs);
+  throw_on_error(serial_results);
+  throw_on_error(parallel_results);
+
+  for (const auto* runner : {&serial, &parallel}) {
+    EXPECT_EQ(runner->cache().program_misses(), 5u);   // distinct configs
+    EXPECT_EQ(runner->cache().program_hits(), 15u);    // 3 repeats x 5
+    EXPECT_EQ(runner->cache().rewrites("plim21"), 1u);
+    EXPECT_EQ(runner->cache().rewrites("endurance"), 1u);
+  }
+  EXPECT_EQ(render(serial_results, ReportFormat::Csv),
+            render(parallel_results, ReportFormat::Csv));
+}
+
+TEST(FlowCache, HandAssembledConfigsShareEntriesAfterNormalization) {
+  // The program level normalizes before keying: a hand-assembled config
+  // that omits defaulted parameters lands on the same entry as the
+  // make_config preset with equal behavior.
+  const auto source = Source::graph(bench::make_adder(8), "adder8");
+  core::PipelineConfig hand;
+  hand.rewrite = {"endurance", {}};  // effort default not materialized
+  hand.selection = {"endurance", {}};
+  hand.allocation = {"min_write", {}};
+  Runner runner;
+  const auto results = runner.run(
+      {{source, hand, {}},
+       {source, core::make_config(core::Strategy::FullEndurance), {}}});
+  throw_on_error(results);
+  EXPECT_EQ(runner.cache().program_misses(), 1u);
+  EXPECT_EQ(runner.cache().program_hits(), 1u);
+  EXPECT_EQ(results[0].prepared, results[1].prepared);
+}
+
+TEST(FlowCache, ProgramCacheCanBeDisabled) {
+  const auto source = Source::graph(bench::make_adder(8), "adder8");
+  Runner runner({.jobs = 2, .cache_rewrites = true, .cache_programs = false});
+  const auto config = core::make_config(core::Strategy::FullEndurance);
+  const auto results = runner.run({{source, config, {}}, {source, config, {}}});
+  throw_on_error(results);
+  // Rewrites still shared, but each job compiled on its own.
+  EXPECT_EQ(runner.cache().rewrites("endurance"), 1u);
   EXPECT_EQ(runner.cache().hits(), 1u);
+  EXPECT_EQ(runner.cache().program_misses(), 0u);
+  EXPECT_EQ(results[0].report.instructions, results[1].report.instructions);
 }
 
 TEST(FlowCache, DisablingTheCacheRewritesPerJob) {

@@ -126,12 +126,10 @@ Mig fig2_blocked(int width) {
 
 TEST(Fig2Scenario, EnduranceSelectionNeverWorsensSpread) {
   const auto graph = fig2_blocked(10);
-  const auto config21 = PipelineConfig{mig::RewriteKind::None,
-                                       plim::SelectionPolicy::Plim21,
-                                       plim::AllocPolicy::MinWrite,
-                                       std::nullopt, 5};
+  const auto config21 =
+      PipelineConfig::parse("rewrite=none,select=plim21,alloc=min_write");
   auto config_endurance = config21;
-  config_endurance.selection = plim::SelectionPolicy::EnduranceAware;
+  config_endurance.selection = {"endurance", {}};
   const auto r21 = run_pipeline(graph, config21, "fig2");
   const auto re = run_pipeline(graph, config_endurance, "fig2");
   EXPECT_LE(re.writes.stdev, r21.writes.stdev + 1e-9);

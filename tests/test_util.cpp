@@ -6,7 +6,9 @@
 
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/registry.hpp"
 #include "util/rng.hpp"
+#include "util/spec.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -161,6 +163,58 @@ TEST(Error, RequirePassesAndThrows) {
   } catch (const Error& error) {
     EXPECT_NE(std::string(error.what()).find("specific message"), std::string::npos);
   }
+}
+
+TEST(Spec, CanonicalSortsParamsAndRoundTrips) {
+  const PolicySpec spec{"start_gap", {{"interval", "8"}}};
+  EXPECT_EQ(spec.canonical(), "start_gap:interval=8");
+  EXPECT_EQ(PolicySpec::parse(spec.canonical()), spec);
+
+  // std::map keeps parameters sorted whatever the input order.
+  const auto multi = PolicySpec::parse("key:zeta=1:alpha=2");
+  EXPECT_EQ(multi.canonical(), "key:alpha=2:zeta=1");
+  EXPECT_EQ(PolicySpec::parse(multi.canonical()), multi);
+
+  const auto bare = PolicySpec::parse("lifo");
+  EXPECT_EQ(bare.key, "lifo");
+  EXPECT_TRUE(bare.params.empty());
+  EXPECT_EQ(bare.canonical(), "lifo");
+}
+
+TEST(Spec, ParseRejectsMalformedText) {
+  EXPECT_THROW(static_cast<void>(PolicySpec::parse("")), Error);
+  EXPECT_THROW(static_cast<void>(PolicySpec::parse("Bad-Key")), Error);
+  EXPECT_THROW(static_cast<void>(PolicySpec::parse("key:paramonly")), Error);
+  EXPECT_THROW(static_cast<void>(PolicySpec::parse("key:=value")), Error);
+  EXPECT_THROW(static_cast<void>(PolicySpec::parse(":p=v")), Error);
+  // Duplicate parameters are hard errors, mirroring the config grammar's
+  // duplicate-clause check.
+  EXPECT_THROW(static_cast<void>(PolicySpec::parse("key:p=1:p=2")), Error);
+}
+
+TEST(Spec, TypedParamAccessors) {
+  const Params params{{"interval", "16"}, {"effort", "-2"}, {"bad", "12x"}};
+  EXPECT_EQ(param_u64(params, "interval"), 16u);
+  EXPECT_EQ(param_int(params, "effort"), -2);
+  EXPECT_THROW(static_cast<void>(param_u64(params, "missing")), Error);
+  EXPECT_THROW(static_cast<void>(param_u64(params, "bad")), Error);
+  EXPECT_THROW(static_cast<void>(param_u64(params, "effort")), Error);
+}
+
+TEST(Registry, NormalizeFillsDefaultsAndRejectsUnknowns) {
+  Registry<int (*)(const Params&)> registry("thing");
+  registry.add({"alpha", "first", {{"knob", "7", "a knob"}}},
+               [](const Params& params) {
+                 return static_cast<int>(param_u64(params, "knob"));
+               });
+  const auto normalized = registry.normalize({"alpha", {}});
+  EXPECT_EQ(normalized.canonical(), "alpha:knob=7");
+  EXPECT_EQ(registry.make({"alpha", {{"knob", "9"}}}), 9);
+  EXPECT_THROW(static_cast<void>(registry.normalize({"alpha", {{"x", "1"}}})),
+               Error);
+  EXPECT_THROW(static_cast<void>(registry.normalize({"beta", {}})), Error);
+  EXPECT_THROW(registry.add({"alpha", "dup", {}}, nullptr), Error);
+  EXPECT_THROW(registry.add({"Bad Key", "", {}}, nullptr), Error);
 }
 
 }  // namespace

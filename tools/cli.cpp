@@ -1,11 +1,11 @@
 #include "cli.hpp"
 
 #include <iostream>
-#include <map>
 #include <optional>
 
 #include "benchmarks/suite.hpp"
 #include "core/lifetime.hpp"
+#include "core/registry.hpp"
 #include "flow/runner.hpp"
 #include "flow/suite.hpp"
 #include "mig/io.hpp"
@@ -22,10 +22,11 @@ namespace {
 struct Options {
   std::string command;
   std::vector<std::string> positional;
-  std::string strategy = "full";
+  std::optional<std::string> strategy;
   std::optional<std::uint64_t> cap;
+  std::string config_spec;  // --config: the registry-keyed spec grammar
   std::string flow = "endurance";
-  int effort = 5;
+  std::optional<int> effort;
   unsigned jobs = 0;  // 0 = hardware concurrency
   flow::ReportFormat format = flow::ReportFormat::Table;
   bool disasm = false;
@@ -34,7 +35,8 @@ struct Options {
 
 Options parse(const std::vector<std::string>& args) {
   Options options;
-  require(!args.empty(), "missing command (info, rewrite, compile, suite)");
+  require(!args.empty(),
+          "missing command (info, rewrite, compile, suite, policies)");
   options.command = args[0];
   for (std::size_t i = 1; i < args.size(); ++i) {
     const auto& arg = args[i];
@@ -46,6 +48,8 @@ Options parse(const std::vector<std::string>& args) {
       options.strategy = next();
     } else if (arg == "--cap") {
       options.cap = std::stoull(next());
+    } else if (arg == "--config") {
+      options.config_spec = next();
     } else if (arg == "--flow") {
       options.flow = next();
     } else if (arg == "--effort") {
@@ -67,17 +71,37 @@ Options parse(const std::vector<std::string>& args) {
   return options;
 }
 
-core::Strategy strategy_from(const std::string& name) {
-  static const std::map<std::string, core::Strategy> kTable = {
-      {"naive", core::Strategy::Naive},
-      {"plim21", core::Strategy::Plim21},
-      {"min-write", core::Strategy::MinWrite},
-      {"endurance-rewrite", core::Strategy::MinWriteEnduranceRewrite},
-      {"full", core::Strategy::FullEndurance},
-  };
-  const auto it = kTable.find(name);
-  require(it != kTable.end(), "unknown strategy '" + name + "'");
-  return it->second;
+/// The job configuration selected by --config / --strategy / --cap /
+/// --effort (default: the full-endurance preset).
+core::PipelineConfig config_from(const Options& options) {
+  core::PipelineConfig config;
+  if (!options.config_spec.empty()) {
+    require(!options.strategy && !options.cap,
+            "--config replaces --strategy/--cap (append ,cap=N to the spec)");
+    config = core::PipelineConfig::parse(options.config_spec);
+  } else {
+    config = core::make_config(
+        core::parse_strategy(options.strategy.value_or("full")), options.cap);
+  }
+  if (options.effort) {
+    config.set_effort(*options.effort);
+    // set_effort bypasses parse()'s eager validation — re-check so a bad
+    // --effort fails here instead of per-job deep inside the batch.
+    (void)mig::make_rewrite(config.rewrite);
+  }
+  return config;
+}
+
+/// Label of the selected configuration for report titles: the legacy
+/// "strategy NAME (cap N)" wording for --strategy (kept byte-stable), the
+/// canonical key for --config.
+std::string config_label(const Options& options,
+                         const core::PipelineConfig& config) {
+  if (!options.config_spec.empty()) {
+    return "config " + config.canonical_key();
+  }
+  return "strategy " + options.strategy.value_or("full") +
+         (options.cap ? " (cap " + std::to_string(*options.cap) + ")" : "");
 }
 
 mig::Mig load_netlist(const std::string& source) {
@@ -119,12 +143,13 @@ int cmd_rewrite(const Options& options, std::ostream& out) {
   const auto graph = load_netlist(options.positional[0]);
   mig::RewriteStats stats;
   mig::Mig rewritten;
+  const int effort = options.effort.value_or(5);
   if (options.flow == "plim21") {
-    rewritten = mig::rewrite_plim21(graph, options.effort, &stats);
+    rewritten = mig::rewrite_plim21(graph, effort, &stats);
   } else if (options.flow == "endurance") {
-    rewritten = mig::rewrite_endurance(graph, options.effort, &stats);
+    rewritten = mig::rewrite_endurance(graph, effort, &stats);
   } else if (options.flow == "level") {
-    rewritten = mig::rewrite_level_balanced(graph, options.effort, &stats);
+    rewritten = mig::rewrite_level_balanced(graph, effort, &stats);
   } else {
     throw Error("unknown flow '" + options.flow + "'");
   }
@@ -142,9 +167,13 @@ int print_compile_details(const Options& options, const flow::JobResult& result,
   const auto& report = result.report;
   const auto lifetime = core::estimate_lifetime(report.writes);
 
-  out << "strategy:        " << options.strategy;
-  if (options.cap) {
-    out << " (cap " << *options.cap << ")";
+  if (!options.config_spec.empty()) {
+    out << "config:          " << report.config.canonical_key();
+  } else {
+    out << "strategy:        " << options.strategy.value_or("full");
+    if (options.cap) {
+      out << " (cap " << *options.cap << ")";
+    }
   }
   out << '\n'
       << "gates:           " << report.gates_before_rewrite << " -> "
@@ -175,32 +204,14 @@ int print_compile_details(const Options& options, const flow::JobResult& result,
   return 0;
 }
 
-int cmd_compile(const Options& options, std::ostream& out) {
-  require(!options.positional.empty(),
-          "compile needs at least one netlist or bench:NAME");
-  require(!options.disasm || options.positional.size() == 1,
-          "--disasm requires a single netlist");
-
-  auto config = core::make_config(strategy_from(options.strategy), options.cap);
-  config.effort = options.effort;
-
-  std::vector<flow::Job> jobs;
-  jobs.reserve(options.positional.size());
-  for (const auto& spec : options.positional) {
-    jobs.push_back({flow::Source::netlist(spec), config, spec});
-  }
-  flow::Runner runner({.jobs = options.jobs});
-  const auto results = runner.run(jobs);
-
-  if (options.positional.size() == 1 &&
-      options.format == flow::ReportFormat::Table) {
-    flow::throw_on_error(results);
-    return print_compile_details(options, results.front(), out);
-  }
-
-  flow::Report doc;
-  doc.title = "compile — strategy " + options.strategy +
-              (options.cap ? " (cap " + std::to_string(*options.cap) + ")" : "");
+/// Renders one row per job into `doc` (the shared compile/suite batch
+/// table). Failed jobs keep their row — error in the gates column, dashes
+/// elsewhere — so the successful rest of the batch still reports. Returns
+/// {any_failed, all_verified}.
+std::pair<bool, bool> batch_rows(const Options& options,
+                                 const std::vector<flow::Job>& jobs,
+                                 const std::vector<flow::JobResult>& results,
+                                 flow::Report& doc) {
   doc.columns = {"benchmark", "gates", "#I", "#R", "min/max", "STDEV",
                  "executions@1e10"};
   if (options.verify) {
@@ -211,8 +222,6 @@ int cmd_compile(const Options& options, std::ostream& out) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& result = results[i];
     if (!result.ok()) {
-      // Failed jobs keep their row (error in the gates column, dashes
-      // elsewhere) so the successful rest of the batch still reports.
       any_failed = true;
       std::vector<std::string> row{jobs[i].display_label(),
                                    "error: " + result.error};
@@ -239,6 +248,35 @@ int cmd_compile(const Options& options, std::ostream& out) {
     }
     doc.add_row(std::move(row));
   }
+  return {any_failed, all_verified};
+}
+
+int cmd_compile(const Options& options, std::ostream& out) {
+  require(!options.positional.empty(),
+          "compile needs at least one netlist or bench:NAME");
+  require(!options.disasm || options.positional.size() == 1,
+          "--disasm requires a single netlist");
+
+  const auto config = config_from(options);
+
+  std::vector<flow::Job> jobs;
+  jobs.reserve(options.positional.size());
+  for (const auto& spec : options.positional) {
+    jobs.push_back({flow::Source::netlist(spec), config, spec});
+  }
+  flow::Runner runner({.jobs = options.jobs});
+  const auto results = runner.run(jobs);
+
+  if (options.positional.size() == 1 &&
+      options.format == flow::ReportFormat::Table) {
+    flow::throw_on_error(results);
+    return print_compile_details(options, results.front(), out);
+  }
+
+  flow::Report doc;
+  doc.title = "compile — " + config_label(options, config);
+  const auto [any_failed, all_verified] =
+      batch_rows(options, jobs, results, doc);
   flow::make_sink(options.format)->write(doc, out);
   if (any_failed) {
     return 1;
@@ -247,14 +285,76 @@ int cmd_compile(const Options& options, std::ostream& out) {
 }
 
 int cmd_suite(const Options& options, std::ostream& out) {
-  flow::Report doc;
-  doc.title = "built-in benchmarks (compile with bench:NAME):";
-  doc.columns = {"benchmark", "PI/PO", "class"};
-  for (const auto& spec : bench::paper_suite()) {
-    doc.add_row({spec.name,
-                 std::to_string(spec.pis) + "/" + std::to_string(spec.pos),
-                 spec.arithmetic ? "arithmetic" : "control"});
+  if (options.config_spec.empty() && !options.strategy) {
+    // Without a configuration, list the built-in benchmarks (the historical
+    // behavior). Flags that only make sense for a sweep are rejected rather
+    // than silently dropped.
+    require(!options.cap && !options.effort && !options.verify &&
+                options.jobs == 0,
+            "suite: --cap/--effort/--verify/--jobs need --strategy or "
+            "--config (without one, suite only lists the benchmarks)");
+    flow::Report doc;
+    doc.title = "built-in benchmarks (compile with bench:NAME):";
+    doc.columns = {"benchmark", "PI/PO", "class"};
+    for (const auto& spec : bench::paper_suite()) {
+      doc.add_row({spec.name,
+                   std::to_string(spec.pis) + "/" + std::to_string(spec.pos),
+                   spec.arithmetic ? "arithmetic" : "control"});
+    }
+    flow::make_sink(options.format)->write(doc, out);
+    return 0;
   }
+
+  // With --config/--strategy: compile the whole evaluation suite under that
+  // configuration as one batch.
+  const auto config = config_from(options);
+  const auto suite = flow::suite();
+  std::vector<flow::Job> jobs;
+  for (const auto& source : flow::suite_sources(suite)) {
+    jobs.push_back({source, config, {}});
+  }
+  flow::Runner runner({.jobs = options.jobs});
+  const auto results = runner.run(jobs);
+
+  flow::Report doc;
+  doc.title = "suite (" + suite.label + ") — " + config_label(options, config);
+  const auto [any_failed, all_verified] =
+      batch_rows(options, jobs, results, doc);
+  flow::make_sink(options.format)->write(doc, out);
+  if (any_failed) {
+    return 1;
+  }
+  return all_verified ? 0 : 2;
+}
+
+int cmd_policies(const Options& options, std::ostream& out) {
+  flow::Report doc;
+  doc.title = "registered policies (compose with --config):";
+  doc.columns = {"kind", "key", "parameters", "summary"};
+  for (const auto kind : registry::kinds()) {
+    for (const auto& info : registry::list(kind)) {
+      std::string params;
+      for (const auto& param : info.params) {
+        if (!params.empty()) {
+          params += ", ";
+        }
+        params += param.name + "=" + param.default_value;
+      }
+      doc.add_row({std::string(kind), info.key, params.empty() ? "-" : params,
+                   info.summary});
+    }
+  }
+  doc.add_note(
+      "spec grammar: rewrite=KEY[:param=value...],select=KEY,alloc=KEY[,cap=N]");
+  std::string presets;
+  for (const auto& [alias, strategy] : core::strategy_aliases()) {
+    if (!presets.empty()) {
+      presets += ", ";
+    }
+    presets += std::string(alias) + " = " +
+               core::make_config(strategy).canonical_key();
+  }
+  doc.add_note("presets: " + presets);
   flow::make_sink(options.format)->write(doc, out);
   return 0;
 }
@@ -277,10 +377,14 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (options.command == "suite") {
       return cmd_suite(options, out);
     }
+    if (options.command == "policies") {
+      return cmd_policies(options, out);
+    }
     throw Error("unknown command '" + options.command + "'");
   } catch (const std::exception& error) {
     err << "rlim_cli: " << error.what() << '\n'
-        << "usage: rlim_cli info|rewrite|compile|suite ... (see tools/cli.hpp)\n";
+        << "usage: rlim_cli info|rewrite|compile|suite|policies ... "
+           "(see tools/cli.hpp)\n";
     return 1;
   }
 }

@@ -12,16 +12,24 @@ namespace rlim::cli {
 ///   info    <netlist>                     — PI/PO/gate/depth statistics
 ///   rewrite <in> <out> [options]          — run a rewriting flow
 ///   compile <netlist|bench:NAME>... [opts]— compile to RM3, print report(s)
-///   suite                                 — list the built-in benchmarks
+///   suite                                 — list the built-in benchmarks;
+///                                           with --config/--strategy:
+///                                           compile the whole suite
+///   policies                              — list the registered rewrite /
+///                                           selection / allocation policies
 ///
 /// Options:
-///   --strategy naive|plim21|min-write|endurance-rewrite|full   (compile)
-///   --cap N        maximum write count strategy                (compile)
+///   --strategy naive|plim21|min-write|endurance-rewrite|full (compile, suite)
+///   --cap N        maximum write count strategy              (compile, suite)
+///   --config SPEC  registry-keyed pipeline spec, e.g.        (compile, suite)
+///                  "rewrite=endurance:effort=5,select=wear_quota:quota=4,
+///                   alloc=start_gap,cap=100" or "full,cap=100"
+///                  (replaces --strategy/--cap; see `rlim policies`)
 ///   --flow plim21|endurance|level                              (rewrite)
 ///   --effort N     rewriting cycles (default 5)
 ///   --jobs N       worker threads for batch compiles           (compile)
 ///                  (default: hardware concurrency)
-///   --format table|csv|json   report serialization             (compile, suite)
+///   --format table|csv|json   report serialization   (compile, suite, policies)
 ///   --disasm       print the RM3 program (single netlist only) (compile)
 ///   --verify       cross-check the program on the crossbar     (compile)
 ///

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "benchmarks/arithmetic.hpp"
 #include "core/endurance.hpp"
 #include "flow/runner.hpp"
@@ -122,10 +124,10 @@ void BM_MigFingerprint(benchmark::State& state) {
 }
 BENCHMARK(BM_MigFingerprint)->Unit(benchmark::kMicrosecond);
 
-// Batch throughput of the flow job-runner: 3 adders × the 5 paper strategies
-// with a cold rewrite cache per iteration. The thread-count argument shows
-// the --jobs scaling of the sweep drivers.
-void BM_FlowBatch(benchmark::State& state) {
+// The shared workload of every BM_FlowBatch* benchmark below: 3 adders ×
+// the 5 paper strategies. One definition so the cold / warm-memory /
+// cold-disk / warm-disk numbers stay comparable.
+std::vector<flow::Job> adder_strategy_jobs() {
   std::vector<flow::SourcePtr> sources;
   for (const unsigned bits : {16u, 24u, 32u}) {
     sources.push_back(flow::Source::graph(
@@ -137,6 +139,14 @@ void BM_FlowBatch(benchmark::State& state) {
       jobs.push_back({source, core::make_config(strategy), {}});
     }
   }
+  return jobs;
+}
+
+// Batch throughput of the flow job-runner with a cold rewrite cache per
+// iteration. The thread-count argument shows the --jobs scaling of the
+// sweep drivers.
+void BM_FlowBatch(benchmark::State& state) {
+  const auto jobs = adder_strategy_jobs();
   for (auto _ : state) {
     flow::Runner runner({.jobs = static_cast<unsigned>(state.range(0))});
     benchmark::DoNotOptimize(runner.run(jobs));
@@ -151,17 +161,7 @@ BENCHMARK(BM_FlowBatch)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 // pipeline work collapses to cache lookups + report copies. The gap to
 // BM_FlowBatch/1 is the compile-cache win for repeated sweeps.
 void BM_FlowBatchWarmProgramCache(benchmark::State& state) {
-  std::vector<flow::SourcePtr> sources;
-  for (const unsigned bits : {16u, 24u, 32u}) {
-    sources.push_back(flow::Source::graph(
-        bench::make_adder(bits), "adder" + std::to_string(bits)));
-  }
-  std::vector<flow::Job> jobs;
-  for (const auto& source : sources) {
-    for (const auto strategy : flow::paper_strategies()) {
-      jobs.push_back({source, core::make_config(strategy), {}});
-    }
-  }
+  const auto jobs = adder_strategy_jobs();
   flow::Runner runner({.jobs = 1});
   benchmark::DoNotOptimize(runner.run(jobs));  // cold fill
   for (auto _ : state) {
@@ -171,6 +171,53 @@ void BM_FlowBatchWarmProgramCache(benchmark::State& state) {
                           static_cast<std::int64_t>(jobs.size()));
 }
 BENCHMARK(BM_FlowBatchWarmProgramCache)->Unit(benchmark::kMillisecond);
+
+std::string perf_store_dir() {
+  return (std::filesystem::temp_directory_path() / "rlim_perf_store")
+      .string();
+}
+
+// Cold disk store: every iteration starts from an empty store, so the
+// pipeline work runs in full *plus* the write-through serialization. The
+// delta to BM_FlowBatch/1 is the price of persisting a sweep.
+void BM_FlowBatchColdDiskStore(benchmark::State& state) {
+  const auto jobs = adder_strategy_jobs();
+  const auto dir = perf_store_dir();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+    flow::Runner runner({.jobs = 1, .cache_dir = dir});
+    benchmark::DoNotOptimize(runner.run(jobs));
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_FlowBatchColdDiskStore)->Unit(benchmark::kMillisecond);
+
+// Warm disk store, cold process: a fresh Runner per iteration (its
+// in-memory cache empty, as a new invocation would be) against a
+// pre-populated store — every job is a program-level disk hit. Compare
+// with BM_FlowBatch/1 (no cache at all, cold) and
+// BM_FlowBatchWarmProgramCache (in-memory hit, the upper bound).
+void BM_FlowBatchWarmDiskStore(benchmark::State& state) {
+  const auto jobs = adder_strategy_jobs();
+  const auto dir = perf_store_dir();
+  std::filesystem::remove_all(dir);
+  {
+    flow::Runner seeder({.jobs = 1, .cache_dir = dir});
+    benchmark::DoNotOptimize(seeder.run(jobs));
+  }
+  for (auto _ : state) {
+    flow::Runner runner({.jobs = 1, .cache_dir = dir});
+    benchmark::DoNotOptimize(runner.run(jobs));
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_FlowBatchWarmDiskStore)->Unit(benchmark::kMillisecond);
 
 // Cost of the config front-end itself: spec parse (registry validation
 // included) + canonical key rendering — the per-job key path of the cache.

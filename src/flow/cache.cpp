@@ -1,5 +1,6 @@
 #include "flow/cache.hpp"
 
+#include "store/disk_store.hpp"
 #include "util/hash.hpp"
 
 namespace rlim::flow {
@@ -34,19 +35,42 @@ PipelineCache::RewriteEntry PipelineCache::rewrite(
   }
 
   if (owner) {
+    bool value_set = false;
     try {
       RewriteEntry entry;
-      mig::RewriteStats stats;
-      entry.graph = std::make_shared<const mig::Mig>(
-          mig::make_rewrite(normalized)(source.original(), &stats));
-      entry.stats = stats;
-      {
-        const std::scoped_lock lock(mutex_);
-        ++rewrites_by_key_[normalized.key];
+      bool loaded = false;
+      if (store_ != nullptr) {
+        if (auto payload = store_->load_rewrite(key.fingerprint, key.spec)) {
+          entry.graph =
+              std::make_shared<const mig::Mig>(std::move(payload->graph));
+          entry.stats = payload->stats;
+          loaded = true;
+        }
       }
-      promise.set_value(std::move(entry));
+      if (!loaded) {
+        mig::RewriteStats stats;
+        entry.graph = std::make_shared<const mig::Mig>(
+            mig::make_rewrite(normalized)(source.original(), &stats));
+        entry.stats = stats;
+        {
+          const std::scoped_lock lock(mutex_);
+          ++rewrites_by_key_[normalized.key];
+        }
+      }
+      // Unblock every waiter before the write-through below: the entry is
+      // cheap to copy (shared graph) and waiters must not stall on disk.
+      promise.set_value(entry);
+      value_set = true;
+      if (!loaded && store_ != nullptr) {
+        store_->store_rewrite(key.fingerprint, key.spec, *entry.graph,
+                              entry.stats);
+      }
     } catch (...) {
-      promise.set_exception(std::current_exception());
+      // A failure after set_value can only come from the write-through,
+      // which is best-effort by contract — the in-memory result stands.
+      if (!value_set) {
+        promise.set_exception(std::current_exception());
+      }
     }
   }
   return future.get();
@@ -77,19 +101,41 @@ PipelineCache::CompiledEntry PipelineCache::compiled(
   }
 
   if (owner) {
+    bool value_set = false;
     try {
       CompiledEntry entry;
-      auto rewritten = config.rewrite.key == "none"
-                           ? passthrough_rewrite(source)
-                           : rewrite(source, config.rewrite);
-      entry.prepared = std::move(rewritten.graph);
-      entry.rewrite_stats = rewritten.stats;
-      entry.report = std::make_shared<const core::EnduranceReport>(
-          core::compile_prepared(*entry.prepared, config, {},
-                                 source.original().num_gates()));
-      promise.set_value(std::move(entry));
+      bool loaded = false;
+      if (store_ != nullptr) {
+        if (auto payload = store_->load_program(key.fingerprint, key.spec)) {
+          entry.prepared =
+              std::make_shared<const mig::Mig>(std::move(payload->prepared));
+          entry.rewrite_stats = payload->rewrite_stats;
+          entry.report = std::make_shared<const core::EnduranceReport>(
+              std::move(payload->report));
+          loaded = true;
+        }
+      }
+      if (!loaded) {
+        auto rewritten = config.rewrite.key == "none"
+                             ? passthrough_rewrite(source)
+                             : rewrite(source, config.rewrite);
+        entry.prepared = std::move(rewritten.graph);
+        entry.rewrite_stats = rewritten.stats;
+        entry.report = std::make_shared<const core::EnduranceReport>(
+            core::compile_prepared(*entry.prepared, config, {},
+                                   source.original().num_gates()));
+      }
+      // As in rewrite(): waiters get the shared entry before any disk work.
+      promise.set_value(entry);
+      value_set = true;
+      if (!loaded && store_ != nullptr) {
+        store_->store_program(key.fingerprint, key.spec, *entry.prepared,
+                              entry.rewrite_stats, *entry.report);
+      }
     } catch (...) {
-      promise.set_exception(std::current_exception());
+      if (!value_set) {
+        promise.set_exception(std::current_exception());
+      }
     }
   }
   return future.get();
@@ -99,6 +145,10 @@ std::size_t PipelineCache::rewrites(std::string_view key) const {
   const std::scoped_lock lock(mutex_);
   const auto it = rewrites_by_key_.find(std::string(key));
   return it == rewrites_by_key_.end() ? 0 : it->second;
+}
+
+void PipelineCache::attach_store(std::shared_ptr<store::DiskStore> store) {
+  store_ = std::move(store);
 }
 
 PipelineCache::RewriteEntry passthrough_rewrite(const Source& source) {

@@ -12,6 +12,10 @@
 #include "flow/job.hpp"
 #include "mig/rewriting.hpp"
 
+namespace rlim::store {
+class DiskStore;
+}
+
 namespace rlim::flow {
 
 /// Two-level content-addressed cache shared by every job of a Runner batch.
@@ -31,6 +35,13 @@ namespace rlim::flow {
 /// request the same missing key concurrently, one computes and the other
 /// blocks on its result, never duplicating work. Exceptions propagate to
 /// every waiter of the entry.
+///
+/// Optionally backed by a persistent store::DiskStore (attach_store): an
+/// in-memory miss then consults the disk tier before computing, and a
+/// computed entry is written through, so rewrites and whole compiled
+/// programs survive across process invocations. Disk traffic runs inside
+/// the single-flight owner, so concurrent workers never load or serialize
+/// the same entry twice.
 class PipelineCache {
 public:
   struct RewriteEntry {
@@ -72,6 +83,14 @@ public:
     return program_misses_.load();
   }
 
+  /// Attaches (or, with nullptr, detaches) the persistent backing tier.
+  /// Not synchronized against in-flight lookups — attach before handing the
+  /// cache to workers, the way Runner does at construction.
+  void attach_store(std::shared_ptr<store::DiskStore> store);
+  [[nodiscard]] const std::shared_ptr<store::DiskStore>& disk_store() const {
+    return store_;
+  }
+
   void clear();
 
 private:
@@ -84,6 +103,7 @@ private:
     std::size_t operator()(const Key& key) const;
   };
 
+  std::shared_ptr<store::DiskStore> store_;
   mutable std::mutex mutex_;
   std::unordered_map<Key, std::shared_future<RewriteEntry>, KeyHash> rewrites_;
   std::unordered_map<Key, std::shared_future<CompiledEntry>, KeyHash>

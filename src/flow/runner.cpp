@@ -6,11 +6,21 @@
 #include <iostream>
 #include <thread>
 
+#include "store/disk_store.hpp"
 #include "util/error.hpp"
 
 namespace rlim::flow {
 
-Runner::Runner(RunnerOptions options) : options_(options) {}
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
+  if (!options_.cache_dir.empty()) {
+    // The disk store backs the in-memory cache; with caching off the jobs
+    // never touch it, so accepting the directory would be a silent no-op.
+    require(options_.cache_rewrites,
+            "flow: cache_dir requires cache_rewrites");
+    cache_.attach_store(
+        std::make_shared<store::DiskStore>(options_.cache_dir));
+  }
+}
 
 unsigned Runner::concurrency(std::size_t job_count) const {
   unsigned workers = options_.jobs;

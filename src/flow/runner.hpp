@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "flow/cache.hpp"
@@ -18,6 +19,14 @@ struct RunnerOptions {
   /// repeated (source, config) pairs skip compilation entirely. Disable to
   /// measure cold compilation cost; requires cache_rewrites.
   bool cache_programs = true;
+  /// Directory of the persistent store::DiskStore backing the cache
+  /// (created on demand); empty leaves the disk tier off. Requires
+  /// cache_rewrites (the store backs the cache). The Runner itself never
+  /// consults the environment — benchmarks and tests stay hermetic
+  /// however the caller's shell is configured. Front-ends that honor
+  /// RLIM_CACHE_DIR (the rlim CLI) resolve it into this field
+  /// (store::env_cache_dir()).
+  std::string cache_dir{};
 };
 
 /// Executes a batch of Jobs on a thread pool and returns one JobResult per
@@ -32,9 +41,14 @@ struct RunnerOptions {
 /// The pipeline cache persists across run() calls, so multi-phase sweeps
 /// (e.g. "run uncapped first, then only the binding caps") reuse earlier
 /// rewrites — and whole compiled programs — by handing their batches to the
-/// same Runner.
+/// same Runner. With a cache_dir (or RLIM_CACHE_DIR) it also persists
+/// *across invocations*: the cache reads through to / writes through to a
+/// store::DiskStore, so a repeated sweep recompiles nothing.
 class Runner {
 public:
+  /// Throws rlim::Error when the cache directory can neither be created
+  /// nor read (a readable read-only store degrades to read-through), or
+  /// when cache_dir is combined with cache_rewrites=false.
   explicit Runner(RunnerOptions options = {});
 
   [[nodiscard]] std::vector<JobResult> run(const std::vector<Job>& jobs);

@@ -1,0 +1,311 @@
+#include "store/disk_store.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace rlim::store {
+
+namespace {
+
+constexpr std::string_view kEntryExtension = ".entry";
+
+/// Reads a whole file into `bytes`; false when it does not exist or any
+/// read fails.
+bool read_file(const std::filesystem::path& path, std::string& bytes) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (!is.good() && !is.eof()) {
+    return false;
+  }
+  bytes = std::move(buffer).str();
+  return true;
+}
+
+}  // namespace
+
+bool remove_quietly(const std::filesystem::path& path) {
+  std::error_code ec;
+  return std::filesystem::remove(path, ec) && !ec;
+}
+
+std::filesystem::path objects_dir(const std::filesystem::path& root) {
+  return root / "objects";
+}
+
+std::string entry_file_name(EntryKind kind, std::uint64_t fingerprint,
+                            std::string_view key) {
+  const auto hash = util::Fnv1a64()
+                        .byte(static_cast<std::uint8_t>(kind))
+                        .u64(fingerprint)
+                        .str(key)
+                        .digest();
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string name(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    name[i] = kHex[(hash >> (60 - 4 * i)) & 0xf];
+  }
+  name += kEntryExtension;
+  return name;
+}
+
+EntryStatus read_entry_file(const std::filesystem::path& path,
+                            EntryFrame& frame) {
+  std::string bytes;
+  if (!read_file(path, bytes)) {
+    return EntryStatus::Missing;
+  }
+  // The final 8 bytes authenticate everything before them.
+  if (bytes.size() < kMagic.size() + 8) {
+    return EntryStatus::Corrupt;
+  }
+  const std::string_view framed(bytes.data(), bytes.size() - 8);
+  util::ByteReader trailer(
+      std::string_view(bytes.data() + framed.size(), 8));
+  if (util::Fnv1a64().str(framed).digest() != trailer.u64()) {
+    return EntryStatus::Corrupt;
+  }
+  try {
+    util::ByteReader in(framed);
+    std::string magic;
+    for (std::size_t i = 0; i < kMagic.size(); ++i) {
+      magic.push_back(static_cast<char>(in.u8()));
+    }
+    if (magic != kMagic) {
+      return EntryStatus::Corrupt;
+    }
+    if (in.u32() != kFormatVersion) {
+      return EntryStatus::VersionMismatch;
+    }
+    const auto kind = in.u8();
+    if (kind != static_cast<std::uint8_t>(EntryKind::Rewrite) &&
+        kind != static_cast<std::uint8_t>(EntryKind::Program)) {
+      return EntryStatus::Corrupt;
+    }
+    frame.kind = static_cast<EntryKind>(kind);
+    frame.fingerprint = in.u64();
+    frame.key = in.str();
+    frame.payload = in.str();
+    in.expect_end();
+  } catch (const Error&) {
+    return EntryStatus::Corrupt;
+  }
+  return EntryStatus::Ok;
+}
+
+DiskStore::DiskStore(std::filesystem::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(objects_dir(root_), ec);
+  if (!ec) {
+    std::filesystem::create_directories(root_ / "tmp", ec);
+  }
+  if (ec) {
+    // Cannot create the skeleton. The store is still usable iff a readable
+    // object tree already exists (a seeded store on a read-only mount):
+    // serve read-through only. Anything else is a genuinely unusable
+    // directory, which should fail loudly here, not per job.
+    std::error_code readable_ec;
+    require(std::filesystem::is_directory(objects_dir(root_), readable_ec) &&
+                !readable_ec,
+            "store: cannot create cache directory '" + root_.string() +
+                "': " + ec.message());
+    writable_ = false;
+    return;
+  }
+  // Probe writability up front: an existing skeleton whose files this
+  // process cannot write (read-only mount, permissions) must degrade to
+  // read-through — visibly, via the write-failure counter — instead of
+  // attempting and swallowing every write.
+  const auto probe =
+      root_ / "tmp" / (".probe." + std::to_string(::getpid()));
+  {
+    std::ofstream os(probe, std::ios::binary | std::ios::trunc);
+    writable_ = os.put('w').good();
+  }
+  remove_quietly(probe);
+}
+
+std::filesystem::path DiskStore::entry_path(EntryKind kind,
+                                            std::uint64_t fingerprint,
+                                            const std::string& key) const {
+  const auto name = entry_file_name(kind, fingerprint, key);
+  return objects_dir(root_) / name.substr(0, 2) / name;
+}
+
+std::optional<std::string> DiskStore::load_payload(EntryKind kind,
+                                                   std::uint64_t fingerprint,
+                                                   const std::string& key) {
+  const auto path = entry_path(kind, fingerprint, key);
+  EntryFrame frame;
+  switch (read_entry_file(path, frame)) {
+    case EntryStatus::Missing:
+      // Absent, or unlinked between directory ops by a concurrent gc —
+      // either way a plain miss, never "corruption".
+      load_misses_.fetch_add(1);
+      return std::nullopt;
+    case EntryStatus::Corrupt:
+      // The eviction counters claim deletion, so bump them only when the
+      // unlink succeeds (a read-only store keeps the damaged file and
+      // surfaces the situation through its write-failure counter instead).
+      if (remove_quietly(path)) {
+        evicted_corrupt_.fetch_add(1);
+      }
+      load_misses_.fetch_add(1);
+      return std::nullopt;
+    case EntryStatus::VersionMismatch:
+      if (remove_quietly(path)) {
+        evicted_version_.fetch_add(1);
+      }
+      load_misses_.fetch_add(1);
+      return std::nullopt;
+    case EntryStatus::Ok:
+      break;
+  }
+  // A content-address hash collision surfaces as a header mismatch: the
+  // resident entry belongs to another key, so this lookup is a plain miss
+  // (a later write-through will replace the file).
+  if (frame.kind != kind || frame.fingerprint != fingerprint ||
+      frame.key != key) {
+    load_misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  return std::move(frame.payload);
+}
+
+std::optional<RewritePayload> DiskStore::load_rewrite(
+    std::uint64_t fingerprint, const std::string& key) {
+  auto payload = load_payload(EntryKind::Rewrite, fingerprint, key);
+  if (!payload) {
+    return std::nullopt;
+  }
+  try {
+    auto decoded = decode_rewrite_payload(*payload);
+    rewrite_loads_.fetch_add(1);
+    return decoded;
+  } catch (const std::exception&) {
+    // Authenticated frame but undecodable payload (e.g. a policy key this
+    // build no longer registers): evict and recompute.
+    if (remove_quietly(entry_path(EntryKind::Rewrite, fingerprint, key))) {
+      evicted_corrupt_.fetch_add(1);
+    }
+    load_misses_.fetch_add(1);
+    return std::nullopt;
+  }
+}
+
+std::optional<ProgramPayload> DiskStore::load_program(
+    std::uint64_t fingerprint, const std::string& key) {
+  auto payload = load_payload(EntryKind::Program, fingerprint, key);
+  if (!payload) {
+    return std::nullopt;
+  }
+  try {
+    auto decoded = decode_program_payload(*payload);
+    program_loads_.fetch_add(1);
+    return decoded;
+  } catch (const std::exception&) {
+    if (remove_quietly(entry_path(EntryKind::Program, fingerprint, key))) {
+      evicted_corrupt_.fetch_add(1);
+    }
+    load_misses_.fetch_add(1);
+    return std::nullopt;
+  }
+}
+
+bool DiskStore::write_entry(EntryKind kind, std::uint64_t fingerprint,
+                            const std::string& key,
+                            std::string_view payload) {
+  if (!writable_) {
+    store_failures_.fetch_add(1);
+    return false;
+  }
+  util::ByteWriter out;
+  out.raw(kMagic)
+      .u32(kFormatVersion)
+      .u8(static_cast<std::uint8_t>(kind))
+      .u64(fingerprint)
+      .str(key);
+  out.str(payload);
+  out.u64(util::Fnv1a64().str(out.bytes()).digest());
+
+  const auto path = entry_path(kind, fingerprint, key);
+  // PID + process-wide sequence: concurrent writers — any thread or
+  // DiskStore instance of this process, or other processes sharing the
+  // root — always stage to distinct names, so the rename-into-place below
+  // never publishes a torn frame.
+  static std::atomic<std::uint64_t> tmp_sequence{0};
+  const auto tmp = root_ / "tmp" /
+                   (path.filename().string() + "." +
+                    std::to_string(::getpid()) + "." +
+                    std::to_string(tmp_sequence.fetch_add(1)) + ".tmp");
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) {
+    store_failures_.fetch_add(1);
+    return false;
+  }
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os.write(out.bytes().data(),
+             static_cast<std::streamsize>(out.bytes().size()));
+    if (!os.good()) {
+      remove_quietly(tmp);
+      store_failures_.fetch_add(1);
+      return false;
+    }
+  }
+  // rename within one filesystem is atomic: concurrent readers see either
+  // the previous entry or the complete new one, never a torn write.
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    remove_quietly(tmp);
+    store_failures_.fetch_add(1);
+    return false;
+  }
+  stores_.fetch_add(1);
+  return true;
+}
+
+bool DiskStore::store_rewrite(std::uint64_t fingerprint,
+                              const std::string& key, const mig::Mig& graph,
+                              const mig::RewriteStats& stats) {
+  return write_entry(EntryKind::Rewrite, fingerprint, key,
+                     encode_rewrite_payload(graph, stats));
+}
+
+bool DiskStore::store_program(std::uint64_t fingerprint,
+                              const std::string& key, const mig::Mig& prepared,
+                              const mig::RewriteStats& rewrite_stats,
+                              const core::EnduranceReport& report) {
+  return write_entry(EntryKind::Program, fingerprint, key,
+                     encode_program_payload(prepared, rewrite_stats, report));
+}
+
+StoreCounters DiskStore::counters() const {
+  StoreCounters counters;
+  counters.rewrite_loads = rewrite_loads_.load();
+  counters.program_loads = program_loads_.load();
+  counters.load_misses = load_misses_.load();
+  counters.stores = stores_.load();
+  counters.store_failures = store_failures_.load();
+  counters.evicted_corrupt = evicted_corrupt_.load();
+  counters.evicted_version = evicted_version_.load();
+  return counters;
+}
+
+std::string env_cache_dir() {
+  const char* dir = std::getenv("RLIM_CACHE_DIR");
+  return dir == nullptr ? std::string{} : std::string(dir);
+}
+
+}  // namespace rlim::store

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rlim::store {
+
+/// First bytes of every store entry file.
+inline constexpr std::string_view kMagic = "RLIM";
+
+/// On-disk format version. Bump whenever any serialized structure changes
+/// (Mig, Program, EnduranceReport, entry framing, ...); readers treat any
+/// other version as a miss and evict the entry, so sweeps transparently
+/// recompute after an upgrade instead of decoding stale bytes.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// What an entry file holds. Part of the content address, so the two cache
+/// levels never alias even for equal (fingerprint, key) pairs.
+enum class EntryKind : std::uint8_t {
+  Rewrite = 1,  ///< rewritten MIG + RewriteStats (cache level 1)
+  Program = 2,  ///< prepared MIG + stats + compiled EnduranceReport (level 2)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(EntryKind kind) {
+  return kind == EntryKind::Rewrite ? "rewrite" : "program";
+}
+
+}  // namespace rlim::store

@@ -1,0 +1,243 @@
+#include "store/gc.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <string_view>
+#include <system_error>
+
+#include "store/disk_store.hpp"
+#include "util/error.hpp"
+
+namespace rlim::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Removes leftover temp files from crashed writers. A writer stages a
+/// file for milliseconds before renaming it away, so anything older than
+/// the grace period is abandoned; younger files may belong to a live
+/// writer sharing the root and are left alone (when `everything` is off).
+void clear_tmp(const fs::path& root, bool everything = false) {
+  constexpr auto kGrace = std::chrono::hours(1);
+  const auto horizon = fs::file_time_type::clock::now() - kGrace;
+  std::error_code ec;
+  for (fs::directory_iterator it(root / "tmp", ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code file_ec;
+    const auto mtime = it->last_write_time(file_ec);
+    if (everything || file_ec || mtime < horizon) {
+      remove_quietly(it->path());
+    }
+  }
+}
+
+/// What the fixed-offset frame prefix (magic, version, kind) says about an
+/// entry — enough to classify it without whole-file I/O, so `cache stats`
+/// stays a metadata query on multi-gigabyte stores. Integrity is
+/// verify()'s job.
+struct PeekResult {
+  bool readable = false;  ///< prefix present, magic ok, kind known
+  bool current = false;   ///< format version matches this build
+  EntryKind kind = EntryKind::Rewrite;
+};
+
+PeekResult peek_entry(const fs::path& path) {
+  PeekResult result;
+  std::ifstream is(path, std::ios::binary);
+  char prefix[kMagic.size() + 5];
+  if (!is.read(prefix, sizeof prefix)) {
+    return result;
+  }
+  if (std::string_view(prefix, kMagic.size()) != kMagic) {
+    return result;
+  }
+  std::uint32_t version = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(
+                   static_cast<std::uint8_t>(prefix[kMagic.size() + i]))
+               << (8 * i);
+  }
+  const auto kind = static_cast<std::uint8_t>(prefix[sizeof prefix - 1]);
+  if (kind != static_cast<std::uint8_t>(EntryKind::Rewrite) &&
+      kind != static_cast<std::uint8_t>(EntryKind::Program)) {
+    return result;
+  }
+  result.readable = true;
+  result.current = version == kFormatVersion;
+  result.kind = static_cast<EntryKind>(kind);
+  return result;
+}
+
+}  // namespace
+
+Gc::Gc(fs::path root) : root_(std::move(root)) {}
+
+std::vector<EntryInfo> Gc::scan() const {
+  std::vector<EntryInfo> entries;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(objects_dir(root_), ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec) || ec) {
+      ec.clear();
+      continue;
+    }
+    EntryInfo info;
+    info.path = it->path();
+    info.size = it->file_size(ec);
+    if (ec) {
+      ec.clear();
+      continue;
+    }
+    info.mtime = it->last_write_time(ec);
+    if (ec) {
+      ec.clear();
+      continue;
+    }
+    entries.push_back(std::move(info));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryInfo& a, const EntryInfo& b) {
+              // Oldest first; path as tie-break for a deterministic order.
+              return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+            });
+  return entries;
+}
+
+StoreSummary Gc::summarize() const {
+  StoreSummary summary;
+  for (const auto& info : scan()) {
+    ++summary.entries;
+    summary.bytes += info.size;
+    const auto peek = peek_entry(info.path);
+    if (!peek.readable) {
+      ++summary.unreadable;
+    } else if (!peek.current) {
+      ++summary.stale_version;
+    } else if (peek.kind == EntryKind::Rewrite) {
+      ++summary.rewrite_entries;
+    } else {
+      ++summary.program_entries;
+    }
+  }
+  return summary;
+}
+
+GcResult Gc::collect(const GcOptions& options) {
+  clear_tmp(root_);
+  auto entries = scan();
+  GcResult result;
+  result.scanned = entries.size();
+  for (const auto& info : entries) {
+    result.bytes_before += info.size;
+  }
+  result.bytes_after = result.bytes_before;
+
+  std::vector<EntryInfo> survivors;
+  survivors.reserve(entries.size());
+  const auto now = fs::file_time_type::clock::now();
+  std::uint64_t excess =
+      options.max_bytes && result.bytes_before > *options.max_bytes
+          ? result.bytes_before - *options.max_bytes
+          : 0;
+  for (auto& info : entries) {
+    const bool too_old = options.max_age && info.mtime + *options.max_age < now;
+    // Entries arrive oldest-first, so draining `excess` from the front is
+    // exactly oldest-first size eviction.
+    if (too_old || excess > 0) {
+      remove_quietly(info.path);
+      ++result.evicted;
+      result.bytes_after -= info.size;
+      excess -= std::min(excess, info.size);
+      continue;
+    }
+    survivors.push_back(std::move(info));
+  }
+  write_manifest(survivors);
+  return result;
+}
+
+VerifyResult Gc::verify() {
+  VerifyResult result;
+  std::vector<EntryInfo> survivors;
+  for (auto& info : scan()) {
+    EntryFrame frame;
+    const auto status = read_entry_file(info.path, frame);
+    if (status == EntryStatus::Missing) {
+      // Unlinked between the scan and the read by concurrent maintenance —
+      // nothing left to judge.
+      continue;
+    }
+    ++result.scanned;
+    if (status == EntryStatus::VersionMismatch) {
+      remove_quietly(info.path);
+      ++result.evicted_version;
+      continue;
+    }
+    bool ok = status == EntryStatus::Ok;
+    if (ok) {
+      try {
+        if (frame.kind == EntryKind::Rewrite) {
+          (void)decode_rewrite_payload(frame.payload);
+        } else {
+          (void)decode_program_payload(frame.payload);
+        }
+      } catch (const std::exception&) {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      remove_quietly(info.path);
+      ++result.evicted_corrupt;
+      continue;
+    }
+    ++result.ok;
+    survivors.push_back(std::move(info));
+  }
+  write_manifest(survivors);
+  return result;
+}
+
+std::size_t Gc::clear() {
+  const auto entries = scan();
+  for (const auto& info : entries) {
+    remove_quietly(info.path);
+  }
+  clear_tmp(root_, /*everything=*/true);
+  remove_quietly(manifest_path());
+  return entries.size();
+}
+
+void Gc::write_manifest(const std::vector<EntryInfo>& entries) const {
+  // Same atomic temp-file-and-rename discipline as entry writes; the
+  // manifest is an advisory index (the object tree stays the truth), so a
+  // failed write is silently skipped.
+  const auto tmp = root_ / "manifest.tsv.tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      return;
+    }
+    os << "# rlim-store-manifest format=" << kFormatVersion << " entries="
+       << entries.size() << '\n';
+    for (const auto& info : entries) {
+      os << info.path.filename().string() << '\t' << info.size << '\t'
+         << std::chrono::duration_cast<std::chrono::nanoseconds>(
+                info.mtime.time_since_epoch())
+                .count()
+         << '\n';
+    }
+    if (!os.good()) {
+      remove_quietly(tmp);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, manifest_path(), ec);
+  if (ec) {
+    remove_quietly(tmp);
+  }
+}
+
+}  // namespace rlim::store

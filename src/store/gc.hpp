@@ -1,0 +1,94 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace rlim::store {
+
+/// One entry file as the maintenance walk sees it.
+struct EntryInfo {
+  std::filesystem::path path;
+  std::uint64_t size = 0;
+  std::filesystem::file_time_type mtime;
+};
+
+/// Aggregate shape of a store (the `rlim cache stats` payload).
+struct StoreSummary {
+  std::size_t entries = 0;
+  std::uint64_t bytes = 0;
+  std::size_t rewrite_entries = 0;  ///< current-version only
+  std::size_t program_entries = 0;  ///< current-version only
+  /// Intact prefix, other format version: present on disk but every load
+  /// will evict and recompute it.
+  std::size_t stale_version = 0;
+  /// Files whose fixed-offset frame prefix is short or misframed. Only a
+  /// header peek — verify() does full authentication and decoding.
+  std::size_t unreadable = 0;
+};
+
+struct GcOptions {
+  /// Evict oldest-first until the store is at most this many bytes.
+  std::optional<std::uint64_t> max_bytes{};
+  /// Evict every entry older than this (by file mtime).
+  std::optional<std::chrono::seconds> max_age{};
+};
+
+struct GcResult {
+  std::size_t scanned = 0;
+  std::size_t evicted = 0;
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+};
+
+struct VerifyResult {
+  std::size_t scanned = 0;
+  std::size_t ok = 0;
+  std::size_t evicted_corrupt = 0;
+  std::size_t evicted_version = 0;
+};
+
+/// Offline maintenance over a DiskStore root: size/age-capped garbage
+/// collection, full integrity verification, statistics, and the index
+/// manifest (`<root>/manifest.tsv`) that records the surviving entries
+/// after every maintenance pass. Maintenance never blocks readers or
+/// writers — eviction is plain unlink, and a concurrently recreated entry
+/// simply survives to the next pass.
+class Gc {
+public:
+  explicit Gc(std::filesystem::path root);
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+  [[nodiscard]] std::filesystem::path manifest_path() const {
+    return root_ / "manifest.tsv";
+  }
+
+  /// All entry files, oldest mtime first (the eviction order).
+  [[nodiscard]] std::vector<EntryInfo> scan() const;
+
+  /// Shape of the store without modifying it. Reads only each entry's
+  /// fixed-offset header prefix, so it stays cheap on large stores.
+  [[nodiscard]] StoreSummary summarize() const;
+
+  /// Applies the age cap, then the size cap oldest-first; rewrites the
+  /// manifest with the survivors. Also clears leftover temp files.
+  GcResult collect(const GcOptions& options);
+
+  /// Authenticates and fully decodes every entry; evicts anything damaged
+  /// or version-mismatched, then rewrites the manifest.
+  VerifyResult verify();
+
+  /// Deletes every entry (manifest included). Returns entries removed.
+  std::size_t clear();
+
+private:
+  void write_manifest(const std::vector<EntryInfo>& entries) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace rlim::store

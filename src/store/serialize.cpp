@@ -1,0 +1,251 @@
+#include "store/serialize.hpp"
+
+#include <array>
+
+#include "core/config.hpp"
+#include "util/error.hpp"
+
+namespace rlim::store {
+
+// ---- mig::Mig --------------------------------------------------------------
+
+void encode(util::ByteWriter& out, const mig::Mig& graph) {
+  out.u32(graph.num_pis());
+  for (std::uint32_t pi = 0; pi < graph.num_pis(); ++pi) {
+    out.str(graph.pi_name(pi));
+  }
+  out.u32(graph.num_gates());
+  for (std::uint32_t gate = graph.first_gate(); gate < graph.num_nodes();
+       ++gate) {
+    for (const auto fanin : graph.fanins(gate)) {
+      out.u32(fanin.raw());
+    }
+  }
+  out.u32(graph.num_pos());
+  for (std::uint32_t po = 0; po < graph.num_pos(); ++po) {
+    out.u32(graph.po_at(po).raw());
+    out.str(graph.po_name(po));
+  }
+  out.u64(graph.fingerprint());
+}
+
+mig::Mig decode_mig(util::ByteReader& in) {
+  mig::Mig graph;
+  const auto num_pis = in.u32();
+  for (std::uint32_t pi = 0; pi < num_pis; ++pi) {
+    graph.create_pi(in.str());
+  }
+  const auto num_gates = in.u32();
+  for (std::uint32_t gate = 0; gate < num_gates; ++gate) {
+    const auto expected = graph.num_nodes();
+    std::array<mig::Signal, 3> fanin;
+    for (auto& signal : fanin) {
+      const auto raw = in.u32();
+      require(mig::Signal::from_raw(raw).index() < expected,
+              "store: MIG gate references a node after itself");
+      signal = mig::Signal::from_raw(raw);
+    }
+    // Stored gates were created through create_maj, so replaying them must
+    // produce a *new* node at the same index: a trivially simplifiable or
+    // duplicate gate here means the bytes are not a graph this library built.
+    const auto rebuilt = graph.create_maj(fanin[0], fanin[1], fanin[2]);
+    require(rebuilt.index() == expected && !rebuilt.is_complemented(),
+            "store: MIG gate does not replay structurally");
+  }
+  const auto num_pos = in.u32();
+  for (std::uint32_t po = 0; po < num_pos; ++po) {
+    const auto raw = in.u32();
+    require(mig::Signal::from_raw(raw).index() < graph.num_nodes(),
+            "store: MIG PO references unknown node");
+    graph.create_po(mig::Signal::from_raw(raw), in.str());
+  }
+  require(graph.fingerprint() == in.u64(),
+          "store: MIG fingerprint mismatch after decode");
+  return graph;
+}
+
+// ---- small records ---------------------------------------------------------
+
+void encode(util::ByteWriter& out, const mig::RewriteStats& stats) {
+  out.u64(stats.initial_gates)
+      .u64(stats.final_gates)
+      .u64(stats.initial_complement_edges)
+      .u64(stats.final_complement_edges)
+      .u32(static_cast<std::uint32_t>(stats.cycles_run))
+      .u64(stats.total_applications);
+}
+
+mig::RewriteStats decode_rewrite_stats(util::ByteReader& in) {
+  mig::RewriteStats stats;
+  stats.initial_gates = in.u64();
+  stats.final_gates = in.u64();
+  stats.initial_complement_edges = in.u64();
+  stats.final_complement_edges = in.u64();
+  stats.cycles_run = static_cast<int>(in.u32());
+  stats.total_applications = in.u64();
+  return stats;
+}
+
+void encode(util::ByteWriter& out, const util::WriteStats& stats) {
+  out.u64(stats.count)
+      .u64(stats.min)
+      .u64(stats.max)
+      .u64(stats.total)
+      .f64(stats.mean)
+      .f64(stats.stdev);
+}
+
+util::WriteStats decode_write_stats(util::ByteReader& in) {
+  util::WriteStats stats;
+  stats.count = in.u64();
+  stats.min = in.u64();
+  stats.max = in.u64();
+  stats.total = in.u64();
+  stats.mean = in.f64();
+  stats.stdev = in.f64();
+  return stats;
+}
+
+// ---- plim::Program ---------------------------------------------------------
+
+namespace {
+
+void encode_operand(util::ByteWriter& out, plim::Operand operand) {
+  if (operand.is_constant()) {
+    out.u8(operand.constant_value() ? 2 : 1);
+  } else {
+    out.u8(0).u32(operand.cell_index());
+  }
+}
+
+plim::Operand decode_operand(util::ByteReader& in) {
+  switch (in.u8()) {
+    case 0:
+      return plim::Operand::cell(in.u32());
+    case 1:
+      return plim::Operand::constant(false);
+    case 2:
+      return plim::Operand::constant(true);
+    default:
+      throw Error("store: bad operand tag");
+  }
+}
+
+}  // namespace
+
+void encode(util::ByteWriter& out, const plim::Program& program) {
+  out.u32(static_cast<std::uint32_t>(program.size()));
+  for (const auto& instruction : program.instructions()) {
+    encode_operand(out, instruction.a);
+    encode_operand(out, instruction.b);
+    out.u32(instruction.z);
+  }
+  out.u32(static_cast<std::uint32_t>(program.pi_cells().size()));
+  for (const auto cell : program.pi_cells()) {
+    out.u32(cell);
+  }
+  out.u32(static_cast<std::uint32_t>(program.po_cells().size()));
+  for (const auto cell : program.po_cells()) {
+    out.u32(cell);
+  }
+  out.u32(program.num_cells());
+}
+
+plim::Program decode_program(util::ByteReader& in) {
+  plim::Program program;
+  const auto instructions = in.u32();
+  for (std::uint32_t i = 0; i < instructions; ++i) {
+    const auto a = decode_operand(in);
+    const auto b = decode_operand(in);
+    program.append({a, b, in.u32()});
+  }
+  const auto pis = in.u32();
+  for (std::uint32_t i = 0; i < pis; ++i) {
+    program.bind_pi(in.u32());
+  }
+  const auto pos = in.u32();
+  for (std::uint32_t i = 0; i < pos; ++i) {
+    program.bind_po(in.u32());
+  }
+  // set_num_cells rejects a stored cell space smaller than the references
+  // already seen — another way damaged bytes fail instead of mis-decoding.
+  program.set_num_cells(in.u32());
+  program.validate();
+  return program;
+}
+
+// ---- core::EnduranceReport -------------------------------------------------
+
+void encode(util::ByteWriter& out, const core::EnduranceReport& report) {
+  out.str(report.benchmark);
+  out.str(report.config.canonical_key());
+  out.u64(report.instructions);
+  out.u64(report.rrams);
+  encode(out, report.writes);
+  out.u64(report.gates_before_rewrite);
+  out.u64(report.gates_after_rewrite);
+  encode(out, report.program);
+}
+
+core::EnduranceReport decode_report(util::ByteReader& in) {
+  core::EnduranceReport report;
+  report.benchmark = in.str();
+  report.config = core::PipelineConfig::parse(in.str());
+  report.instructions = in.u64();
+  report.rrams = in.u64();
+  report.writes = decode_write_stats(in);
+  report.gates_before_rewrite = in.u64();
+  report.gates_after_rewrite = in.u64();
+  report.program = decode_program(in);
+  return report;
+}
+
+// ---- store payloads --------------------------------------------------------
+
+std::string encode_rewrite_payload(const mig::Mig& graph,
+                                   const mig::RewriteStats& stats) {
+  util::ByteWriter out;
+  encode(out, graph);
+  encode(out, stats);
+  return out.take();
+}
+
+std::string encode_program_payload(const mig::Mig& prepared,
+                                   const mig::RewriteStats& rewrite_stats,
+                                   const core::EnduranceReport& report) {
+  util::ByteWriter out;
+  encode(out, prepared);
+  encode(out, rewrite_stats);
+  encode(out, report);
+  return out.take();
+}
+
+std::string encode_payload(const RewritePayload& payload) {
+  return encode_rewrite_payload(payload.graph, payload.stats);
+}
+
+std::string encode_payload(const ProgramPayload& payload) {
+  return encode_program_payload(payload.prepared, payload.rewrite_stats,
+                                payload.report);
+}
+
+RewritePayload decode_rewrite_payload(std::string_view bytes) {
+  util::ByteReader in(bytes);
+  RewritePayload payload;
+  payload.graph = decode_mig(in);
+  payload.stats = decode_rewrite_stats(in);
+  in.expect_end();
+  return payload;
+}
+
+ProgramPayload decode_program_payload(std::string_view bytes) {
+  util::ByteReader in(bytes);
+  ProgramPayload payload;
+  payload.prepared = decode_mig(in);
+  payload.rewrite_stats = decode_rewrite_stats(in);
+  payload.report = decode_report(in);
+  in.expect_end();
+  return payload;
+}
+
+}  // namespace rlim::store

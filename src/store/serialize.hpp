@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/endurance.hpp"
+#include "mig/mig.hpp"
+#include "mig/rewriting.hpp"
+#include "plim/program.hpp"
+#include "util/codec.hpp"
+
+namespace rlim::store {
+
+/// Versioned binary (de)serialization of the pipeline artifacts the disk
+/// store persists. All encoders append to a util::ByteWriter; all decoders
+/// consume a util::ByteReader and throw rlim::Error on any malformation
+/// (truncation, out-of-range references, fingerprint mismatch), so a damaged
+/// payload can never decode into a structurally wrong object.
+///
+/// The encoding is covered by store::kFormatVersion: changing any of these
+/// layouts requires a version bump.
+
+// ---- mig::Mig --------------------------------------------------------------
+
+/// Layout: num_pis, pi names, num_gates, 3 raw fanin signals per gate in
+/// topological order, POs (raw signal + name), then the graph's fingerprint.
+void encode(util::ByteWriter& out, const mig::Mig& graph);
+
+/// Rebuilds the graph through the ordinary construction API (so every strash
+/// and simplification invariant holds) and verifies the embedded fingerprint
+/// — a decode that does not reproduce the exact stored structure throws.
+[[nodiscard]] mig::Mig decode_mig(util::ByteReader& in);
+
+// ---- small records ---------------------------------------------------------
+
+void encode(util::ByteWriter& out, const mig::RewriteStats& stats);
+[[nodiscard]] mig::RewriteStats decode_rewrite_stats(util::ByteReader& in);
+
+void encode(util::ByteWriter& out, const util::WriteStats& stats);
+[[nodiscard]] util::WriteStats decode_write_stats(util::ByteReader& in);
+
+// ---- plim::Program ---------------------------------------------------------
+
+void encode(util::ByteWriter& out, const plim::Program& program);
+/// Validates the rebuilt program (all references inside the cell space).
+[[nodiscard]] plim::Program decode_program(util::ByteReader& in);
+
+// ---- core::EnduranceReport -------------------------------------------------
+
+/// The config is encoded as its canonical key and re-parsed on decode, so an
+/// entry written under a policy key this build no longer registers fails to
+/// decode (and the store treats it as corrupt) instead of resurrecting an
+/// unconstructible config.
+void encode(util::ByteWriter& out, const core::EnduranceReport& report);
+[[nodiscard]] core::EnduranceReport decode_report(util::ByteReader& in);
+
+// ---- store payloads --------------------------------------------------------
+
+/// Level-1 payload: what flow::PipelineCache::RewriteEntry holds.
+struct RewritePayload {
+  mig::Mig graph;
+  mig::RewriteStats stats;
+};
+
+/// Level-2 payload: what flow::PipelineCache::CompiledEntry holds.
+struct ProgramPayload {
+  mig::Mig prepared;
+  mig::RewriteStats rewrite_stats;
+  core::EnduranceReport report;
+};
+
+/// The single definition of each payload layout — DiskStore write-throughs
+/// and the payload-struct overloads below all produce these bytes.
+[[nodiscard]] std::string encode_rewrite_payload(
+    const mig::Mig& graph, const mig::RewriteStats& stats);
+[[nodiscard]] std::string encode_program_payload(
+    const mig::Mig& prepared, const mig::RewriteStats& rewrite_stats,
+    const core::EnduranceReport& report);
+
+[[nodiscard]] std::string encode_payload(const RewritePayload& payload);
+[[nodiscard]] std::string encode_payload(const ProgramPayload& payload);
+[[nodiscard]] RewritePayload decode_rewrite_payload(std::string_view bytes);
+[[nodiscard]] ProgramPayload decode_program_payload(std::string_view bytes);
+
+}  // namespace rlim::store

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace rlim::util {
+
+/// Append-only binary encoder used by the rlim::store on-disk format.
+/// Everything is little-endian and fixed-width, independent of host byte
+/// order, so entries written on one machine decode on any other.
+class ByteWriter {
+public:
+  ByteWriter& u8(std::uint8_t value) {
+    buffer_.push_back(static_cast<char>(value));
+    return *this;
+  }
+
+  ByteWriter& u32(std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      u8(static_cast<std::uint8_t>(value >> shift));
+    }
+    return *this;
+  }
+
+  ByteWriter& u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      u8(static_cast<std::uint8_t>(value >> shift));
+    }
+    return *this;
+  }
+
+  /// IEEE-754 bit pattern, via the u64 path.
+  ByteWriter& f64(double value) {
+    return u64(std::bit_cast<std::uint64_t>(value));
+  }
+
+  /// Length-prefixed (u32) byte string.
+  ByteWriter& str(std::string_view text) {
+    u32(static_cast<std::uint32_t>(text.size()));
+    buffer_.append(text);
+    return *this;
+  }
+
+  /// Raw bytes, no length prefix (caller encodes the framing).
+  ByteWriter& raw(std::string_view bytes) {
+    buffer_.append(bytes);
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& bytes() const { return buffer_; }
+  [[nodiscard]] std::string take() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+private:
+  std::string buffer_;
+};
+
+/// Bounds-checked decoder over a byte view. Every read throws rlim::Error on
+/// truncation instead of reading past the end, so corrupt store entries are
+/// rejected cleanly however they were damaged.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[position_++]);
+  }
+
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>(u8()) << shift;
+    }
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>(u8()) << shift;
+    }
+    return value;
+  }
+
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+
+  [[nodiscard]] std::string str() {
+    const auto size = u32();
+    need(size);
+    std::string value(bytes_.substr(position_, size));
+    position_ += size;
+    return value;
+  }
+
+  [[nodiscard]] std::size_t remaining() const {
+    return bytes_.size() - position_;
+  }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+  /// Decoders call this after the last field: trailing garbage is corruption
+  /// too, not padding.
+  void expect_end() const {
+    require(exhausted(), "codec: trailing bytes after decoded value");
+  }
+
+private:
+  void need(std::size_t count) const {
+    require(count <= remaining(), "codec: truncated input");
+  }
+
+  std::string_view bytes_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace rlim::util

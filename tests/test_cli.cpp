@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -15,6 +17,15 @@ struct CliResult {
   std::string out;
   std::string err;
 };
+
+// compile/suite resolve RLIM_CACHE_DIR, so an ambient value from the
+// developer's shell would attach their real store to every test run (and
+// flip the no-directory error cases). Scrub it once at load; the env test
+// below sets and clears its own value.
+[[maybe_unused]] const bool kCacheDirScrubbed = [] {
+  ::unsetenv("RLIM_CACHE_DIR");
+  return true;
+}();
 
 CliResult run_cli(std::vector<std::string> args) {
   std::ostringstream out;
@@ -300,6 +311,140 @@ TEST(Cli, SuiteRejectsSweepFlagsWithoutConfiguration) {
   EXPECT_NE(result.err.find("--strategy or --config"), std::string::npos);
   EXPECT_EQ(run_cli({"suite", "--verify"}).code, 1);
   EXPECT_EQ(run_cli({"suite", "--jobs", "4"}).code, 1);
+}
+
+// ---- persistent store surface -----------------------------------------------
+
+std::string fresh_cache_dir(const std::string& name) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / ("cli_cache_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Cli, VersionReportsProjectAndStoreFormat) {
+  for (const auto* spelling : {"version", "--version"}) {
+    const auto result = run_cli({spelling});
+    EXPECT_EQ(result.code, 0) << spelling;
+    EXPECT_EQ(result.out.rfind("rlim ", 0), 0u) << result.out;
+    EXPECT_NE(result.out.find("store format"), std::string::npos)
+        << result.out;
+  }
+}
+
+TEST(Cli, CacheDirMakesRerunsByteIdenticalWithDiskHits) {
+  const auto dir = fresh_cache_dir("rerun");
+  const std::vector<std::string> args = {
+      "compile", "bench:ctrl",     "--strategy",  "full",
+      "--format", "csv",           "--cache-dir", dir};
+  const auto cold = run_cli(args);
+  EXPECT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.err.find("program loads 0"), std::string::npos) << cold.err;
+
+  const auto warm = run_cli(args);
+  EXPECT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(warm.out, cold.out) << "stdout must stay byte-identical";
+  EXPECT_NE(warm.err.find("program loads 1"), std::string::npos) << warm.err;
+  EXPECT_NE(warm.err.find("stores 0"), std::string::npos) << warm.err;
+}
+
+TEST(Cli, EnvCacheDirIsHonoredAndFlagWins) {
+  const auto env_dir = fresh_cache_dir("env");
+  const auto flag_dir = fresh_cache_dir("env_flag");
+  ::setenv("RLIM_CACHE_DIR", env_dir.c_str(), 1);
+  // Without --cache-dir, the environment's store is used...
+  const auto via_env =
+      run_cli({"compile", "bench:ctrl", "--strategy", "naive"});
+  // ...and --cache-dir overrides it.
+  const auto via_flag = run_cli({"compile", "bench:ctrl", "--strategy",
+                                 "naive", "--cache-dir", flag_dir});
+  ::unsetenv("RLIM_CACHE_DIR");
+  EXPECT_EQ(via_env.code, 0) << via_env.err;
+  EXPECT_NE(via_env.err.find("rlim: cache " + env_dir), std::string::npos)
+      << via_env.err;
+  EXPECT_NE(via_flag.err.find("rlim: cache " + flag_dir), std::string::npos)
+      << via_flag.err;
+}
+
+TEST(Cli, CacheStatsReflectsEntries) {
+  const auto dir = fresh_cache_dir("stats");
+  ASSERT_EQ(run_cli({"compile", "bench:ctrl", "--strategy", "full",
+                     "--cache-dir", dir})
+                .code,
+            0);
+  const auto result = run_cli({"cache", "stats", "--cache-dir", dir});
+  EXPECT_EQ(result.code, 0) << result.err;
+  // One program entry + one endurance rewrite entry for a single job.
+  EXPECT_NE(result.out.find("program entries"), std::string::npos);
+  EXPECT_NE(result.out.find("rewrite entries"), std::string::npos);
+  EXPECT_NE(result.out.find("| entries"), std::string::npos);
+}
+
+TEST(Cli, CacheClearEmptiesTheStore) {
+  const auto dir = fresh_cache_dir("clear");
+  ASSERT_EQ(run_cli({"compile", "bench:ctrl", "--strategy", "full",
+                     "--cache-dir", dir})
+                .code,
+            0);
+  EXPECT_EQ(run_cli({"cache", "clear", "--cache-dir", dir}).code, 0);
+  const auto stats = run_cli({"cache", "stats", "--cache-dir", dir,
+                              "--format", "csv"});
+  EXPECT_NE(stats.out.find("entries,0"), std::string::npos) << stats.out;
+}
+
+TEST(Cli, CacheGcNeedsACap) {
+  const auto dir = fresh_cache_dir("gc_flags");
+  ASSERT_EQ(run_cli({"compile", "bench:ctrl", "--strategy", "naive",
+                     "--cache-dir", dir})
+                .code,
+            0);
+  const auto result = run_cli({"cache", "gc", "--cache-dir", dir});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--max-bytes"), std::string::npos);
+  EXPECT_EQ(run_cli({"cache", "gc", "--cache-dir", dir, "--max-bytes", "0"})
+                .code,
+            0);
+}
+
+TEST(Cli, CacheVerifySignalsRepairedStores) {
+  const auto dir = fresh_cache_dir("verify");
+  ASSERT_EQ(run_cli({"compile", "bench:ctrl", "--strategy", "full",
+                     "--cache-dir", dir})
+                .code,
+            0);
+  EXPECT_EQ(run_cli({"cache", "verify", "--cache-dir", dir}).code, 0);
+  // Damage one entry; verify evicts it and exits 2.
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           std::filesystem::path(dir) / "objects")) {
+    if (entry.is_regular_file()) {
+      std::filesystem::resize_file(entry.path(), 3);
+      break;
+    }
+  }
+  const auto repaired = run_cli({"cache", "verify", "--cache-dir", dir});
+  EXPECT_EQ(repaired.code, 2) << repaired.out;
+  EXPECT_NE(repaired.out.find("evicted corrupt"), std::string::npos);
+}
+
+TEST(Cli, CacheRejectsBadUsage) {
+  EXPECT_EQ(run_cli({"cache"}).code, 1);
+  const auto existing = fresh_cache_dir("bad_sub");
+  std::filesystem::create_directories(existing);
+  const auto unknown =
+      run_cli({"cache", "frobnicate", "--cache-dir", existing});
+  EXPECT_EQ(unknown.code, 1);
+  EXPECT_NE(unknown.err.find("unknown cache subcommand"), std::string::npos);
+  // No --cache-dir and no RLIM_CACHE_DIR: the command has nothing to act on.
+  // (The test environment never sets RLIM_CACHE_DIR; the build would not be
+  // hermetic otherwise.)
+  const auto result = run_cli({"cache", "stats"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("RLIM_CACHE_DIR"), std::string::npos);
+  // A directory that does not exist is an error, not an empty store.
+  const auto missing = run_cli(
+      {"cache", "stats", "--cache-dir", "/nonexistent/rlim_store"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("does not exist"), std::string::npos);
 }
 
 }  // namespace

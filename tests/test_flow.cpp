@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 
 #include "benchmarks/arithmetic.hpp"
 #include "benchmarks/suite.hpp"
 #include "flow/runner.hpp"
 #include "flow/suite.hpp"
+#include "store/disk_store.hpp"
 #include "util/error.hpp"
 
 namespace rlim::flow {
@@ -240,6 +243,116 @@ TEST(FlowCache, DisablingTheCacheRewritesPerJob) {
   // Independent rewrites of the same graph still agree structurally.
   EXPECT_EQ(results[0].prepared->fingerprint(),
             results[1].prepared->fingerprint());
+}
+
+// ---- persistent disk tier --------------------------------------------------
+
+std::string fresh_store_dir(const std::string& name) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / ("flow_store_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(FlowDiskStore, SecondInvocationServesProgramsFromDisk) {
+  // The cross-invocation acceptance property: a fresh Runner (fresh
+  // in-memory cache — a new process, as far as the cache can tell) against
+  // the same store recompiles nothing and renders byte-identical reports.
+  const auto dir = fresh_store_dir("programs");
+  const auto jobs = strategy_sweep({Source::graph(bench::make_adder(8),
+                                                  "adder8")});
+  Runner cold({.jobs = 2, .cache_dir = dir});
+  const auto cold_results = cold.run(jobs);
+  throw_on_error(cold_results);
+  ASSERT_NE(cold.cache().disk_store(), nullptr);
+  EXPECT_EQ(cold.cache().disk_store()->counters().program_loads, 0u);
+  EXPECT_GT(cold.cache().disk_store()->counters().stores, 0u);
+
+  Runner warm({.jobs = 2, .cache_dir = dir});
+  const auto warm_results = warm.run(jobs);
+  throw_on_error(warm_results);
+  const auto counters = warm.cache().disk_store()->counters();
+  EXPECT_EQ(counters.program_loads, jobs.size());
+  EXPECT_EQ(counters.stores, 0u);
+  // Nothing was rewritten or compiled in the warm run...
+  EXPECT_EQ(warm.cache().rewrites("plim21"), 0u);
+  EXPECT_EQ(warm.cache().rewrites("endurance"), 0u);
+  // ...and the output is indistinguishable from the cold run's.
+  for (const auto format :
+       {ReportFormat::Table, ReportFormat::Csv, ReportFormat::Json}) {
+    EXPECT_EQ(render(cold_results, format), render(warm_results, format));
+  }
+}
+
+TEST(FlowDiskStore, RewriteTierPersistsWhenProgramCachingIsOff) {
+  const auto dir = fresh_store_dir("rewrites");
+  const auto source = Source::graph(bench::make_adder(8), "adder8");
+  const auto config = core::make_config(core::Strategy::FullEndurance);
+  Runner cold({.jobs = 1, .cache_programs = false, .cache_dir = dir});
+  throw_on_error(cold.run({{source, config, {}}}));
+  EXPECT_EQ(cold.cache().rewrites("endurance"), 1u);
+
+  Runner warm({.jobs = 1, .cache_programs = false, .cache_dir = dir});
+  throw_on_error(warm.run({{source, config, {}}}));
+  EXPECT_EQ(warm.cache().rewrites("endurance"), 0u)
+      << "the rewrite must come from disk, not run again";
+  EXPECT_EQ(warm.cache().disk_store()->counters().rewrite_loads, 1u);
+}
+
+TEST(FlowDiskStore, CorruptedStoreFallsBackToRecomputeAndHeals) {
+  const auto dir = fresh_store_dir("corrupt");
+  const auto jobs = strategy_sweep({Source::graph(bench::make_adder(8),
+                                                  "adder8")});
+  Runner cold({.jobs = 2, .cache_dir = dir});
+  const auto clean_results = cold.run(jobs);
+  throw_on_error(clean_results);
+
+  // Damage every entry in the store (truncation — the frame hash check
+  // catches bit-flips the same way, covered in test_store.cpp).
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(
+           store::objects_dir(dir))) {
+    if (entry.is_regular_file()) {
+      std::filesystem::resize_file(entry.path(), 5);
+    }
+  }
+
+  Runner recover({.jobs = 2, .cache_dir = dir});
+  const auto recovered_results = recover.run(jobs);
+  throw_on_error(recovered_results);
+  const auto counters = recover.cache().disk_store()->counters();
+  EXPECT_EQ(counters.program_loads, 0u);
+  EXPECT_GT(counters.evicted_corrupt, 0u);
+  EXPECT_GT(counters.stores, 0u) << "recomputed entries are written back";
+  EXPECT_EQ(render(clean_results, ReportFormat::Csv),
+            render(recovered_results, ReportFormat::Csv));
+
+  // After healing, a third runner is served from disk again.
+  Runner warm({.jobs = 2, .cache_dir = dir});
+  throw_on_error(warm.run(jobs));
+  EXPECT_EQ(warm.cache().disk_store()->counters().program_loads, jobs.size());
+}
+
+TEST(FlowDiskStore, RunnerIgnoresAmbientEnvironment) {
+  // RLIM_CACHE_DIR is a front-end contract (the CLI resolves it into
+  // RunnerOptions::cache_dir); the library Runner itself must stay
+  // hermetic so tests and benchmarks cannot be skewed — or a user's real
+  // store polluted — by an ambient shell variable.
+  ::setenv("RLIM_CACHE_DIR", "/tmp/rlim_must_never_be_touched", 1);
+  Runner plain({.jobs = 1});
+  ::unsetenv("RLIM_CACHE_DIR");
+  EXPECT_EQ(plain.cache().disk_store(), nullptr);
+}
+
+TEST(FlowDiskStore, UnusableCacheDirThrowsAtConstruction) {
+  EXPECT_THROW(Runner({.cache_dir = "/proc/definitely/not/writable"}), Error);
+}
+
+TEST(FlowDiskStore, CacheDirRequiresCaching) {
+  // With caching off the jobs never touch the cache, so a disk tier would
+  // be a silent no-op — reject the combination instead.
+  EXPECT_THROW(Runner({.cache_rewrites = false,
+                       .cache_dir = fresh_store_dir("inert")}),
+               Error);
 }
 
 // ---- determinism -----------------------------------------------------------

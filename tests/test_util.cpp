@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "util/codec.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 #include "util/registry.hpp"
@@ -215,6 +218,74 @@ TEST(Registry, NormalizeFillsDefaultsAndRejectsUnknowns) {
   EXPECT_THROW(static_cast<void>(registry.normalize({"beta", {}})), Error);
   EXPECT_THROW(registry.add({"alpha", "dup", {}}, nullptr), Error);
   EXPECT_THROW(registry.add({"Bad Key", "", {}}, nullptr), Error);
+}
+
+// ---- binary codec -----------------------------------------------------------
+
+TEST(Codec, RoundTripsEveryFieldType) {
+  ByteWriter out;
+  out.u8(0xab)
+      .u32(0xdeadbeef)
+      .u64(0x0123456789abcdefULL)
+      .f64(-3.25e-7)
+      .str("hello\0world")  // embedded NUL stops here, as string literals do
+      .str("")
+      .raw("tail");
+  ByteReader in(out.bytes());
+  EXPECT_EQ(in.u8(), 0xab);
+  EXPECT_EQ(in.u32(), 0xdeadbeefu);
+  EXPECT_EQ(in.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(in.f64(), -3.25e-7);
+  EXPECT_EQ(in.str(), "hello");
+  EXPECT_EQ(in.str(), "");
+  EXPECT_EQ(in.remaining(), 4u);
+}
+
+TEST(Codec, EncodingIsLittleEndianBytes) {
+  // The format is defined byte by byte, independent of the host: a reader
+  // on any machine must see these exact bytes.
+  ByteWriter out;
+  out.u32(0x01020304);
+  const auto& bytes = out.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[3]), 0x01);
+}
+
+TEST(Codec, TruncatedReadsThrow) {
+  ByteWriter out;
+  out.u32(7);
+  ByteReader in(out.bytes());
+  EXPECT_THROW(static_cast<void>(in.u64()), Error);
+
+  // A string whose length prefix promises more bytes than exist.
+  ByteWriter lying;
+  lying.u32(1000).raw("short");
+  ByteReader liar(lying.bytes());
+  EXPECT_THROW(static_cast<void>(liar.str()), Error);
+}
+
+TEST(Codec, ExpectEndRejectsTrailingBytes) {
+  ByteWriter out;
+  out.u8(1).u8(2);
+  ByteReader in(out.bytes());
+  EXPECT_EQ(in.u8(), 1u);
+  EXPECT_THROW(in.expect_end(), Error);
+  EXPECT_EQ(in.u8(), 2u);
+  in.expect_end();
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Codec, DoublesSurviveBitExactly) {
+  for (const double value : {0.0, -0.0, 1.0 / 3.0, 6.02214076e23,
+                             std::numeric_limits<double>::infinity()}) {
+    ByteWriter out;
+    out.f64(value);
+    ByteReader in(out.bytes());
+    const auto back = in.f64();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(value));
+  }
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "cli.hpp"
 
+#include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 
@@ -10,6 +12,9 @@
 #include "flow/suite.hpp"
 #include "mig/io.hpp"
 #include "mig/rewriting.hpp"
+#include "store/disk_store.hpp"
+#include "store/format.hpp"
+#include "store/gc.hpp"
 #include "plim/controller.hpp"
 #include "plim/cost_model.hpp"
 #include "util/error.hpp"
@@ -31,13 +36,31 @@ struct Options {
   flow::ReportFormat format = flow::ReportFormat::Table;
   bool disasm = false;
   bool verify = false;
+  std::string cache_dir;  // --cache-dir: overrides RLIM_CACHE_DIR
+  std::optional<std::uint64_t> max_bytes;     // cache gc
+  std::optional<std::uint64_t> max_age_days;  // cache gc
 };
+
+/// Strict unsigned parse: digits only, fully consumed. std::stoull would
+/// accept "-1" (wrapping) and "10MB" (as 10) — both typos a size/age cap
+/// should reject loudly instead of mis-evicting.
+std::uint64_t parse_u64(const std::string& option, const std::string& text) {
+  require(!text.empty() &&
+              text.find_first_not_of("0123456789") == std::string::npos,
+          option + " needs a non-negative integer, got '" + text + "'");
+  try {
+    return std::stoull(text);
+  } catch (const std::out_of_range&) {
+    throw Error(option + " value '" + text + "' is out of range");
+  }
+}
 
 Options parse(const std::vector<std::string>& args) {
   Options options;
   require(!args.empty(),
-          "missing command (info, rewrite, compile, suite, policies)");
-  options.command = args[0];
+          "missing command (info, rewrite, compile, suite, policies, cache, "
+          "version)");
+  options.command = args[0] == "--version" ? "version" : args[0];
   for (std::size_t i = 1; i < args.size(); ++i) {
     const auto& arg = args[i];
     const auto next = [&]() -> const std::string& {
@@ -62,6 +85,13 @@ Options parse(const std::vector<std::string>& args) {
       options.disasm = true;
     } else if (arg == "--verify") {
       options.verify = true;
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = next();
+      require(!options.cache_dir.empty(), "--cache-dir needs a directory");
+    } else if (arg == "--max-bytes") {
+      options.max_bytes = parse_u64(arg, next());
+    } else if (arg == "--max-age-days") {
+      options.max_age_days = parse_u64(arg, next());
     } else if (arg.rfind("--", 0) == 0) {
       throw Error("unknown option " + arg);
     } else {
@@ -102,6 +132,30 @@ std::string config_label(const Options& options,
   }
   return "strategy " + options.strategy.value_or("full") +
          (options.cap ? " (cap " + std::to_string(*options.cap) + ")" : "");
+}
+
+/// Resolved persistent-store directory: --cache-dir beats RLIM_CACHE_DIR;
+/// empty means the disk tier stays off.
+std::string resolve_cache_dir(const Options& options) {
+  return options.cache_dir.empty() ? store::env_cache_dir()
+                                   : options.cache_dir;
+}
+
+/// One telemetry line per invocation when a store is attached. Goes to
+/// stderr: report output on stdout must stay byte-identical between a cold
+/// and a warm run against the same store.
+void print_store_summary(const flow::Runner& runner, std::ostream& err) {
+  const auto& disk = runner.cache().disk_store();
+  if (disk == nullptr) {
+    return;
+  }
+  const auto counters = disk->counters();
+  err << "rlim: cache " << disk->root().string() << ": program loads "
+      << counters.program_loads << ", rewrite loads "
+      << counters.rewrite_loads << ", stores " << counters.stores
+      << ", write failures " << counters.store_failures
+      << ", corrupt evicted " << counters.evicted_corrupt
+      << ", version evicted " << counters.evicted_version << '\n';
 }
 
 mig::Mig load_netlist(const std::string& source) {
@@ -251,7 +305,8 @@ std::pair<bool, bool> batch_rows(const Options& options,
   return {any_failed, all_verified};
 }
 
-int cmd_compile(const Options& options, std::ostream& out) {
+int cmd_compile(const Options& options, std::ostream& out,
+                std::ostream& err) {
   require(!options.positional.empty(),
           "compile needs at least one netlist or bench:NAME");
   require(!options.disasm || options.positional.size() == 1,
@@ -264,8 +319,10 @@ int cmd_compile(const Options& options, std::ostream& out) {
   for (const auto& spec : options.positional) {
     jobs.push_back({flow::Source::netlist(spec), config, spec});
   }
-  flow::Runner runner({.jobs = options.jobs});
+  flow::Runner runner(
+      {.jobs = options.jobs, .cache_dir = resolve_cache_dir(options)});
   const auto results = runner.run(jobs);
+  print_store_summary(runner, err);
 
   if (options.positional.size() == 1 &&
       options.format == flow::ReportFormat::Table) {
@@ -284,7 +341,7 @@ int cmd_compile(const Options& options, std::ostream& out) {
   return all_verified ? 0 : 2;
 }
 
-int cmd_suite(const Options& options, std::ostream& out) {
+int cmd_suite(const Options& options, std::ostream& out, std::ostream& err) {
   if (options.config_spec.empty() && !options.strategy) {
     // Without a configuration, list the built-in benchmarks (the historical
     // behavior). Flags that only make sense for a sweep are rejected rather
@@ -313,8 +370,10 @@ int cmd_suite(const Options& options, std::ostream& out) {
   for (const auto& source : flow::suite_sources(suite)) {
     jobs.push_back({source, config, {}});
   }
-  flow::Runner runner({.jobs = options.jobs});
+  flow::Runner runner(
+      {.jobs = options.jobs, .cache_dir = resolve_cache_dir(options)});
   const auto results = runner.run(jobs);
+  print_store_summary(runner, err);
 
   flow::Report doc;
   doc.title = "suite (" + suite.label + ") — " + config_label(options, config);
@@ -359,6 +418,86 @@ int cmd_policies(const Options& options, std::ostream& out) {
   return 0;
 }
 
+/// Maintenance over the persistent store (`rlim cache stats|gc|clear|verify`).
+/// `verify` exits 2 when it had to evict anything, so scripted health checks
+/// can tell a repaired store from a clean one.
+int cmd_cache(const Options& options, std::ostream& out) {
+  require(options.positional.size() == 1,
+          "cache needs exactly one subcommand (stats, gc, clear, verify)");
+  const auto& sub = options.positional[0];
+  const auto dir = resolve_cache_dir(options);
+  require(!dir.empty(),
+          "cache: no store directory (pass --cache-dir or set RLIM_CACHE_DIR)");
+  require(std::filesystem::exists(dir),
+          "cache: store directory '" + dir + "' does not exist");
+  store::Gc gc{std::filesystem::path(dir)};
+
+  flow::Report doc;
+  doc.columns = {"metric", "value"};
+  const auto kv = [&doc](std::string name, std::uint64_t value) {
+    doc.add_row({std::move(name), std::to_string(value)});
+  };
+  int code = 0;
+  if (sub == "stats") {
+    const auto summary = gc.summarize();
+    doc.title = "cache store " + dir + " (format " +
+                std::to_string(store::kFormatVersion) + ")";
+    kv("entries", summary.entries);
+    kv("bytes", summary.bytes);
+    kv("rewrite entries", summary.rewrite_entries);
+    kv("program entries", summary.program_entries);
+    kv("stale-version entries", summary.stale_version);
+    kv("unreadable entries", summary.unreadable);
+  } else if (sub == "gc") {
+    require(options.max_bytes.has_value() || options.max_age_days.has_value(),
+            "cache gc needs --max-bytes and/or --max-age-days");
+    store::GcOptions gc_options;
+    gc_options.max_bytes = options.max_bytes;
+    if (options.max_age_days) {
+      // ~274 years; anything larger overflows the nanosecond file-time
+      // arithmetic of the age check and is certainly a typo.
+      require(*options.max_age_days <= 100000,
+              "--max-age-days must be at most 100000");
+      gc_options.max_age = std::chrono::seconds(*options.max_age_days * 86400);
+    }
+    const auto result = gc.collect(gc_options);
+    doc.title = "cache gc " + dir;
+    kv("scanned", result.scanned);
+    kv("evicted", result.evicted);
+    kv("bytes before", result.bytes_before);
+    kv("bytes after", result.bytes_after);
+  } else if (sub == "verify") {
+    const auto result = gc.verify();
+    doc.title = "cache verify " + dir;
+    kv("scanned", result.scanned);
+    kv("ok", result.ok);
+    kv("evicted corrupt", result.evicted_corrupt);
+    kv("evicted version-mismatch", result.evicted_version);
+    if (result.evicted_corrupt > 0 || result.evicted_version > 0) {
+      code = 2;
+    }
+  } else if (sub == "clear") {
+    doc.title = "cache clear " + dir;
+    kv("removed", gc.clear());
+  } else {
+    throw Error("unknown cache subcommand '" + sub + "'");
+  }
+  flow::make_sink(options.format)->write(doc, out);
+  return code;
+}
+
+#ifndef RLIM_VERSION
+#define RLIM_VERSION "unknown"
+#endif
+
+/// Project + on-disk format version, so a mismatching store ("why does my
+/// CI sweep recompile everything?") is diagnosable from the field.
+int cmd_version(std::ostream& out) {
+  out << "rlim " << RLIM_VERSION << " (store format "
+      << store::kFormatVersion << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -372,19 +511,25 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return cmd_rewrite(options, out);
     }
     if (options.command == "compile") {
-      return cmd_compile(options, out);
+      return cmd_compile(options, out, err);
     }
     if (options.command == "suite") {
-      return cmd_suite(options, out);
+      return cmd_suite(options, out, err);
     }
     if (options.command == "policies") {
       return cmd_policies(options, out);
     }
+    if (options.command == "cache") {
+      return cmd_cache(options, out);
+    }
+    if (options.command == "version") {
+      return cmd_version(out);
+    }
     throw Error("unknown command '" + options.command + "'");
   } catch (const std::exception& error) {
     err << "rlim_cli: " << error.what() << '\n'
-        << "usage: rlim_cli info|rewrite|compile|suite|policies ... "
-           "(see tools/cli.hpp)\n";
+        << "usage: rlim_cli info|rewrite|compile|suite|policies|cache|version "
+           "... (see tools/cli.hpp)\n";
     return 1;
   }
 }

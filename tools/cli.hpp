@@ -17,6 +17,9 @@ namespace rlim::cli {
 ///                                           compile the whole suite
 ///   policies                              — list the registered rewrite /
 ///                                           selection / allocation policies
+///   cache   stats|gc|clear|verify         — maintain the persistent
+///                                           pipeline store (see --cache-dir)
+///   version (or --version)                — project + store format version
 ///
 /// Options:
 ///   --strategy naive|plim21|min-write|endurance-rewrite|full (compile, suite)
@@ -32,6 +35,14 @@ namespace rlim::cli {
 ///   --format table|csv|json   report serialization   (compile, suite, policies)
 ///   --disasm       print the RM3 program (single netlist only) (compile)
 ///   --verify       cross-check the program on the crossbar     (compile)
+///   --cache-dir D  persistent pipeline store directory (compile, suite, cache);
+///                  overrides the RLIM_CACHE_DIR environment variable. When
+///                  neither is set, compile/suite keep the disk tier off and
+///                  `cache` commands fail. A second identical sweep against
+///                  the same store recompiles nothing and prints a cache
+///                  summary line on stderr (stdout stays byte-identical).
+///   --max-bytes N  size cap for `cache gc` (evicts oldest-first)
+///   --max-age-days N  age cap for `cache gc`
 ///
 /// `compile` accepts any number of netlists and runs them as one
 /// flow::Runner batch: rewriting results are shared through the content-

@@ -66,7 +66,7 @@ int main(int argc, char** argv) try {
                       {}});
     }
   }
-  flow::Runner runner({.jobs = opts.jobs});
+  flow::Runner runner({.jobs = opts.jobs, .cache_dir = opts.cache_dir});
   const auto results = runner.run(jobs);
   flow::throw_on_error(results);
 

@@ -31,7 +31,7 @@ int main(int argc, char** argv) try {
     jobs.push_back(
         {sources.back(), core::make_config(Strategy::FullEndurance, 20), {}});
   }
-  flow::Runner runner({.jobs = opts.jobs});
+  flow::Runner runner({.jobs = opts.jobs, .cache_dir = opts.cache_dir});
   const auto results = runner.run(jobs);
   flow::throw_on_error(results);
 

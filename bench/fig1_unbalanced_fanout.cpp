@@ -57,7 +57,7 @@ int main(int argc, char** argv) try {
   for (const auto& c : cases) {
     jobs.push_back({source, c.config, {}});
   }
-  flow::Runner runner({.jobs = opts.jobs});
+  flow::Runner runner({.jobs = opts.jobs, .cache_dir = opts.cache_dir});
   const auto results = runner.run(jobs);
   flow::throw_on_error(results);
 

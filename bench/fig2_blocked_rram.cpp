@@ -102,7 +102,7 @@ int main(int argc, char** argv) try {
         "rewrite=none,select=" + c.selection + ",alloc=min_write");
     jobs.push_back({source, config, {}});
   }
-  flow::Runner runner({.jobs = opts.jobs});
+  flow::Runner runner({.jobs = opts.jobs, .cache_dir = opts.cache_dir});
   const auto results = runner.run(jobs);
   flow::throw_on_error(results);
 

@@ -80,8 +80,13 @@ int main(int argc, char** argv) try {
   const auto jobs = build_jobs(sources);
   const auto distinct = jobs.size() / 2;
 
-  flow::Runner serial({.jobs = 1});
-  flow::Runner parallel({.jobs = opts.jobs == 0 ? 8 : opts.jobs});
+  // Both runners may share one persistent store: the serial run seeds it
+  // and the parallel run answers from disk — program_misses still counts
+  // per distinct (fingerprint, key) pair, so the self-checks below hold
+  // with or without --cache-dir.
+  flow::Runner serial({.jobs = 1, .cache_dir = opts.cache_dir});
+  flow::Runner parallel(
+      {.jobs = opts.jobs == 0 ? 8 : opts.jobs, .cache_dir = opts.cache_dir});
   const auto serial_results = serial.run(jobs);
   const auto parallel_results = parallel.run(jobs);
   flow::throw_on_error(serial_results);

@@ -25,7 +25,7 @@ int main(int argc, char** argv) try {
       jobs.push_back({source, core::make_config(strategy), {}});
     }
   }
-  flow::Runner runner({.jobs = opts.jobs});
+  flow::Runner runner({.jobs = opts.jobs, .cache_dir = opts.cache_dir});
   const auto results = runner.run(jobs);
   flow::throw_on_error(results);
 

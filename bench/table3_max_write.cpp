@@ -20,7 +20,7 @@ int main(int argc, char** argv) try {
   const auto opts = flow::parse_driver_args(argc, argv);
   const auto suite = flow::suite();
   const auto sources = flow::suite_sources(suite);
-  flow::Runner runner({.jobs = opts.jobs});
+  flow::Runner runner({.jobs = opts.jobs, .cache_dir = opts.cache_dir});
 
   // Phase 1: naive baseline + uncapped full endurance per benchmark.
   std::vector<flow::Job> phase1;

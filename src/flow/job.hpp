@@ -51,6 +51,10 @@ public:
   [[nodiscard]] std::shared_ptr<const mig::Mig> original_ptr() const;
   /// Content hash of `original()` — the rewrite-cache key component.
   [[nodiscard]] std::uint64_t fingerprint() const;
+  /// fingerprint() if the graph is already materialized, nullopt otherwise —
+  /// never builds. Lets flow::Service coalesce duplicate submissions without
+  /// blocking the submitting thread on graph construction.
+  [[nodiscard]] std::optional<std::uint64_t> ready_fingerprint() const;
 
 private:
   Source() = default;

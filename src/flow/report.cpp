@@ -64,16 +64,6 @@ void write_csv_cell(const std::string& cell, std::ostream& os) {
   os << '"';
 }
 
-void write_csv_row(const std::vector<std::string>& cells, std::ostream& os) {
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i != 0) {
-      os << ',';
-    }
-    write_csv_cell(cells[i], os);
-  }
-  os << '\n';
-}
-
 void write_json_string(const std::string& text, std::ostream& os) {
   os << '"';
   for (const char c : text) {
@@ -121,6 +111,16 @@ void write_csv_comment(const std::string& text, std::ostream& os) {
 }
 
 }  // namespace
+
+void write_csv_row(const std::vector<std::string>& cells, std::ostream& os) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    write_csv_cell(cells[i], os);
+  }
+  os << '\n';
+}
 
 void CsvSink::write(const Report& report, std::ostream& os) {
   if (!report.title.empty()) {

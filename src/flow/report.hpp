@@ -69,4 +69,9 @@ public:
 
 [[nodiscard]] std::unique_ptr<ReportSink> make_sink(ReportFormat format);
 
+/// One RFC-4180 CSV row (CsvSink's cell quoting) — shared with streaming
+/// front-ends like `rlim serve` that emit rows one at a time instead of
+/// whole Report documents.
+void write_csv_row(const std::vector<std::string>& cells, std::ostream& os);
+
 }  // namespace rlim::flow

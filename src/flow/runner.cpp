@@ -1,7 +1,6 @@
 #include "flow/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <thread>
@@ -11,16 +10,13 @@
 
 namespace rlim::flow {
 
-Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
-  if (!options_.cache_dir.empty()) {
-    // The disk store backs the in-memory cache; with caching off the jobs
-    // never touch it, so accepting the directory would be a silent no-op.
-    require(options_.cache_rewrites,
-            "flow: cache_dir requires cache_rewrites");
-    cache_.attach_store(
-        std::make_shared<store::DiskStore>(options_.cache_dir));
-  }
-}
+Runner::Runner(RunnerOptions options)
+    : options_(options),
+      service_({.jobs = options.jobs,
+                .cache_rewrites = options.cache_rewrites,
+                .cache_programs = options.cache_programs,
+                .cache_dir = std::move(options.cache_dir),
+                .coalesce = false}) {}
 
 unsigned Runner::concurrency(std::size_t job_count) const {
   unsigned workers = options_.jobs;
@@ -31,84 +27,13 @@ unsigned Runner::concurrency(std::size_t job_count) const {
       std::min<std::size_t>(workers, std::max<std::size_t>(1, job_count)));
 }
 
-JobResult Runner::execute(const Job& job) {
-  JobResult result;
-  try {
-    require(job.source != nullptr, "flow: job without a source");
-    const auto& config = job.config;
-    if (options_.cache_rewrites && options_.cache_programs) {
-      // Two-level path: repeated (fingerprint, canonical config) pairs skip
-      // compilation entirely; the cached report is label-agnostic, so patch
-      // in this job's label.
-      auto entry = cache_.compiled(*job.source, config);
-      result.prepared = std::move(entry.prepared);
-      result.rewrite_stats = entry.rewrite_stats;
-      result.report = *entry.report;
-      result.report.benchmark = job.display_label();
-      return result;
-    }
-    if (config.rewrite.key == "none") {
-      // The paper's naive baseline: share the source's graph exactly as
-      // constructed (no cleanup pass, unlike the registered "none" flow).
-      auto entry = passthrough_rewrite(*job.source);
-      result.prepared = std::move(entry.graph);
-      result.rewrite_stats = entry.stats;
-    } else if (options_.cache_rewrites) {
-      auto entry = cache_.rewrite(*job.source, config.rewrite);
-      result.prepared = std::move(entry.graph);
-      result.rewrite_stats = entry.stats;
-    } else {
-      mig::RewriteStats stats;
-      result.prepared = std::make_shared<const mig::Mig>(
-          mig::make_rewrite(config.rewrite)(job.source->original(), &stats));
-      result.rewrite_stats = stats;
-    }
-    result.report =
-        core::compile_prepared(*result.prepared, config, job.display_label(),
-                               job.source->original().num_gates());
-  } catch (const std::exception& error) {
-    result.error = error.what();
-    if (result.error.empty()) {
-      result.error = "unknown error";
-    }
-  }
-  return result;
-}
-
 std::vector<JobResult> Runner::run(const std::vector<Job>& jobs) {
-  std::vector<JobResult> results(jobs.size());
-  const unsigned workers = concurrency(jobs.size());
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      results[i] = execute(jobs[i]);
-    }
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    while (true) {
-      const auto index = next.fetch_add(1);
-      if (index >= jobs.size()) {
-        return;
-      }
-      results[index] = execute(jobs[index]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned i = 0; i < workers; ++i) {
-    pool.emplace_back(worker);
-  }
-  for (auto& thread : pool) {
-    thread.join();
-  }
-  return results;
+  return service_.collect(service_.submit_batch(jobs));
 }
 
 JobResult run_job(const Job& job) {
-  Runner runner({.jobs = 1});
-  return runner.run({job}).front();
+  Service service({.jobs = 1});
+  return service.wait(service.submit(job));
 }
 
 void throw_on_error(const std::vector<JobResult>& results) {
@@ -135,15 +60,25 @@ DriverOptions parse_driver_args(int argc, char** argv) {
         options.format = parse_format(next());
       } else if (arg == "--jobs") {
         options.jobs = static_cast<unsigned>(std::stoul(next()));
+      } else if (arg == "--cache-dir") {
+        options.cache_dir = next();
+        require(!options.cache_dir.empty(), "--cache-dir needs a directory");
       } else {
         throw Error("unknown option '" + arg + "'");
       }
     } catch (const std::exception& error) {
       std::cerr << argv[0] << ": " << error.what()
                 << "\nusage: " << argv[0]
-                << " [--format table|csv|json] [--jobs N]\n";
+                << " [--format table|csv|json] [--jobs N] [--cache-dir DIR]\n";
       std::exit(2);
     }
+  }
+  if (options.cache_dir.empty()) {
+    // Same resolution order as the rlim CLI: the explicit flag beats the
+    // ambient RLIM_CACHE_DIR, which beats "disk tier off". The env fallback
+    // lives here — in the drivers' front-end parser — so the library Runner
+    // itself stays hermetic.
+    options.cache_dir = store::env_cache_dir();
   }
   return options;
 }

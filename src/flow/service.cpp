@@ -1,0 +1,420 @@
+#include "flow/service.hpp"
+
+#include <algorithm>
+
+#include "store/disk_store.hpp"
+#include "util/error.hpp"
+
+namespace rlim::flow {
+
+namespace {
+constexpr const char* kCancelledMessage = "cancelled before execution";
+}  // namespace
+
+/// One submitted job and everything needed to finish it. Guarded by the
+/// Service mutex except for `job`, which is read by the executing worker
+/// while unlocked (no one else touches it after submission).
+struct Service::Task {
+  enum class State {
+    Pending,  ///< queued (or attached to a pending primary), cancellable
+    Running,  ///< picked up by a worker — runs to completion
+    Done,     ///< result available (executed, coalesced, or cancelled)
+  };
+
+  Ticket ticket = 0;
+  Job job;
+  State state = State::Pending;
+  bool cancelled = false;
+  JobResult result;
+  std::shared_ptr<BatchHandle::Progress> batch;
+  /// Registered as the coalescing primary under `key`.
+  bool registered = false;
+  DupKey key;
+  /// Duplicates fulfilled from this task's result.
+  std::vector<TaskPtr> followers;
+};
+
+// ---- BatchHandle -----------------------------------------------------------
+
+std::size_t BatchHandle::completed() const {
+  if (progress_ == nullptr) {
+    return 0;
+  }
+  const std::scoped_lock lock(progress_->mutex);
+  return progress_->done;
+}
+
+void BatchHandle::wait() const {
+  if (progress_ == nullptr) {
+    return;
+  }
+  std::unique_lock lock(progress_->mutex);
+  progress_->cv.wait(lock, [&] { return progress_->done >= tickets_.size(); });
+}
+
+// ---- Service lifecycle -----------------------------------------------------
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {
+  if (!options_.cache_dir.empty()) {
+    // The disk store backs the in-memory cache; with caching off the jobs
+    // never touch it, so accepting the directory would be a silent no-op.
+    require(options_.cache_rewrites,
+            "flow: cache_dir requires cache_rewrites");
+    cache_.attach_store(
+        std::make_shared<store::DiskStore>(options_.cache_dir));
+  }
+  target_workers_ = options_.jobs;
+  if (target_workers_ == 0) {
+    target_workers_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(target_workers_);
+  // Workers spawn lazily (ensure_worker_locked), one per enqueued job up to
+  // the ceiling — the synchronous façade's small batches keep the old
+  // min(workers, job_count) thread cost instead of paying for a full pool.
+}
+
+void Service::ensure_worker_locked() {
+  if (!stopping_ && workers_.size() < target_workers_) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::shutdown() {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (!stopping_) {
+      stopping_ = true;
+      cancel_all_pending_locked();
+      queue_.clear();
+      done_cv_.notify_all();
+    }
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+// ---- submission ------------------------------------------------------------
+
+std::optional<Service::DupKey> Service::duplicate_key(const Job& job,
+                                                      bool may_build) const {
+  if (!options_.coalesce || job.source == nullptr) {
+    return std::nullopt;
+  }
+  try {
+    std::optional<std::uint64_t> fingerprint;
+    if (may_build) {
+      fingerprint = job.source->fingerprint();
+    } else {
+      fingerprint = job.source->ready_fingerprint();
+    }
+    if (!fingerprint) {
+      return std::nullopt;
+    }
+    return DupKey{*fingerprint, job.config.normalized().canonical_key()};
+  } catch (const std::exception&) {
+    // Unloadable source or unregistered policy: not coalescable — the job
+    // executes normally and captures the failure in its own result.
+    return std::nullopt;
+  }
+}
+
+Ticket Service::submit(Job job) {
+  return submit_batch({std::move(job)}).tickets().front();
+}
+
+BatchHandle Service::submit_batch(std::vector<Job> jobs) {
+  BatchHandle handle;
+  handle.progress_ = std::make_shared<BatchHandle::Progress>();
+  handle.tickets_.reserve(jobs.size());
+  for (auto& job : jobs) {
+    // Opportunistic submit-time coalescing: only when the fingerprint is
+    // already known (in-memory Source, or a netlist some earlier job
+    // loaded) — submit() must never block on graph construction.
+    const auto key = duplicate_key(job, /*may_build=*/false);
+
+    auto task = std::make_shared<Task>();
+    task->job = std::move(job);
+    task->batch = handle.progress_;
+
+    const std::scoped_lock lock(mutex_);
+    require(!stopping_, "flow: submit after Service shutdown");
+    task->ticket = next_ticket_++;
+    tasks_.emplace(task->ticket, task);
+    ++stats_.submitted;
+    handle.tickets_.push_back(task->ticket);
+
+    bool queued = true;
+    if (key) {
+      const auto it = inflight_.find(*key);
+      if (it != inflight_.end()) {
+        it->second->followers.push_back(task);
+        ++stats_.coalesced;
+        queued = false;
+      } else {
+        inflight_.emplace(*key, task);
+        task->registered = true;
+        task->key = *key;
+      }
+    }
+    if (queued) {
+      queue_.push_back(task);
+      ensure_worker_locked();
+      queue_cv_.notify_one();
+    }
+  }
+  return handle;
+}
+
+// ---- worker side -----------------------------------------------------------
+
+void Service::worker_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) {
+        return;
+      }
+      continue;
+    }
+    const auto task = queue_.front();
+    queue_.pop_front();
+    if (task->state != Task::State::Pending) {
+      continue;  // cancelled while queued
+    }
+    task->state = Task::State::Running;
+    lock.unlock();
+    run_task(task);
+    lock.lock();
+  }
+}
+
+void Service::run_task(const TaskPtr& task) {
+  if (options_.coalesce && !task->registered) {
+    // Dequeue-time coalescing: computing the key may build the graph, so it
+    // runs on the worker (outside the lock) where that work belongs anyway.
+    if (const auto key = duplicate_key(task->job, /*may_build=*/true)) {
+      const std::scoped_lock lock(mutex_);
+      const auto it = inflight_.find(*key);
+      if (it != inflight_.end()) {
+        // A primary with this key is pending or running: attach instead of
+        // blocking this worker on the same computation.
+        it->second->followers.push_back(task);
+        ++stats_.coalesced;
+        return;
+      }
+      inflight_.emplace(*key, task);
+      task->registered = true;
+      task->key = *key;
+    }
+  }
+  finish(task, execute(task->job));
+}
+
+JobResult Service::execute(const Job& job) {
+  JobResult result;
+  try {
+    require(job.source != nullptr, "flow: job without a source");
+    const auto& config = job.config;
+    if (options_.cache_rewrites && options_.cache_programs) {
+      // Two-level path: repeated (fingerprint, canonical config) pairs skip
+      // compilation entirely; the cached report is label-agnostic, so patch
+      // in this job's label.
+      auto entry = cache_.compiled(*job.source, config);
+      result.prepared = std::move(entry.prepared);
+      result.rewrite_stats = entry.rewrite_stats;
+      result.report = *entry.report;
+      result.report.benchmark = job.display_label();
+      return result;
+    }
+    if (config.rewrite.key == "none") {
+      // The paper's naive baseline: share the source's graph exactly as
+      // constructed (no cleanup pass, unlike the registered "none" flow).
+      auto entry = passthrough_rewrite(*job.source);
+      result.prepared = std::move(entry.graph);
+      result.rewrite_stats = entry.stats;
+    } else if (options_.cache_rewrites) {
+      auto entry = cache_.rewrite(*job.source, config.rewrite);
+      result.prepared = std::move(entry.graph);
+      result.rewrite_stats = entry.stats;
+    } else {
+      mig::RewriteStats stats;
+      result.prepared = std::make_shared<const mig::Mig>(
+          mig::make_rewrite(config.rewrite)(job.source->original(), &stats));
+      result.rewrite_stats = stats;
+    }
+    result.report =
+        core::compile_prepared(*result.prepared, config, job.display_label(),
+                               job.source->original().num_gates());
+  } catch (const std::exception& error) {
+    result.error = error.what();
+    if (result.error.empty()) {
+      result.error = "unknown error";
+    }
+  }
+  return result;
+}
+
+void Service::finish(const TaskPtr& task, JobResult result) {
+  const std::scoped_lock lock(mutex_);
+  if (task->registered) {
+    inflight_.erase(task->key);
+    task->registered = false;
+  }
+  task->result = std::move(result);
+  task->state = Task::State::Done;
+  ++stats_.executed;
+  complete_locked(task);
+  for (const auto& follower : task->followers) {
+    if (follower->state == Task::State::Done) {
+      continue;  // cancelled while attached
+    }
+    follower->result = task->result;
+    if (follower->result.ok()) {
+      // Same contract as a program-cache hit: shared artifacts, own label.
+      follower->result.report.benchmark = follower->job.display_label();
+    }
+    follower->state = Task::State::Done;
+    complete_locked(follower);
+  }
+  task->followers.clear();
+  done_cv_.notify_all();
+}
+
+void Service::complete_locked(const TaskPtr& task) {
+  ++stats_.completed;
+  if (task->cancelled) {
+    ++stats_.cancelled;
+  }
+  if (task->batch != nullptr) {
+    const std::scoped_lock progress_lock(task->batch->mutex);
+    ++task->batch->done;
+    task->batch->cv.notify_all();
+  }
+}
+
+// ---- cancellation ----------------------------------------------------------
+
+void Service::cancel_locked(const TaskPtr& task) {
+  task->cancelled = true;
+  task->state = Task::State::Done;
+  task->result = JobResult{};
+  task->result.error = kCancelledMessage;
+  if (task->registered) {
+    inflight_.erase(task->key);
+    task->registered = false;
+  }
+  // Followers were waiting on this task's execution, not cancelled
+  // themselves: re-queue them. The first one dequeued re-registers as the
+  // new primary and the rest re-coalesce behind it. A dequeue-time follower
+  // carries state Running (its worker moved on after attaching) — flip it
+  // back to Pending or the queue skip-check would drop the ticket forever.
+  bool requeued = false;
+  for (auto& follower : task->followers) {
+    if (follower->state == Task::State::Done) {
+      continue;  // cancelled while attached — already fulfilled
+    }
+    follower->state = Task::State::Pending;
+    queue_.push_back(std::move(follower));
+    ensure_worker_locked();
+    requeued = true;
+  }
+  task->followers.clear();
+  complete_locked(task);
+  if (requeued) {
+    queue_cv_.notify_all();
+  }
+}
+
+bool Service::cancel(Ticket ticket) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = tasks_.find(ticket);
+  if (it == tasks_.end() || it->second->state != Task::State::Pending) {
+    return false;
+  }
+  cancel_locked(it->second);
+  done_cv_.notify_all();
+  return true;
+}
+
+std::size_t Service::cancel_all_pending_locked() {
+  // To a fixpoint: cancelling a primary re-queues its followers as pending,
+  // and those must be swept up by the same drain whatever the map order.
+  std::size_t count = 0;
+  bool again = true;
+  while (again) {
+    again = false;
+    for (auto& [ticket, task] : tasks_) {
+      if (task->state == Task::State::Pending) {
+        cancel_locked(task);
+        ++count;
+        again = true;
+      }
+    }
+  }
+  // Everything the drain touched is Done now; drop the tombstones so
+  // workers do not churn through them.
+  std::erase_if(queue_, [](const TaskPtr& task) {
+    return task->state != Task::State::Pending;
+  });
+  return count;
+}
+
+std::size_t Service::cancel_pending() {
+  const std::scoped_lock lock(mutex_);
+  const auto count = cancel_all_pending_locked();
+  if (count > 0) {
+    done_cv_.notify_all();
+  }
+  return count;
+}
+
+// ---- collection ------------------------------------------------------------
+
+JobResult Service::wait(Ticket ticket) {
+  std::unique_lock lock(mutex_);
+  const auto it = tasks_.find(ticket);
+  require(it != tasks_.end(),
+          "flow: unknown or already-collected ticket " +
+              std::to_string(ticket));
+  const auto task = it->second;
+  done_cv_.wait(lock, [&] { return task->state == Task::State::Done; });
+  tasks_.erase(ticket);
+  return std::move(task->result);
+}
+
+std::optional<JobResult> Service::try_get(Ticket ticket) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = tasks_.find(ticket);
+  require(it != tasks_.end(),
+          "flow: unknown or already-collected ticket " +
+              std::to_string(ticket));
+  if (it->second->state != Task::State::Done) {
+    return std::nullopt;
+  }
+  const auto task = it->second;
+  tasks_.erase(it);
+  return std::move(task->result);
+}
+
+std::vector<JobResult> Service::collect(const BatchHandle& batch) {
+  std::vector<JobResult> results;
+  results.reserve(batch.tickets().size());
+  for (const auto ticket : batch.tickets()) {
+    results.push_back(wait(ticket));
+  }
+  return results;
+}
+
+ServiceStats Service::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace rlim::flow

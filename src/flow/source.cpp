@@ -82,4 +82,12 @@ std::uint64_t Source::fingerprint() const {
   return *fingerprint_;
 }
 
+std::optional<std::uint64_t> Source::ready_fingerprint() const {
+  const std::scoped_lock lock(mutex_);
+  if (!fingerprint_ && graph_ != nullptr) {
+    fingerprint_ = graph_->fingerprint();
+  }
+  return fingerprint_;
+}
+
 }  // namespace rlim::flow

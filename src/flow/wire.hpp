@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "flow/job.hpp"
+
+namespace rlim::flow::wire {
+
+/// The process-boundary message format of the flow layer — what a socket
+/// front-end or shard coordinator speaks. Every message is one self-framed
+/// byte string:
+///
+///   "RLWM" | u32 wire version | u8 kind | payload | u64 FNV-1a hash
+///
+/// The hash covers every framed byte before it; decoders authenticate the
+/// frame (magic, version, hash, kind) before touching the payload, and
+/// payload decoding reuses the store::serialize validators (structural MIG
+/// replay, fingerprint check, config re-parse), so a damaged or stale frame
+/// throws rlim::Error instead of decoding into a wrong object.
+///
+/// kWireVersion covers the framing and every payload layout below; it is
+/// bumped together with store::kFormatVersion whenever a shared layout
+/// changes, so two processes either agree on the bytes or refuse loudly.
+
+inline constexpr std::string_view kMagic = "RLWM";
+inline constexpr std::uint32_t kWireVersion = 1;
+
+enum class MessageKind : std::uint8_t {
+  JobSpec = 1,    ///< a job to execute (request)
+  JobResult = 2,  ///< the outcome of one job (response)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(MessageKind kind) {
+  return kind == MessageKind::JobSpec ? "job-spec" : "job-result";
+}
+
+/// Serializable description of one Job. Exactly one source representation is
+/// set: `source_ref` names a netlist the executing side resolves itself
+/// (`bench:NAME`, `*.mig`, `*.blif` — cheap to ship, requires the file or
+/// generator on the far side), or `graph` carries the MIG inline (self-
+/// contained, any process can execute it). The config travels as its spec
+/// string and is validated against the receiving registry on decode.
+struct JobSpec {
+  std::string source_ref;         ///< netlist reference; empty when inline
+  std::optional<mig::Mig> graph;  ///< inline graph; used when set
+  std::string graph_label;        ///< Source label of an inline graph
+  std::string config_spec;        ///< PipelineConfig spec-grammar string
+  std::string label;              ///< Job::label (report label override)
+
+  /// A by-reference spec (the config is stored as its canonical key).
+  [[nodiscard]] static JobSpec reference(std::string ref,
+                                         const core::PipelineConfig& config,
+                                         std::string label = {});
+  /// A self-contained spec carrying the graph itself.
+  [[nodiscard]] static JobSpec inline_graph(mig::Mig graph,
+                                            std::string graph_label,
+                                            const core::PipelineConfig& config,
+                                            std::string label = {});
+
+  /// Materializes the executable Job (resolves the source, parses the
+  /// config). Throws rlim::Error for unresolvable refs or bad specs.
+  [[nodiscard]] Job to_job() const;
+};
+
+/// Encodes one message into a framed byte string.
+[[nodiscard]] std::string encode(const JobSpec& spec);
+/// JobResult frames carry error-or-payload: a failed job ships only its
+/// error string; a successful one ships RewriteStats, the EnduranceReport
+/// (program included), and — when present — the prepared graph.
+[[nodiscard]] std::string encode(const JobResult& result);
+
+/// Authenticates the frame and returns its kind without decoding the
+/// payload — the dispatch primitive of a message loop.
+[[nodiscard]] MessageKind peek_kind(std::string_view frame);
+
+/// Decoders: authenticate, check the kind, decode, reject trailing bytes.
+[[nodiscard]] JobSpec decode_job_spec(std::string_view frame);
+[[nodiscard]] JobResult decode_job_result(std::string_view frame);
+
+}  // namespace rlim::flow::wire

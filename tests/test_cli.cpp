@@ -34,6 +34,15 @@ CliResult run_cli(std::vector<std::string> args) {
   return {code, out.str(), err.str()};
 }
 
+/// Drives a command that reads from stdin (`serve --stdin-jobs`).
+CliResult run_cli(std::vector<std::string> args, const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(args, in, out, err);
+  return {code, out.str(), err.str()};
+}
+
 std::string temp_netlist() {
   const auto path = ::testing::TempDir() + "/cli_adder.mig";
   mig::write_mig_file(bench::make_adder(4), path);
@@ -311,6 +320,85 @@ TEST(Cli, SuiteRejectsSweepFlagsWithoutConfiguration) {
   EXPECT_NE(result.err.find("--strategy or --config"), std::string::npos);
   EXPECT_EQ(run_cli({"suite", "--verify"}).code, 1);
   EXPECT_EQ(run_cli({"suite", "--jobs", "4"}).code, 1);
+}
+
+// ---- async serve front-end ----------------------------------------------------
+
+TEST(Cli, ServeStreamsRowsByteIdenticalToCompile) {
+  // The acceptance property: the async stdin front-end over flow::Service
+  // renders exactly the rows the synchronous compile batch renders — the
+  // CSV bodies differ only by compile's `#` title comment.
+  const auto compiled = run_cli({"compile", "bench:ctrl", "bench:router",
+                                 "--strategy", "full", "--format", "csv"});
+  ASSERT_EQ(compiled.code, 0) << compiled.err;
+  const auto served = run_cli({"serve", "--stdin-jobs"},
+                              "bench:ctrl\nbench:router\n");
+  EXPECT_EQ(served.code, 0) << served.err;
+  EXPECT_EQ(served.out, compiled.out.substr(compiled.out.find('\n') + 1));
+  EXPECT_NE(served.err.find("rlim: serve: 2 jobs"), std::string::npos)
+      << served.err;
+}
+
+TEST(Cli, ServeOutputIsByteIdenticalForAnyWorkerCount) {
+  const std::string lines =
+      "bench:ctrl\n"
+      "bench:router naive\n"
+      "bench:int2float full,cap=50\n"
+      "bench:ctrl\n";
+  const auto serial = run_cli({"serve", "--stdin-jobs", "--jobs", "1"}, lines);
+  const auto parallel =
+      run_cli({"serve", "--stdin-jobs", "--jobs", "8"}, lines);
+  EXPECT_EQ(serial.code, 0) << serial.err;
+  EXPECT_EQ(parallel.code, 0) << parallel.err;
+  EXPECT_EQ(serial.out, parallel.out);
+}
+
+TEST(Cli, ServeHandlesPerLineConfigsCommentsAndErrors) {
+  const auto result = run_cli(
+      {"serve", "--stdin-jobs"},
+      "# a comment line\n"
+      "\n"
+      "bench:ctrl rewrite=endurance,select=wear_quota:quota=4,alloc=start_gap\n"
+      "bad.v\n"
+      "bench:router select=unregistered\n");
+  EXPECT_EQ(result.code, 1) << "failed lines must flip the exit code";
+  // The good row renders, each bad line holds its position as an error row.
+  EXPECT_NE(result.out.find("bench:ctrl,"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("bad.v,\"error: "), std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("bench:router,\"error: "), std::string::npos)
+      << result.out;
+  EXPECT_NE(result.err.find("2 failed"), std::string::npos) << result.err;
+}
+
+TEST(Cli, ServeRequiresStdinJobs) {
+  const auto result = run_cli({"serve"}, "bench:ctrl\n");
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--stdin-jobs"), std::string::npos) << result.err;
+  EXPECT_EQ(run_cli({"serve", "--stdin-jobs", "bench:ctrl"}, "").code, 1)
+      << "positional arguments are rejected";
+  EXPECT_EQ(
+      run_cli({"serve", "--stdin-jobs", "--format", "json"}, "").code, 1)
+      << "json cannot stream";
+  EXPECT_EQ(
+      run_cli({"serve", "--stdin-jobs", "--format", "table"}, "").code, 1)
+      << "an explicit non-csv format is rejected, not silently ignored";
+  EXPECT_EQ(run_cli({"serve", "--stdin-jobs", "--format", "csv"}, "").code, 0);
+}
+
+TEST(Cli, ServeUsesPersistentStore) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "cli_cache_serve";
+  std::filesystem::remove_all(dir);
+  const std::vector<std::string> args = {"serve", "--stdin-jobs",
+                                         "--cache-dir", dir.string()};
+  const auto cold = run_cli(args, "bench:ctrl\n");
+  EXPECT_EQ(cold.code, 0) << cold.err;
+  EXPECT_NE(cold.err.find("program loads 0"), std::string::npos) << cold.err;
+  const auto warm = run_cli(args, "bench:ctrl\n");
+  EXPECT_EQ(warm.code, 0) << warm.err;
+  EXPECT_EQ(warm.out, cold.out) << "stdout must stay byte-identical";
+  EXPECT_NE(warm.err.find("program loads 1"), std::string::npos) << warm.err;
 }
 
 // ---- persistent store surface -----------------------------------------------

@@ -1,6 +1,7 @@
 #include "cli.hpp"
 
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <iostream>
 #include <optional>
@@ -9,6 +10,7 @@
 #include "core/lifetime.hpp"
 #include "core/registry.hpp"
 #include "flow/runner.hpp"
+#include "flow/service.hpp"
 #include "flow/suite.hpp"
 #include "mig/io.hpp"
 #include "mig/rewriting.hpp"
@@ -33,9 +35,12 @@ struct Options {
   std::string flow = "endurance";
   std::optional<int> effort;
   unsigned jobs = 0;  // 0 = hardware concurrency
-  flow::ReportFormat format = flow::ReportFormat::Table;
+  // --format when given; most commands default to Table (format_of), serve
+  // accepts only csv and must distinguish "unset" from an explicit ask.
+  std::optional<flow::ReportFormat> format;
   bool disasm = false;
   bool verify = false;
+  bool stdin_jobs = false;  // serve: read job specs from the input stream
   std::string cache_dir;  // --cache-dir: overrides RLIM_CACHE_DIR
   std::optional<std::uint64_t> max_bytes;     // cache gc
   std::optional<std::uint64_t> max_age_days;  // cache gc
@@ -58,8 +63,8 @@ std::uint64_t parse_u64(const std::string& option, const std::string& text) {
 Options parse(const std::vector<std::string>& args) {
   Options options;
   require(!args.empty(),
-          "missing command (info, rewrite, compile, suite, policies, cache, "
-          "version)");
+          "missing command (info, rewrite, compile, suite, serve, policies, "
+          "cache, version)");
   options.command = args[0] == "--version" ? "version" : args[0];
   for (std::size_t i = 1; i < args.size(); ++i) {
     const auto& arg = args[i];
@@ -85,6 +90,8 @@ Options parse(const std::vector<std::string>& args) {
       options.disasm = true;
     } else if (arg == "--verify") {
       options.verify = true;
+    } else if (arg == "--stdin-jobs") {
+      options.stdin_jobs = true;
     } else if (arg == "--cache-dir") {
       options.cache_dir = next();
       require(!options.cache_dir.empty(), "--cache-dir needs a directory");
@@ -99,6 +106,10 @@ Options parse(const std::vector<std::string>& args) {
     }
   }
   return options;
+}
+
+flow::ReportFormat format_of(const Options& options) {
+  return options.format.value_or(flow::ReportFormat::Table);
 }
 
 /// The job configuration selected by --config / --strategy / --cap /
@@ -144,8 +155,8 @@ std::string resolve_cache_dir(const Options& options) {
 /// One telemetry line per invocation when a store is attached. Goes to
 /// stderr: report output on stdout must stay byte-identical between a cold
 /// and a warm run against the same store.
-void print_store_summary(const flow::Runner& runner, std::ostream& err) {
-  const auto& disk = runner.cache().disk_store();
+void print_store_summary(const flow::PipelineCache& cache, std::ostream& err) {
+  const auto& disk = cache.disk_store();
   if (disk == nullptr) {
     return;
   }
@@ -258,16 +269,44 @@ int print_compile_details(const Options& options, const flow::JobResult& result,
   return 0;
 }
 
+/// The batch-row column set shared by compile, suite, and serve.
+const std::vector<std::string>& summary_columns() {
+  static const std::vector<std::string> columns = {
+      "benchmark", "gates", "#I", "#R", "min/max", "STDEV",
+      "executions@1e10"};
+  return columns;
+}
+
+/// One summary row for a job outcome. Failed jobs keep their row — error in
+/// the gates column, dashes out to `width` — so the rest of a batch or
+/// stream still reports.
+std::vector<std::string> result_cells(const std::string& label,
+                                      const flow::JobResult& result,
+                                      std::size_t width) {
+  if (!result.ok()) {
+    std::vector<std::string> row{label, "error: " + result.error};
+    row.resize(width, "-");
+    return row;
+  }
+  const auto& report = result.report;
+  return {report.benchmark,
+          std::to_string(report.gates_before_rewrite) + " -> " +
+              std::to_string(report.gates_after_rewrite),
+          std::to_string(report.instructions), std::to_string(report.rrams),
+          std::to_string(report.writes.min) + "/" +
+              std::to_string(report.writes.max),
+          util::Table::fixed(report.writes.stdev),
+          std::to_string(core::estimate_lifetime(report.writes)
+                             .executions_to_first_failure)};
+}
+
 /// Renders one row per job into `doc` (the shared compile/suite batch
-/// table). Failed jobs keep their row — error in the gates column, dashes
-/// elsewhere — so the successful rest of the batch still reports. Returns
-/// {any_failed, all_verified}.
+/// table). Returns {any_failed, all_verified}.
 std::pair<bool, bool> batch_rows(const Options& options,
                                  const std::vector<flow::Job>& jobs,
                                  const std::vector<flow::JobResult>& results,
                                  flow::Report& doc) {
-  doc.columns = {"benchmark", "gates", "#I", "#R", "min/max", "STDEV",
-                 "executions@1e10"};
+  doc.columns = summary_columns();
   if (options.verify) {
     doc.columns.push_back("verified");
   }
@@ -275,28 +314,13 @@ std::pair<bool, bool> batch_rows(const Options& options,
   bool any_failed = false;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& result = results[i];
+    auto row =
+        result_cells(jobs[i].display_label(), result, doc.columns.size());
     if (!result.ok()) {
       any_failed = true;
-      std::vector<std::string> row{jobs[i].display_label(),
-                                   "error: " + result.error};
-      row.resize(doc.columns.size(), "-");
-      doc.add_row(std::move(row));
-      continue;
-    }
-    const auto& report = result.report;
-    std::vector<std::string> row{
-        report.benchmark,
-        std::to_string(report.gates_before_rewrite) + " -> " +
-            std::to_string(report.gates_after_rewrite),
-        std::to_string(report.instructions), std::to_string(report.rrams),
-        std::to_string(report.writes.min) + "/" +
-            std::to_string(report.writes.max),
-        util::Table::fixed(report.writes.stdev),
-        std::to_string(core::estimate_lifetime(report.writes)
-                           .executions_to_first_failure)};
-    if (options.verify) {
-      const bool ok =
-          plim::program_matches_mig(report.program, *result.prepared, 16, 1);
+    } else if (options.verify) {
+      const bool ok = plim::program_matches_mig(result.report.program,
+                                                *result.prepared, 16, 1);
       all_verified &= ok;
       row.push_back(ok ? "passed" : "FAILED");
     }
@@ -322,10 +346,10 @@ int cmd_compile(const Options& options, std::ostream& out,
   flow::Runner runner(
       {.jobs = options.jobs, .cache_dir = resolve_cache_dir(options)});
   const auto results = runner.run(jobs);
-  print_store_summary(runner, err);
+  print_store_summary(runner.cache(), err);
 
   if (options.positional.size() == 1 &&
-      options.format == flow::ReportFormat::Table) {
+      format_of(options) == flow::ReportFormat::Table) {
     flow::throw_on_error(results);
     return print_compile_details(options, results.front(), out);
   }
@@ -334,7 +358,7 @@ int cmd_compile(const Options& options, std::ostream& out,
   doc.title = "compile — " + config_label(options, config);
   const auto [any_failed, all_verified] =
       batch_rows(options, jobs, results, doc);
-  flow::make_sink(options.format)->write(doc, out);
+  flow::make_sink(format_of(options))->write(doc, out);
   if (any_failed) {
     return 1;
   }
@@ -358,7 +382,7 @@ int cmd_suite(const Options& options, std::ostream& out, std::ostream& err) {
                    std::to_string(spec.pis) + "/" + std::to_string(spec.pos),
                    spec.arithmetic ? "arithmetic" : "control"});
     }
-    flow::make_sink(options.format)->write(doc, out);
+    flow::make_sink(format_of(options))->write(doc, out);
     return 0;
   }
 
@@ -373,17 +397,120 @@ int cmd_suite(const Options& options, std::ostream& out, std::ostream& err) {
   flow::Runner runner(
       {.jobs = options.jobs, .cache_dir = resolve_cache_dir(options)});
   const auto results = runner.run(jobs);
-  print_store_summary(runner, err);
+  print_store_summary(runner.cache(), err);
 
   flow::Report doc;
   doc.title = "suite (" + suite.label + ") — " + config_label(options, config);
   const auto [any_failed, all_verified] =
       batch_rows(options, jobs, results, doc);
-  flow::make_sink(options.format)->write(doc, out);
+  flow::make_sink(format_of(options))->write(doc, out);
   if (any_failed) {
     return 1;
   }
   return all_verified ? 0 : 2;
+}
+
+/// `rlim serve --stdin-jobs`: the async execution path end-to-end. Lines
+/// (`NETLIST [CONFIG-SPEC]`) are submitted to a flow::Service as they
+/// arrive — execution starts immediately, duplicates coalesce — and results
+/// stream back as CSV rows in submission order, the only order that keeps
+/// the stream byte-stable for any worker count. A line that cannot even be
+/// submitted (bad netlist spec, bad config) becomes an `error:` row in the
+/// same position instead of killing the stream.
+int cmd_serve(const Options& options, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  require(options.stdin_jobs,
+          "serve needs --stdin-jobs (the only transport so far; a socket "
+          "front-end speaking flow::wire frames is the planned next one)");
+  require(options.positional.empty(),
+          "serve reads jobs from stdin, not the command line");
+  require(!options.disasm && !options.verify,
+          "serve: --disasm/--verify are compile-only");
+  require(!options.format || *options.format == flow::ReportFormat::Csv,
+          "serve streams CSV rows; --format " +
+              flow::to_string(format_of(options)) + " cannot stream");
+  const auto default_config = config_from(options);
+
+  flow::Service service(
+      {.jobs = options.jobs, .cache_dir = resolve_cache_dir(options)});
+  flow::write_csv_row(summary_columns(), out);
+
+  /// One input line: a submitted ticket, or the submission failure pinned
+  /// to the line's stream position.
+  struct Pending {
+    std::string label;
+    std::optional<flow::Ticket> ticket;
+    std::string submit_error;
+  };
+  std::deque<Pending> pending;
+  std::size_t accepted = 0;
+  std::size_t failures = 0;
+
+  const auto emit = [&](const Pending& item, const flow::JobResult& result) {
+    if (!result.ok()) {
+      ++failures;
+    }
+    flow::write_csv_row(
+        result_cells(item.label, result, summary_columns().size()), out);
+    out.flush();
+  };
+  // Streams every result that is ready at the front of the queue; with
+  // `block` set, drains the whole queue in order.
+  const auto flush_ready = [&](bool block) {
+    while (!pending.empty()) {
+      const auto& front = pending.front();
+      if (!front.ticket) {
+        flow::JobResult failed;
+        failed.error = front.submit_error;
+        emit(front, failed);
+      } else if (block) {
+        emit(front, service.wait(*front.ticket));
+      } else if (auto result = service.try_get(*front.ticket)) {
+        emit(front, *result);
+      } else {
+        return;
+      }
+      pending.pop_front();
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    const auto last = line.find_last_not_of(" \t\r");
+    const auto text = line.substr(first, last - first + 1);
+    const auto space = text.find_first_of(" \t");
+    Pending item;
+    item.label = text.substr(0, space);
+    try {
+      flow::Job job;
+      job.source = flow::Source::netlist(item.label);
+      job.label = item.label;
+      if (space == std::string::npos) {
+        job.config = default_config;
+      } else {
+        const auto spec = text.substr(text.find_first_not_of(" \t", space));
+        job.config = core::PipelineConfig::parse(spec);
+      }
+      item.ticket = service.submit(std::move(job));
+      ++accepted;
+    } catch (const std::exception& error) {
+      item.submit_error = error.what();
+    }
+    pending.push_back(std::move(item));
+    flush_ready(/*block=*/false);
+  }
+  flush_ready(/*block=*/true);
+
+  const auto stats = service.stats();
+  err << "rlim: serve: " << accepted << " jobs on " << service.workers()
+      << " workers, " << stats.executed << " executed, " << stats.coalesced
+      << " coalesced, " << failures << " failed\n";
+  print_store_summary(service.cache(), err);
+  return failures == 0 ? 0 : 1;
 }
 
 int cmd_policies(const Options& options, std::ostream& out) {
@@ -414,7 +541,7 @@ int cmd_policies(const Options& options, std::ostream& out) {
                core::make_config(strategy).canonical_key();
   }
   doc.add_note("presets: " + presets);
-  flow::make_sink(options.format)->write(doc, out);
+  flow::make_sink(format_of(options))->write(doc, out);
   return 0;
 }
 
@@ -482,7 +609,7 @@ int cmd_cache(const Options& options, std::ostream& out) {
   } else {
     throw Error("unknown cache subcommand '" + sub + "'");
   }
-  flow::make_sink(options.format)->write(doc, out);
+  flow::make_sink(format_of(options))->write(doc, out);
   return code;
 }
 
@@ -500,8 +627,8 @@ int cmd_version(std::ostream& out) {
 
 }  // namespace
 
-int run(const std::vector<std::string>& args, std::ostream& out,
-        std::ostream& err) {
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err) {
   try {
     const auto options = parse(args);
     if (options.command == "info") {
@@ -516,6 +643,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (options.command == "suite") {
       return cmd_suite(options, out, err);
     }
+    if (options.command == "serve") {
+      return cmd_serve(options, in, out, err);
+    }
     if (options.command == "policies") {
       return cmd_policies(options, out);
     }
@@ -528,10 +658,15 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     throw Error("unknown command '" + options.command + "'");
   } catch (const std::exception& error) {
     err << "rlim_cli: " << error.what() << '\n'
-        << "usage: rlim_cli info|rewrite|compile|suite|policies|cache|version "
-           "... (see tools/cli.hpp)\n";
+        << "usage: rlim_cli info|rewrite|compile|suite|serve|policies|cache|"
+           "version ... (see tools/cli.hpp)\n";
     return 1;
   }
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  return run(args, std::cin, out, err);
 }
 
 }  // namespace rlim::cli

@@ -15,6 +15,12 @@ namespace rlim::cli {
 ///   suite                                 — list the built-in benchmarks;
 ///                                           with --config/--strategy:
 ///                                           compile the whole suite
+///   serve   --stdin-jobs [opts]           — async job server over
+///                                           flow::Service: reads newline-
+///                                           delimited job specs from stdin,
+///                                           executes them as they arrive,
+///                                           streams one CSV result row per
+///                                           job (see below)
 ///   policies                              — list the registered rewrite /
 ///                                           selection / allocation policies
 ///   cache   stats|gc|clear|verify         — maintain the persistent
@@ -30,8 +36,9 @@ namespace rlim::cli {
 ///                  (replaces --strategy/--cap; see `rlim policies`)
 ///   --flow plim21|endurance|level                              (rewrite)
 ///   --effort N     rewriting cycles (default 5)
-///   --jobs N       worker threads for batch compiles           (compile)
+///   --jobs N       worker threads for batch compiles     (compile, serve)
 ///                  (default: hardware concurrency)
+///   --stdin-jobs   read `NETLIST [CONFIG-SPEC]` lines from stdin   (serve)
 ///   --format table|csv|json   report serialization   (compile, suite, policies)
 ///   --disasm       print the RM3 program (single netlist only) (compile)
 ///   --verify       cross-check the program on the crossbar     (compile)
@@ -51,10 +58,24 @@ namespace rlim::cli {
 /// everything else renders one summary row per netlist through the selected
 /// ReportSink.
 ///
+/// `serve --stdin-jobs` runs an asynchronous job loop over flow::Service:
+/// each input line is `NETLIST [CONFIG-SPEC]` (blank lines and `#` comments
+/// skipped; lines without a config use --config/--strategy, default `full`).
+/// Jobs are submitted — and start executing on `--jobs` workers — as their
+/// lines arrive; duplicate submissions coalesce on (fingerprint, canonical
+/// config key). Results stream to stdout as CSV rows in submission order
+/// (the only order that keeps output byte-stable for any worker count), one
+/// header row first; per-job failures become `error:` rows and flip the exit
+/// code to 1 after the stream drains. Telemetry goes to stderr.
+///
 /// Netlist files are selected by extension: `.mig` (text format) or `.blif`.
 /// `bench:NAME` compiles a generator from the built-in suite.
 ///
-/// Returns a process exit code; all output goes to `out` / `err`.
+/// Returns a process exit code; all output goes to `out` / `err`, and
+/// `serve` reads its job stream from `in` (std::cin for the 3-argument
+/// overload).
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err);
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 

@@ -11,7 +11,8 @@ std::size_t PipelineCache::KeyHash::operator()(const Key& key) const {
 }
 
 PipelineCache::RewriteEntry PipelineCache::rewrite(
-    const Source& source, const util::PolicySpec& spec) {
+    const Source& source, const util::PolicySpec& spec,
+    store::IoScratch* scratch) {
   // Normalizing here makes the cache key canonical, so callers may pass
   // partially-specified specs without splitting entries.
   const auto normalized = mig::rewrites().normalize(spec);
@@ -40,7 +41,8 @@ PipelineCache::RewriteEntry PipelineCache::rewrite(
       RewriteEntry entry;
       bool loaded = false;
       if (store_ != nullptr) {
-        if (auto payload = store_->load_rewrite(key.fingerprint, key.spec)) {
+        if (auto payload =
+                store_->load_rewrite(key.fingerprint, key.spec, scratch)) {
           entry.graph =
               std::make_shared<const mig::Mig>(std::move(payload->graph));
           entry.stats = payload->stats;
@@ -63,7 +65,7 @@ PipelineCache::RewriteEntry PipelineCache::rewrite(
       value_set = true;
       if (!loaded && store_ != nullptr) {
         store_->store_rewrite(key.fingerprint, key.spec, *entry.graph,
-                              entry.stats);
+                              entry.stats, scratch);
       }
     } catch (...) {
       // A failure after set_value can only come from the write-through,
@@ -77,7 +79,8 @@ PipelineCache::RewriteEntry PipelineCache::rewrite(
 }
 
 PipelineCache::CompiledEntry PipelineCache::compiled(
-    const Source& source, const core::PipelineConfig& raw_config) {
+    const Source& source, const core::PipelineConfig& raw_config,
+    store::IoScratch* scratch) {
   // Normalize (as rewrite() does) so equal-behavior configs share one entry
   // whether they came from parse()/make_config or were hand-assembled.
   const auto config = raw_config.normalized();
@@ -106,7 +109,8 @@ PipelineCache::CompiledEntry PipelineCache::compiled(
       CompiledEntry entry;
       bool loaded = false;
       if (store_ != nullptr) {
-        if (auto payload = store_->load_program(key.fingerprint, key.spec)) {
+        if (auto payload = store_->load_program(key.fingerprint, key.spec,
+                                                scratch, &config)) {
           entry.prepared =
               std::make_shared<const mig::Mig>(std::move(payload->prepared));
           entry.rewrite_stats = payload->rewrite_stats;
@@ -118,7 +122,7 @@ PipelineCache::CompiledEntry PipelineCache::compiled(
       if (!loaded) {
         auto rewritten = config.rewrite.key == "none"
                              ? passthrough_rewrite(source)
-                             : rewrite(source, config.rewrite);
+                             : rewrite(source, config.rewrite, scratch);
         entry.prepared = std::move(rewritten.graph);
         entry.rewrite_stats = rewritten.stats;
         entry.report = std::make_shared<const core::EnduranceReport>(
@@ -130,7 +134,7 @@ PipelineCache::CompiledEntry PipelineCache::compiled(
       value_set = true;
       if (!loaded && store_ != nullptr) {
         store_->store_program(key.fingerprint, key.spec, *entry.prepared,
-                              entry.rewrite_stats, *entry.report);
+                              entry.rewrite_stats, *entry.report, scratch);
       }
     } catch (...) {
       if (!value_set) {

@@ -14,6 +14,7 @@
 
 namespace rlim::store {
 class DiskStore;
+struct IoScratch;
 }
 
 namespace rlim::flow {
@@ -59,15 +60,18 @@ public:
   };
 
   /// Level 1: the rewritten graph for (source fingerprint, rewrite spec),
-  /// computing it on a miss.
-  RewriteEntry rewrite(const Source& source, const util::PolicySpec& spec);
+  /// computing it on a miss. `scratch` (optional) recycles the disk tier's
+  /// I/O buffers — flow workers pass their per-worker scratch.
+  RewriteEntry rewrite(const Source& source, const util::PolicySpec& spec,
+                       store::IoScratch* scratch = nullptr);
 
   /// Level 2: the compiled program for (source fingerprint,
   /// config.canonical_key()), rewriting (through level 1) and compiling on a
   /// miss. The config is normalized first, so hand-assembled and
   /// parse()/make_config-built configs of equal behavior share one entry.
   CompiledEntry compiled(const Source& source,
-                         const core::PipelineConfig& config);
+                         const core::PipelineConfig& config,
+                         store::IoScratch* scratch = nullptr);
 
   /// Level-1 lookups answered without rewriting / that ran a flow.
   [[nodiscard]] std::size_t hits() const { return hits_.load(); }

@@ -174,6 +174,9 @@ BatchHandle Service::submit_batch(std::vector<Job> jobs) {
 // ---- worker side -----------------------------------------------------------
 
 void Service::worker_loop() {
+  // Worker-lifetime scratch: the disk tier's read/write buffers are
+  // recycled across every job this thread serves.
+  store::IoScratch scratch;
   std::unique_lock lock(mutex_);
   while (true) {
     queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -190,12 +193,12 @@ void Service::worker_loop() {
     }
     task->state = Task::State::Running;
     lock.unlock();
-    run_task(task);
+    run_task(task, &scratch);
     lock.lock();
   }
 }
 
-void Service::run_task(const TaskPtr& task) {
+void Service::run_task(const TaskPtr& task, store::IoScratch* scratch) {
   if (options_.coalesce && !task->registered) {
     // Dequeue-time coalescing: computing the key may build the graph, so it
     // runs on the worker (outside the lock) where that work belongs anyway.
@@ -214,10 +217,10 @@ void Service::run_task(const TaskPtr& task) {
       task->key = *key;
     }
   }
-  finish(task, execute(task->job));
+  finish(task, execute(task->job, scratch));
 }
 
-JobResult Service::execute(const Job& job) {
+JobResult Service::execute(const Job& job, store::IoScratch* scratch) {
   JobResult result;
   try {
     require(job.source != nullptr, "flow: job without a source");
@@ -226,7 +229,7 @@ JobResult Service::execute(const Job& job) {
       // Two-level path: repeated (fingerprint, canonical config) pairs skip
       // compilation entirely; the cached report is label-agnostic, so patch
       // in this job's label.
-      auto entry = cache_.compiled(*job.source, config);
+      auto entry = cache_.compiled(*job.source, config, scratch);
       result.prepared = std::move(entry.prepared);
       result.rewrite_stats = entry.rewrite_stats;
       result.report = *entry.report;
@@ -240,7 +243,7 @@ JobResult Service::execute(const Job& job) {
       result.prepared = std::move(entry.graph);
       result.rewrite_stats = entry.stats;
     } else if (options_.cache_rewrites) {
-      auto entry = cache_.rewrite(*job.source, config.rewrite);
+      auto entry = cache_.rewrite(*job.source, config.rewrite, scratch);
       result.prepared = std::move(entry.graph);
       result.rewrite_stats = entry.stats;
     } else {

@@ -16,6 +16,10 @@
 #include "flow/cache.hpp"
 #include "flow/job.hpp"
 
+namespace rlim::store {
+struct IoScratch;
+}
+
 namespace rlim::flow {
 
 /// Handle of one submitted Job. Tickets are unique per Service instance and
@@ -154,9 +158,12 @@ private:
   using DupKey = std::pair<std::uint64_t, std::string>;
 
   void worker_loop();
-  void run_task(const TaskPtr& task);
+  /// `scratch` is the calling worker's recyclable I/O buffer set, threaded
+  /// down to the disk tier so steady-state serve traffic reuses the same
+  /// buffers instead of allocating per job.
+  void run_task(const TaskPtr& task, store::IoScratch* scratch);
   /// Runs the pipeline for one job (the former Runner::execute).
-  [[nodiscard]] JobResult execute(const Job& job);
+  [[nodiscard]] JobResult execute(const Job& job, store::IoScratch* scratch);
   void finish(const TaskPtr& task, JobResult result);
   void complete_locked(const TaskPtr& task);
   void cancel_locked(const TaskPtr& task);

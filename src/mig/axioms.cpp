@@ -16,6 +16,10 @@ namespace {
 class Rebuilder {
 public:
   explicit Rebuilder(const Mig& old) : old_(old), map_(old.num_nodes()), mapped_(old.num_nodes(), false) {
+    // Most passes change a small fraction of the graph, so the rebuilt
+    // arenas end up near the old sizes — pre-sizing removes the growth
+    // reallocations from every rewrite cycle.
+    fresh_.reserve(old.num_pis(), old.num_gates(), old.num_pos());
     map_[0] = Signal::constant(false);
     mapped_[0] = true;
     for (std::uint32_t pi = 1; pi <= old.num_pis(); ++pi) {

@@ -118,7 +118,7 @@ namespace {
 
 std::string blif_node_name(const Mig& mig, std::uint32_t node) {
   if (mig.is_pi(node)) {
-    return mig.pi_name(node - 1);
+    return std::string(mig.pi_name(node - 1));
   }
   // Built in two steps to sidestep GCC bug 105651 (-Wrestrict false positive
   // on `"literal" + std::to_string(...)`).

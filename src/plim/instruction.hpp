@@ -24,6 +24,19 @@ public:
   [[nodiscard]] constexpr bool constant_value() const { return (data_ & 1u) != 0; }
   [[nodiscard]] constexpr Cell cell_index() const { return data_; }
 
+  /// The operand as its single storage word — the store's bulk-section
+  /// representation. `is_canonical()` distinguishes the two words that
+  /// encode real operands from raw()s a damaged entry could carry: a
+  /// constant must have no stray bits, a cell index must stay below the
+  /// constant flag.
+  [[nodiscard]] constexpr std::uint32_t raw() const { return data_; }
+  [[nodiscard]] static constexpr Operand from_raw(std::uint32_t data) {
+    return Operand(data);
+  }
+  [[nodiscard]] constexpr bool is_canonical() const {
+    return !is_constant() || (data_ & ~(kConstantFlag | 1u)) == 0;
+  }
+
   friend constexpr bool operator==(Operand, Operand) = default;
 
 private:

@@ -36,6 +36,32 @@ void Program::bind_po(Cell cell) {
   num_cells_ = std::max(num_cells_, cell + 1);
 }
 
+Program Program::adopt_raw(RawProgram&& raw) {
+  const auto in_range = [&raw](Operand operand) {
+    return operand.is_constant() || operand.cell_index() < raw.num_cells;
+  };
+  for (const auto& instruction : raw.instructions) {
+    require(instruction.a.is_canonical() && instruction.b.is_canonical(),
+            "Program::adopt_raw: non-canonical operand word");
+    require(instruction.z < raw.num_cells,
+            "Program::adopt_raw: destination out of range");
+    require(in_range(instruction.a) && in_range(instruction.b),
+            "Program::adopt_raw: operand out of range");
+  }
+  for (const auto cell : raw.pi_cells) {
+    require(cell < raw.num_cells, "Program::adopt_raw: PI binding out of range");
+  }
+  for (const auto cell : raw.po_cells) {
+    require(cell < raw.num_cells, "Program::adopt_raw: PO binding out of range");
+  }
+  Program program;
+  program.instructions_ = std::move(raw.instructions);
+  program.pi_cells_ = std::move(raw.pi_cells);
+  program.po_cells_ = std::move(raw.po_cells);
+  program.num_cells_ = raw.num_cells;
+  return program;
+}
+
 std::vector<std::uint64_t> Program::static_write_counts() const {
   std::vector<std::uint64_t> counts(num_cells_, 0);
   for (const auto& instruction : instructions_) {

@@ -37,6 +37,21 @@ public:
   /// Binds the next primary output (in MIG PO order) to `cell`.
   void bind_po(Cell cell);
 
+  /// Everything needed to reconstitute a program from bulk storage.
+  struct RawProgram {
+    std::vector<Instruction> instructions;
+    std::vector<Cell> pi_cells;
+    std::vector<Cell> po_cells;
+    Cell num_cells = 0;  ///< declared cell space (may exceed the references)
+  };
+
+  /// Builds a program directly from decoded sections — the store's bulk
+  /// load path. Validates what append/bind/set_num_cells would have
+  /// enforced on a replay (canonical operand words, every reference inside
+  /// the declared cell space) in one pass and throws rlim::Error on
+  /// violation.
+  [[nodiscard]] static Program adopt_raw(RawProgram&& raw);
+
   [[nodiscard]] std::span<const Cell> pi_cells() const { return pi_cells_; }
   [[nodiscard]] std::span<const Cell> po_cells() const { return po_cells_; }
 

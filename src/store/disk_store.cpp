@@ -4,7 +4,6 @@
 
 #include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <system_error>
 
 #include "util/error.hpp"
@@ -15,22 +14,6 @@ namespace rlim::store {
 namespace {
 
 constexpr std::string_view kEntryExtension = ".entry";
-
-/// Reads a whole file into `bytes`; false when it does not exist or any
-/// read fails.
-bool read_file(const std::filesystem::path& path, std::string& bytes) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) {
-    return false;
-  }
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  if (!is.good() && !is.eof()) {
-    return false;
-  }
-  bytes = std::move(buffer).str();
-  return true;
-}
 
 }  // namespace
 
@@ -59,31 +42,29 @@ std::string entry_file_name(EntryKind kind, std::uint64_t fingerprint,
   return name;
 }
 
-EntryStatus read_entry_file(const std::filesystem::path& path,
-                            EntryFrame& frame) {
-  std::string bytes;
-  if (!read_file(path, bytes)) {
+EntryStatus read_entry_view(const std::filesystem::path& path,
+                            util::MmapFile& file, EntryView& view,
+                            std::string* scratch) {
+  if (!file.open(path, scratch)) {
     return EntryStatus::Missing;
   }
-  // The final 8 bytes authenticate everything before them.
-  if (bytes.size() < kMagic.size() + 8) {
+  const auto bytes = file.bytes();
+  // The final 8 bytes authenticate everything before them. The magic is
+  // checked before the hash so a foreign or misframed file reports as
+  // Corrupt (it was never an entry) while a bit-flipped real entry reports
+  // as HashMismatch (it was, and rotted).
+  if (bytes.size() < kMagic.size() + 8 ||
+      bytes.substr(0, kMagic.size()) != kMagic) {
     return EntryStatus::Corrupt;
   }
-  const std::string_view framed(bytes.data(), bytes.size() - 8);
-  util::ByteReader trailer(
-      std::string_view(bytes.data() + framed.size(), 8));
-  if (util::Fnv1a64().str(framed).digest() != trailer.u64()) {
-    return EntryStatus::Corrupt;
+  const auto framed = bytes.substr(0, bytes.size() - 8);
+  util::ByteReader trailer(bytes.substr(framed.size()));
+  if (util::fnv1a64_lanes(framed) != trailer.u64()) {
+    return EntryStatus::HashMismatch;
   }
   try {
     util::ByteReader in(framed);
-    std::string magic;
-    for (std::size_t i = 0; i < kMagic.size(); ++i) {
-      magic.push_back(static_cast<char>(in.u8()));
-    }
-    if (magic != kMagic) {
-      return EntryStatus::Corrupt;
-    }
+    in.skip(kMagic.size());
     if (in.u32() != kFormatVersion) {
       return EntryStatus::VersionMismatch;
     }
@@ -92,15 +73,29 @@ EntryStatus read_entry_file(const std::filesystem::path& path,
         kind != static_cast<std::uint8_t>(EntryKind::Program)) {
       return EntryStatus::Corrupt;
     }
-    frame.kind = static_cast<EntryKind>(kind);
-    frame.fingerprint = in.u64();
-    frame.key = in.str();
-    frame.payload = in.str();
+    view.kind = static_cast<EntryKind>(kind);
+    view.fingerprint = in.u64();
+    view.key = in.str_view();
+    view.payload = in.str_view();
     in.expect_end();
   } catch (const Error&) {
     return EntryStatus::Corrupt;
   }
   return EntryStatus::Ok;
+}
+
+EntryStatus read_entry_file(const std::filesystem::path& path,
+                            EntryFrame& frame) {
+  util::MmapFile file;
+  EntryView view;
+  const auto status = read_entry_view(path, file, view);
+  if (status == EntryStatus::Ok) {
+    frame.kind = view.kind;
+    frame.fingerprint = view.fingerprint;
+    frame.key = std::string(view.key);
+    frame.payload = std::string(view.payload);
+  }
+  return status;
 }
 
 DiskStore::DiskStore(std::filesystem::path root) : root_(std::move(root)) {
@@ -119,20 +114,34 @@ DiskStore::DiskStore(std::filesystem::path root) : root_(std::move(root)) {
                 !readable_ec,
             "store: cannot create cache directory '" + root_.string() +
                 "': " + ec.message());
-    writable_ = false;
-    return;
+    writable_state_.store(kReadOnly);
   }
-  // Probe writability up front: an existing skeleton whose files this
-  // process cannot write (read-only mount, permissions) must degrade to
-  // read-through — visibly, via the write-failure counter — instead of
-  // attempting and swallowing every write.
-  const auto probe =
-      root_ / "tmp" / (".probe." + std::to_string(::getpid()));
-  {
-    std::ofstream os(probe, std::ios::binary | std::ios::trunc);
-    writable_ = os.put('w').good();
+  // A created/existing skeleton does not prove files are writable (read-only
+  // remounts, permissions); that is probed lazily on the first write so a
+  // purely-read-through consumer never touches the disk for it.
+}
+
+bool DiskStore::writable() const {
+  int state = writable_state_.load(std::memory_order_acquire);
+  if (state == kWritableUnknown) {
+    // Probe by writing and removing a uniquely-named temp file. A racing
+    // probe from another thread lands on the same answer, so last-write-wins
+    // is fine.
+    static std::atomic<std::uint64_t> probe_sequence{0};
+    const auto probe =
+        root_ / "tmp" /
+        (".probe." + std::to_string(::getpid()) + "." +
+         std::to_string(probe_sequence.fetch_add(1)));
+    bool ok = false;
+    {
+      std::ofstream os(probe, std::ios::binary | std::ios::trunc);
+      ok = os.put('w').good();
+    }
+    remove_quietly(probe);
+    state = ok ? kWritable : kReadOnly;
+    writable_state_.store(state, std::memory_order_release);
   }
-  remove_quietly(probe);
+  return state == kWritable;
 }
 
 std::filesystem::path DiskStore::entry_path(EntryKind kind,
@@ -142,18 +151,21 @@ std::filesystem::path DiskStore::entry_path(EntryKind kind,
   return objects_dir(root_) / name.substr(0, 2) / name;
 }
 
-std::optional<std::string> DiskStore::load_payload(EntryKind kind,
-                                                   std::uint64_t fingerprint,
-                                                   const std::string& key) {
-  const auto path = entry_path(kind, fingerprint, key);
-  EntryFrame frame;
-  switch (read_entry_file(path, frame)) {
+bool DiskStore::load_entry_view(EntryKind kind, std::uint64_t fingerprint,
+                                const std::string& key,
+                                const std::filesystem::path& path,
+                                util::MmapFile& file, EntryView& view,
+                                IoScratch* scratch) {
+  switch (read_entry_view(path, file, view,
+                          scratch != nullptr ? &scratch->read_buffer
+                                             : nullptr)) {
     case EntryStatus::Missing:
       // Absent, or unlinked between directory ops by a concurrent gc —
       // either way a plain miss, never "corruption".
       load_misses_.fetch_add(1);
-      return std::nullopt;
+      return false;
     case EntryStatus::Corrupt:
+    case EntryStatus::HashMismatch:
       // The eviction counters claim deletion, so bump them only when the
       // unlink succeeds (a read-only store keeps the damaged file and
       // surfaces the situation through its write-failure counter instead).
@@ -161,41 +173,45 @@ std::optional<std::string> DiskStore::load_payload(EntryKind kind,
         evicted_corrupt_.fetch_add(1);
       }
       load_misses_.fetch_add(1);
-      return std::nullopt;
+      return false;
     case EntryStatus::VersionMismatch:
       if (remove_quietly(path)) {
         evicted_version_.fetch_add(1);
       }
       load_misses_.fetch_add(1);
-      return std::nullopt;
+      return false;
     case EntryStatus::Ok:
       break;
   }
   // A content-address hash collision surfaces as a header mismatch: the
   // resident entry belongs to another key, so this lookup is a plain miss
   // (a later write-through will replace the file).
-  if (frame.kind != kind || frame.fingerprint != fingerprint ||
-      frame.key != key) {
+  if (view.kind != kind || view.fingerprint != fingerprint ||
+      view.key != key) {
     load_misses_.fetch_add(1);
-    return std::nullopt;
+    return false;
   }
-  return std::move(frame.payload);
+  return true;
 }
 
 std::optional<RewritePayload> DiskStore::load_rewrite(
-    std::uint64_t fingerprint, const std::string& key) {
-  auto payload = load_payload(EntryKind::Rewrite, fingerprint, key);
-  if (!payload) {
+    std::uint64_t fingerprint, const std::string& key, IoScratch* scratch) {
+  const auto path = entry_path(EntryKind::Rewrite, fingerprint, key);
+  util::MmapFile file;
+  EntryView view;
+  if (!load_entry_view(EntryKind::Rewrite, fingerprint, key, path, file, view,
+                       scratch)) {
     return std::nullopt;
   }
   try {
-    auto decoded = decode_rewrite_payload(*payload);
+    // Decodes straight out of the mapping; `file` stays alive until return.
+    auto decoded = decode_rewrite_payload(view.payload);
     rewrite_loads_.fetch_add(1);
     return decoded;
   } catch (const std::exception&) {
     // Authenticated frame but undecodable payload (e.g. a policy key this
     // build no longer registers): evict and recompute.
-    if (remove_quietly(entry_path(EntryKind::Rewrite, fingerprint, key))) {
+    if (remove_quietly(path)) {
       evicted_corrupt_.fetch_add(1);
     }
     load_misses_.fetch_add(1);
@@ -204,17 +220,21 @@ std::optional<RewritePayload> DiskStore::load_rewrite(
 }
 
 std::optional<ProgramPayload> DiskStore::load_program(
-    std::uint64_t fingerprint, const std::string& key) {
-  auto payload = load_payload(EntryKind::Program, fingerprint, key);
-  if (!payload) {
+    std::uint64_t fingerprint, const std::string& key, IoScratch* scratch,
+    const core::PipelineConfig* config) {
+  const auto path = entry_path(EntryKind::Program, fingerprint, key);
+  util::MmapFile file;
+  EntryView view;
+  if (!load_entry_view(EntryKind::Program, fingerprint, key, path, file, view,
+                       scratch)) {
     return std::nullopt;
   }
   try {
-    auto decoded = decode_program_payload(*payload);
+    auto decoded = decode_program_payload(view.payload, config, key);
     program_loads_.fetch_add(1);
     return decoded;
   } catch (const std::exception&) {
-    if (remove_quietly(entry_path(EntryKind::Program, fingerprint, key))) {
+    if (remove_quietly(path)) {
       evicted_corrupt_.fetch_add(1);
     }
     load_misses_.fetch_add(1);
@@ -222,21 +242,30 @@ std::optional<ProgramPayload> DiskStore::load_program(
   }
 }
 
+template <typename EncodePayload>
 bool DiskStore::write_entry(EntryKind kind, std::uint64_t fingerprint,
-                            const std::string& key,
-                            std::string_view payload) {
-  if (!writable_) {
+                            const std::string& key, IoScratch* scratch,
+                            EncodePayload&& encode_payload) {
+  if (!writable()) {
     store_failures_.fetch_add(1);
     return false;
   }
-  util::ByteWriter out;
-  out.raw(kMagic)
-      .u32(kFormatVersion)
+  // The whole frame — header, payload, trailer — is encoded into one buffer
+  // (recycled from the scratch when provided): the payload length field is
+  // framed first and patched once the payload's size is known.
+  util::ByteWriter out(scratch != nullptr ? std::move(scratch->write_buffer)
+                                          : std::string{});
+  out.raw(kMagic);
+  out.u32(kFormatVersion)
       .u8(static_cast<std::uint8_t>(kind))
       .u64(fingerprint)
       .str(key);
-  out.str(payload);
-  out.u64(util::Fnv1a64().str(out.bytes()).digest());
+  const auto length_offset = out.size();
+  out.u32(0);  // payload byte length, patched below
+  encode_payload(out);
+  out.patch_u32(length_offset,
+                static_cast<std::uint32_t>(out.size() - length_offset - 4));
+  out.u64(util::fnv1a64_lanes(out.bytes()));
 
   const auto path = entry_path(kind, fingerprint, key);
   // PID + process-wide sequence: concurrent writers — any thread or
@@ -248,11 +277,21 @@ bool DiskStore::write_entry(EntryKind kind, std::uint64_t fingerprint,
                    (path.filename().string() + "." +
                     std::to_string(::getpid()) + "." +
                     std::to_string(tmp_sequence.fetch_add(1)) + ".tmp");
+  const auto finish = [&](bool ok) {
+    if (scratch != nullptr) {
+      scratch->write_buffer = out.take();
+    }
+    if (ok) {
+      stores_.fetch_add(1);
+    } else {
+      store_failures_.fetch_add(1);
+    }
+    return ok;
+  };
   std::error_code ec;
   std::filesystem::create_directories(path.parent_path(), ec);
   if (ec) {
-    store_failures_.fetch_add(1);
-    return false;
+    return finish(false);
   }
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
@@ -260,8 +299,7 @@ bool DiskStore::write_entry(EntryKind kind, std::uint64_t fingerprint,
              static_cast<std::streamsize>(out.bytes().size()));
     if (!os.good()) {
       remove_quietly(tmp);
-      store_failures_.fetch_add(1);
-      return false;
+      return finish(false);
     }
   }
   // rename within one filesystem is atomic: concurrent readers see either
@@ -269,26 +307,31 @@ bool DiskStore::write_entry(EntryKind kind, std::uint64_t fingerprint,
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     remove_quietly(tmp);
-    store_failures_.fetch_add(1);
-    return false;
+    return finish(false);
   }
-  stores_.fetch_add(1);
-  return true;
+  return finish(true);
 }
 
 bool DiskStore::store_rewrite(std::uint64_t fingerprint,
                               const std::string& key, const mig::Mig& graph,
-                              const mig::RewriteStats& stats) {
-  return write_entry(EntryKind::Rewrite, fingerprint, key,
-                     encode_rewrite_payload(graph, stats));
+                              const mig::RewriteStats& stats,
+                              IoScratch* scratch) {
+  return write_entry(EntryKind::Rewrite, fingerprint, key, scratch,
+                     [&](util::ByteWriter& out) {
+                       encode_rewrite_payload(out, graph, stats);
+                     });
 }
 
 bool DiskStore::store_program(std::uint64_t fingerprint,
                               const std::string& key, const mig::Mig& prepared,
                               const mig::RewriteStats& rewrite_stats,
-                              const core::EnduranceReport& report) {
-  return write_entry(EntryKind::Program, fingerprint, key,
-                     encode_program_payload(prepared, rewrite_stats, report));
+                              const core::EnduranceReport& report,
+                              IoScratch* scratch) {
+  return write_entry(EntryKind::Program, fingerprint, key, scratch,
+                     [&](util::ByteWriter& out) {
+                       encode_program_payload(out, prepared, rewrite_stats,
+                                              report);
+                     });
 }
 
 StoreCounters DiskStore::counters() const {

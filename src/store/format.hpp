@@ -12,7 +12,11 @@ inline constexpr std::string_view kMagic = "RLIM";
 /// (Mig, Program, EnduranceReport, entry framing, ...); readers treat any
 /// other version as a miss and evict the entry, so sweeps transparently
 /// recompute after an upgrade instead of decoding stale bytes.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: MIG and Program payloads moved to the mmap-friendly sectioned layout
+/// (header of counts + bulk little-endian sections), the frame trailer
+/// switched to the 8-byte-lane FNV variant, and the MIG fingerprint to the
+/// u32-lane variant — v1 entries are evicted and recomputed on first touch.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// What an entry file holds. Part of the content address, so the two cache
 /// levels never alias even for equal (fingerprint, key) pairs.

@@ -162,37 +162,44 @@ VerifyResult Gc::verify() {
   VerifyResult result;
   std::vector<EntryInfo> survivors;
   for (auto& info : scan()) {
-    EntryFrame frame;
-    const auto status = read_entry_file(info.path, frame);
+    util::MmapFile file;
+    EntryView view;
+    const auto status = read_entry_view(info.path, file, view);
     if (status == EntryStatus::Missing) {
       // Unlinked between the scan and the read by concurrent maintenance —
       // nothing left to judge.
       continue;
     }
     ++result.scanned;
-    if (status == EntryStatus::VersionMismatch) {
+    const auto evict = [&](std::size_t& counter) {
       remove_quietly(info.path);
-      ++result.evicted_version;
+      ++counter;
+      result.evicted_bytes += info.size;
+    };
+    if (status == EntryStatus::VersionMismatch) {
+      evict(result.evicted_version);
       continue;
     }
-    bool ok = status == EntryStatus::Ok;
-    if (ok) {
-      try {
-        if (frame.kind == EntryKind::Rewrite) {
-          (void)decode_rewrite_payload(frame.payload);
-        } else {
-          (void)decode_program_payload(frame.payload);
-        }
-      } catch (const std::exception&) {
-        ok = false;
-      }
+    if (status == EntryStatus::Corrupt) {
+      evict(result.evicted_map);
+      continue;
     }
-    if (!ok) {
-      remove_quietly(info.path);
-      ++result.evicted_corrupt;
+    if (status == EntryStatus::HashMismatch) {
+      evict(result.evicted_hash);
+      continue;
+    }
+    try {
+      if (view.kind == EntryKind::Rewrite) {
+        (void)decode_rewrite_payload(view.payload);
+      } else {
+        (void)decode_program_payload(view.payload);
+      }
+    } catch (const std::exception&) {
+      evict(result.evicted_decode);
       continue;
     }
     ++result.ok;
+    result.ok_bytes += info.size;
     survivors.push_back(std::move(info));
   }
   write_manifest(survivors);

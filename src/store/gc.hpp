@@ -48,8 +48,22 @@ struct GcResult {
 struct VerifyResult {
   std::size_t scanned = 0;
   std::size_t ok = 0;
-  std::size_t evicted_corrupt = 0;
+  std::uint64_t ok_bytes = 0;  ///< total file size of the intact entries
+  /// Map-validation failures: short file, bad magic/kind, misframed
+  /// sections — rejected before any payload work.
+  std::size_t evicted_map = 0;
+  /// Whole-frame integrity-hash mismatches (bit rot on intact framing).
+  std::size_t evicted_hash = 0;
+  /// Authenticated frames whose payload no longer decodes (e.g. a policy
+  /// key this build does not register).
+  std::size_t evicted_decode = 0;
   std::size_t evicted_version = 0;
+  std::uint64_t evicted_bytes = 0;  ///< file bytes reclaimed by evictions
+
+  /// Every eviction that is damage rather than a version skew.
+  [[nodiscard]] std::size_t evicted_corrupt() const {
+    return evicted_map + evicted_hash + evicted_decode;
+  }
 };
 
 /// Offline maintenance over a DiskStore root: size/age-capped garbage

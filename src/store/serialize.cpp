@@ -1,6 +1,7 @@
 #include "store/serialize.hpp"
 
 #include <array>
+#include <type_traits>
 
 #include "core/config.hpp"
 #include "util/error.hpp"
@@ -9,56 +10,79 @@ namespace rlim::store {
 
 // ---- mig::Mig --------------------------------------------------------------
 
+namespace {
+
+/// Exact byte size of the sections a header with these counts describes.
+/// Computed in 64 bits so hostile counts cannot wrap the validation.
+std::uint64_t mig_sections_bytes(std::uint32_t num_pis, std::uint32_t num_gates,
+                                 std::uint32_t num_pos,
+                                 std::uint32_t pi_pool_bytes,
+                                 std::uint32_t po_pool_bytes) {
+  return 4ull * num_pis + pi_pool_bytes + 4ull * num_pos + po_pool_bytes +
+         12ull * num_gates + 4ull * num_pos;
+}
+
+}  // namespace
+
 void encode(util::ByteWriter& out, const mig::Mig& graph) {
-  out.u32(graph.num_pis());
-  for (std::uint32_t pi = 0; pi < graph.num_pis(); ++pi) {
-    out.str(graph.pi_name(pi));
-  }
-  out.u32(graph.num_gates());
-  for (std::uint32_t gate = graph.first_gate(); gate < graph.num_nodes();
-       ++gate) {
-    for (const auto fanin : graph.fanins(gate)) {
-      out.u32(fanin.raw());
-    }
-  }
-  out.u32(graph.num_pos());
-  for (std::uint32_t po = 0; po < graph.num_pos(); ++po) {
-    out.u32(graph.po_at(po).raw());
-    out.str(graph.po_name(po));
-  }
+  const auto& pi_names = graph.pi_names();
+  const auto& po_names = graph.po_names();
+  const auto num_pis = graph.num_pis();
+  const auto num_gates = graph.num_gates();
+  const auto num_pos = graph.num_pos();
+  const auto pi_pool_bytes = static_cast<std::uint32_t>(pi_names.pool().size());
+  const auto po_pool_bytes = static_cast<std::uint32_t>(po_names.pool().size());
+  out.u32(num_pis).u32(num_gates).u32(num_pos);
+  out.u32(pi_pool_bytes).u32(po_pool_bytes);
+  out.u32(static_cast<std::uint32_t>(mig_sections_bytes(
+      num_pis, num_gates, num_pos, pi_pool_bytes, po_pool_bytes)));
+  out.u32_array(pi_names.ends().data(), num_pis);
+  out.raw(pi_names.pool());
+  out.u32_array(po_names.ends().data(), num_pos);
+  out.raw(po_names.pool());
+  // Signal is a trivially-copyable u32 wrapper (static_asserted in mig.cpp),
+  // so the fanin arena and PO list serialize as flat u32 sections.
+  out.u32_array(reinterpret_cast<const std::uint32_t*>(
+                    graph.gate_fanins().data()),
+                3ull * num_gates);
+  out.u32_array(reinterpret_cast<const std::uint32_t*>(graph.pos().data()),
+                num_pos);
   out.u64(graph.fingerprint());
 }
 
 mig::Mig decode_mig(util::ByteReader& in) {
-  mig::Mig graph;
   const auto num_pis = in.u32();
-  for (std::uint32_t pi = 0; pi < num_pis; ++pi) {
-    graph.create_pi(in.str());
-  }
   const auto num_gates = in.u32();
-  for (std::uint32_t gate = 0; gate < num_gates; ++gate) {
-    const auto expected = graph.num_nodes();
-    std::array<mig::Signal, 3> fanin;
-    for (auto& signal : fanin) {
-      const auto raw = in.u32();
-      require(mig::Signal::from_raw(raw).index() < expected,
-              "store: MIG gate references a node after itself");
-      signal = mig::Signal::from_raw(raw);
-    }
-    // Stored gates were created through create_maj, so replaying them must
-    // produce a *new* node at the same index: a trivially simplifiable or
-    // duplicate gate here means the bytes are not a graph this library built.
-    const auto rebuilt = graph.create_maj(fanin[0], fanin[1], fanin[2]);
-    require(rebuilt.index() == expected && !rebuilt.is_complemented(),
-            "store: MIG gate does not replay structurally");
-  }
   const auto num_pos = in.u32();
-  for (std::uint32_t po = 0; po < num_pos; ++po) {
-    const auto raw = in.u32();
-    require(mig::Signal::from_raw(raw).index() < graph.num_nodes(),
-            "store: MIG PO references unknown node");
-    graph.create_po(mig::Signal::from_raw(raw), in.str());
-  }
+  const auto pi_pool_bytes = in.u32();
+  const auto po_pool_bytes = in.u32();
+  const auto declared = in.u32();
+  const auto expected = mig_sections_bytes(num_pis, num_gates, num_pos,
+                                           pi_pool_bytes, po_pool_bytes);
+  require(declared == expected,
+          "store: MIG section table inconsistent with header counts");
+  // Bound every count by the actual bytes present before sizing any arena,
+  // so a corrupt header cannot demand a huge allocation.
+  require(expected + 8 <= in.remaining(), "store: truncated MIG sections");
+
+  std::vector<std::uint32_t> pi_ends(num_pis);
+  in.u32_array(pi_ends.data(), num_pis);
+  std::string pi_pool{in.view(pi_pool_bytes)};
+  std::vector<std::uint32_t> po_ends(num_pos);
+  in.u32_array(po_ends.data(), num_pos);
+  std::string po_pool{in.view(po_pool_bytes)};
+
+  mig::Mig::RawGraph raw;
+  raw.num_pis = num_pis;
+  raw.fanins.resize(num_gates);
+  in.u32_array(reinterpret_cast<std::uint32_t*>(raw.fanins.data()),
+               3ull * num_gates);
+  raw.pos.resize(num_pos);
+  in.u32_array(reinterpret_cast<std::uint32_t*>(raw.pos.data()), num_pos);
+  raw.pi_names = mig::NamePool::adopt(std::move(pi_pool), std::move(pi_ends));
+  raw.po_names = mig::NamePool::adopt(std::move(po_pool), std::move(po_ends));
+
+  auto graph = mig::Mig::adopt_raw(std::move(raw));
   require(graph.fingerprint() == in.u64(),
           "store: MIG fingerprint mismatch after decode");
   return graph;
@@ -108,70 +132,48 @@ util::WriteStats decode_write_stats(util::ByteReader& in) {
 
 // ---- plim::Program ---------------------------------------------------------
 
-namespace {
-
-void encode_operand(util::ByteWriter& out, plim::Operand operand) {
-  if (operand.is_constant()) {
-    out.u8(operand.constant_value() ? 2 : 1);
-  } else {
-    out.u8(0).u32(operand.cell_index());
-  }
-}
-
-plim::Operand decode_operand(util::ByteReader& in) {
-  switch (in.u8()) {
-    case 0:
-      return plim::Operand::cell(in.u32());
-    case 1:
-      return plim::Operand::constant(false);
-    case 2:
-      return plim::Operand::constant(true);
-    default:
-      throw Error("store: bad operand tag");
-  }
-}
-
-}  // namespace
+// An Instruction is three u32 words ({a, b} operand words + destination
+// cell), so the instruction stream serializes as one contiguous
+// little-endian u32 section — the same bulk-copy discipline as the MIG
+// fanin arena. The asserts pin the layout the reinterpret_casts rely on.
+static_assert(sizeof(plim::Operand) == 4 && alignof(plim::Operand) == 4);
+static_assert(sizeof(plim::Instruction) == 12 &&
+              alignof(plim::Instruction) == 4);
+static_assert(std::is_trivially_copyable_v<plim::Instruction>);
 
 void encode(util::ByteWriter& out, const plim::Program& program) {
-  out.u32(static_cast<std::uint32_t>(program.size()));
-  for (const auto& instruction : program.instructions()) {
-    encode_operand(out, instruction.a);
-    encode_operand(out, instruction.b);
-    out.u32(instruction.z);
-  }
+  const auto instructions = program.instructions();
+  out.u32(static_cast<std::uint32_t>(instructions.size()));
   out.u32(static_cast<std::uint32_t>(program.pi_cells().size()));
-  for (const auto cell : program.pi_cells()) {
-    out.u32(cell);
-  }
   out.u32(static_cast<std::uint32_t>(program.po_cells().size()));
-  for (const auto cell : program.po_cells()) {
-    out.u32(cell);
-  }
   out.u32(program.num_cells());
+  out.u32_array(reinterpret_cast<const std::uint32_t*>(instructions.data()),
+                3 * instructions.size());
+  out.u32_array(program.pi_cells().data(), program.pi_cells().size());
+  out.u32_array(program.po_cells().data(), program.po_cells().size());
 }
 
 plim::Program decode_program(util::ByteReader& in) {
-  plim::Program program;
+  plim::Program::RawProgram raw;
   const auto instructions = in.u32();
-  for (std::uint32_t i = 0; i < instructions; ++i) {
-    const auto a = decode_operand(in);
-    const auto b = decode_operand(in);
-    program.append({a, b, in.u32()});
-  }
   const auto pis = in.u32();
-  for (std::uint32_t i = 0; i < pis; ++i) {
-    program.bind_pi(in.u32());
-  }
   const auto pos = in.u32();
-  for (std::uint32_t i = 0; i < pos; ++i) {
-    program.bind_po(in.u32());
-  }
-  // set_num_cells rejects a stored cell space smaller than the references
-  // already seen — another way damaged bytes fail instead of mis-decoding.
-  program.set_num_cells(in.u32());
-  program.validate();
-  return program;
+  raw.num_cells = in.u32();
+  // Reject hostile counts against the actual bytes present before sizing
+  // any allocation (64-bit math, immune to count overflow).
+  const auto expected =
+      4 * (3 * static_cast<std::uint64_t>(instructions) + pis + pos);
+  require(expected <= in.remaining(),
+          "store: program sections exceed payload size");
+  raw.instructions.resize(instructions);
+  in.u32_array(reinterpret_cast<std::uint32_t*>(raw.instructions.data()),
+               3 * static_cast<std::size_t>(instructions));
+  raw.pi_cells.resize(pis);
+  in.u32_array(raw.pi_cells.data(), pis);
+  raw.po_cells.resize(pos);
+  in.u32_array(raw.po_cells.data(), pos);
+  // adopt_raw re-validates everything a replayed build would have enforced.
+  return plim::Program::adopt_raw(std::move(raw));
 }
 
 // ---- core::EnduranceReport -------------------------------------------------
@@ -187,10 +189,17 @@ void encode(util::ByteWriter& out, const core::EnduranceReport& report) {
   encode(out, report.program);
 }
 
-core::EnduranceReport decode_report(util::ByteReader& in) {
+core::EnduranceReport decode_report(util::ByteReader& in,
+                                    const core::PipelineConfig* expected_config,
+                                    std::string_view expected_key) {
   core::EnduranceReport report;
   report.benchmark = in.str();
-  report.config = core::PipelineConfig::parse(in.str());
+  const auto key = in.str_view();
+  if (expected_config != nullptr && key == expected_key) {
+    report.config = *expected_config;
+  } else {
+    report.config = core::PipelineConfig::parse(key);
+  }
   report.instructions = in.u64();
   report.rrams = in.u64();
   report.writes = decode_write_stats(in);
@@ -202,11 +211,24 @@ core::EnduranceReport decode_report(util::ByteReader& in) {
 
 // ---- store payloads --------------------------------------------------------
 
+void encode_rewrite_payload(util::ByteWriter& out, const mig::Mig& graph,
+                            const mig::RewriteStats& stats) {
+  encode(out, graph);
+  encode(out, stats);
+}
+
+void encode_program_payload(util::ByteWriter& out, const mig::Mig& prepared,
+                            const mig::RewriteStats& rewrite_stats,
+                            const core::EnduranceReport& report) {
+  encode(out, prepared);
+  encode(out, rewrite_stats);
+  encode(out, report);
+}
+
 std::string encode_rewrite_payload(const mig::Mig& graph,
                                    const mig::RewriteStats& stats) {
   util::ByteWriter out;
-  encode(out, graph);
-  encode(out, stats);
+  encode_rewrite_payload(out, graph, stats);
   return out.take();
 }
 
@@ -214,9 +236,7 @@ std::string encode_program_payload(const mig::Mig& prepared,
                                    const mig::RewriteStats& rewrite_stats,
                                    const core::EnduranceReport& report) {
   util::ByteWriter out;
-  encode(out, prepared);
-  encode(out, rewrite_stats);
-  encode(out, report);
+  encode_program_payload(out, prepared, rewrite_stats, report);
   return out.take();
 }
 
@@ -238,12 +258,14 @@ RewritePayload decode_rewrite_payload(std::string_view bytes) {
   return payload;
 }
 
-ProgramPayload decode_program_payload(std::string_view bytes) {
+ProgramPayload decode_program_payload(std::string_view bytes,
+                                      const core::PipelineConfig* expected_config,
+                                      std::string_view expected_key) {
   util::ByteReader in(bytes);
   ProgramPayload payload;
   payload.prepared = decode_mig(in);
   payload.rewrite_stats = decode_rewrite_stats(in);
-  payload.report = decode_report(in);
+  payload.report = decode_report(in, expected_config, expected_key);
   in.expect_end();
   return payload;
 }

@@ -22,13 +22,25 @@ namespace rlim::store {
 
 // ---- mig::Mig --------------------------------------------------------------
 
-/// Layout: num_pis, pi names, num_gates, 3 raw fanin signals per gate in
-/// topological order, POs (raw signal + name), then the graph's fingerprint.
+/// mmap-friendly sectioned layout (format v2): a fixed-width header of
+/// little-endian u32 counts and section sizes —
+///   num_pis, num_gates, num_pos, pi_pool_bytes, po_pool_bytes,
+///   sections_bytes
+/// — followed by the graph's arena sections back-to-back, each a bulk
+/// little-endian dump of contiguous storage:
+///   pi name ends (num_pis × u32), pi name pool bytes,
+///   po name ends (num_pos × u32), po name pool bytes,
+///   gate fanins (3·num_gates × u32, topological order),
+///   po signals (num_pos × u32)
+/// and finally the graph's u64 fingerprint. `sections_bytes` must equal the
+/// size the counts imply, so a reader validates the whole section table
+/// against the header before touching any section.
 void encode(util::ByteWriter& out, const mig::Mig& graph);
 
-/// Rebuilds the graph through the ordinary construction API (so every strash
-/// and simplification invariant holds) and verifies the embedded fingerprint
-/// — a decode that does not reproduce the exact stored structure throws.
+/// Bulk-reads the sections into arena storage and reconstitutes the graph
+/// through Mig::adopt_raw (which re-validates every structural invariant
+/// the construction API enforces), then verifies the embedded fingerprint —
+/// a decode that does not reproduce the exact stored structure throws.
 [[nodiscard]] mig::Mig decode_mig(util::ByteReader& in);
 
 // ---- small records ---------------------------------------------------------
@@ -41,8 +53,14 @@ void encode(util::ByteWriter& out, const util::WriteStats& stats);
 
 // ---- plim::Program ---------------------------------------------------------
 
+/// Sectioned like the MIG (format v2): a u32 header —
+///   num_instructions, num_pis, num_pos, num_cells
+/// — then bulk little-endian u32 sections: the instruction stream
+/// (3·num_instructions words: operand a, operand b, destination cell per
+/// instruction), PI cell bindings, PO cell bindings.
 void encode(util::ByteWriter& out, const plim::Program& program);
-/// Validates the rebuilt program (all references inside the cell space).
+/// Bulk-reads the sections and reconstitutes through Program::adopt_raw
+/// (canonical operand words, every reference inside the cell space).
 [[nodiscard]] plim::Program decode_program(util::ByteReader& in);
 
 // ---- core::EnduranceReport -------------------------------------------------
@@ -51,8 +69,15 @@ void encode(util::ByteWriter& out, const plim::Program& program);
 /// entry written under a policy key this build no longer registers fails to
 /// decode (and the store treats it as corrupt) instead of resurrecting an
 /// unconstructible config.
+///
+/// The cache load path already holds the parsed config whose canonical key
+/// addressed the entry; passing it (with its key) skips the per-load spec
+/// re-parse — the stored key is string-compared against `expected_key` and
+/// any disagreement falls back to the full parse-and-validate path.
 void encode(util::ByteWriter& out, const core::EnduranceReport& report);
-[[nodiscard]] core::EnduranceReport decode_report(util::ByteReader& in);
+[[nodiscard]] core::EnduranceReport decode_report(
+    util::ByteReader& in, const core::PipelineConfig* expected_config = nullptr,
+    std::string_view expected_key = {});
 
 // ---- store payloads --------------------------------------------------------
 
@@ -70,7 +95,14 @@ struct ProgramPayload {
 };
 
 /// The single definition of each payload layout — DiskStore write-throughs
-/// and the payload-struct overloads below all produce these bytes.
+/// and the payload-struct overloads below all produce these bytes. The
+/// ByteWriter overloads append in place (the store's single-buffer frame
+/// encoder); the string overloads are one-shot conveniences.
+void encode_rewrite_payload(util::ByteWriter& out, const mig::Mig& graph,
+                            const mig::RewriteStats& stats);
+void encode_program_payload(util::ByteWriter& out, const mig::Mig& prepared,
+                            const mig::RewriteStats& rewrite_stats,
+                            const core::EnduranceReport& report);
 [[nodiscard]] std::string encode_rewrite_payload(
     const mig::Mig& graph, const mig::RewriteStats& stats);
 [[nodiscard]] std::string encode_program_payload(
@@ -80,6 +112,10 @@ struct ProgramPayload {
 [[nodiscard]] std::string encode_payload(const RewritePayload& payload);
 [[nodiscard]] std::string encode_payload(const ProgramPayload& payload);
 [[nodiscard]] RewritePayload decode_rewrite_payload(std::string_view bytes);
-[[nodiscard]] ProgramPayload decode_program_payload(std::string_view bytes);
+/// `expected_config`/`expected_key` forward to decode_report (see above).
+[[nodiscard]] ProgramPayload decode_program_payload(
+    std::string_view bytes,
+    const core::PipelineConfig* expected_config = nullptr,
+    std::string_view expected_key = {});
 
 }  // namespace rlim::store

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -12,30 +13,58 @@ namespace rlim::util {
 /// Append-only binary encoder used by the rlim::store on-disk format.
 /// Everything is little-endian and fixed-width, independent of host byte
 /// order, so entries written on one machine decode on any other.
+///
+/// The buffer is recyclable: construct with a moved-in string to reuse its
+/// capacity (the pooled-worker write path), and take() hands it back.
 class ByteWriter {
 public:
+  ByteWriter() = default;
+  /// Adopts `recycle`'s storage (contents cleared, capacity kept) so
+  /// steady-state encoders allocate nothing per frame.
+  explicit ByteWriter(std::string&& recycle) : buffer_(std::move(recycle)) {
+    buffer_.clear();
+  }
+
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
+
   ByteWriter& u8(std::uint8_t value) {
     buffer_.push_back(static_cast<char>(value));
     return *this;
   }
 
   ByteWriter& u32(std::uint32_t value) {
-    for (int shift = 0; shift < 32; shift += 8) {
-      u8(static_cast<std::uint8_t>(value >> shift));
-    }
+    char bytes[4];
+    store_le32(bytes, value);
+    buffer_.append(bytes, sizeof bytes);
     return *this;
   }
 
   ByteWriter& u64(std::uint64_t value) {
-    for (int shift = 0; shift < 64; shift += 8) {
-      u8(static_cast<std::uint8_t>(value >> shift));
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<char>(static_cast<std::uint8_t>(value >> (8 * i)));
     }
+    buffer_.append(bytes, sizeof bytes);
     return *this;
   }
 
   /// IEEE-754 bit pattern, via the u64 path.
   ByteWriter& f64(double value) {
     return u64(std::bit_cast<std::uint64_t>(value));
+  }
+
+  /// Contiguous little-endian u32 section; one memcpy on little-endian
+  /// hosts. `values` may point at any trivially-copyable 4-byte integral
+  /// wrapper storage (the MIG signal arena) via its uint32 alias.
+  ByteWriter& u32_array(const std::uint32_t* values, std::size_t count) {
+    if constexpr (std::endian::native == std::endian::little) {
+      buffer_.append(reinterpret_cast<const char*>(values), 4 * count);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        u32(values[i]);
+      }
+    }
+    return *this;
   }
 
   /// Length-prefixed (u32) byte string.
@@ -51,52 +80,105 @@ public:
     return *this;
   }
 
+  /// Overwrites the 4 bytes at `offset` with `value` (little-endian) —
+  /// for length fields framed before their payload is encoded, so a frame
+  /// builds in one buffer without an intermediate payload string.
+  void patch_u32(std::size_t offset, std::uint32_t value) {
+    require(offset + 4 <= buffer_.size(), "codec: patch_u32 out of range");
+    store_le32(buffer_.data() + offset, value);
+  }
+
   [[nodiscard]] const std::string& bytes() const { return buffer_; }
   [[nodiscard]] std::string take() { return std::move(buffer_); }
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
 private:
+  static void store_le32(char* dst, std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      dst[i] = static_cast<char>(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
   std::string buffer_;
 };
 
-/// Bounds-checked decoder over a byte view. Every read throws rlim::Error on
-/// truncation instead of reading past the end, so corrupt store entries are
-/// rejected cleanly however they were damaged.
+/// Bounds-checked decoder over a byte view. Every read validates against
+/// remaining() first and throws rlim::Error (with the offset and shortfall
+/// spelled out) on underflow — truncated or bit-flipped store entries are
+/// rejected cleanly however they were damaged, never read past the end.
+/// The view is borrowed: with an mmap-backed source, str_view()/view()
+/// decode zero-copy straight out of the mapping.
 class ByteReader {
 public:
   explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
 
   [[nodiscard]] std::uint8_t u8() {
-    need(1);
+    need(1, "u8");
     return static_cast<std::uint8_t>(bytes_[position_++]);
   }
 
   [[nodiscard]] std::uint32_t u32() {
-    std::uint32_t value = 0;
-    for (int shift = 0; shift < 32; shift += 8) {
-      value |= static_cast<std::uint32_t>(u8()) << shift;
-    }
+    need(4, "u32");
+    const auto value = load_le32(bytes_.data() + position_);
+    position_ += 4;
     return value;
   }
 
   [[nodiscard]] std::uint64_t u64() {
+    need(8, "u64");
     std::uint64_t value = 0;
-    for (int shift = 0; shift < 64; shift += 8) {
-      value |= static_cast<std::uint64_t>(u8()) << shift;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+                   bytes_[position_ + static_cast<std::size_t>(i)]))
+               << (8 * i);
     }
+    position_ += 8;
     return value;
   }
 
   [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
 
-  [[nodiscard]] std::string str() {
-    const auto size = u32();
-    need(size);
-    std::string value(bytes_.substr(position_, size));
-    position_ += size;
-    return value;
+  /// Borrows the next `count` bytes without copying.
+  [[nodiscard]] std::string_view view(std::size_t count) {
+    need(count, "view");
+    const auto result = bytes_.substr(position_, count);
+    position_ += count;
+    return result;
   }
 
+  /// Length-prefixed string, borrowed (valid while the source bytes live).
+  [[nodiscard]] std::string_view str_view() { return view(u32()); }
+
+  /// Length-prefixed string, copied out.
+  [[nodiscard]] std::string str() { return std::string(str_view()); }
+
+  /// Bulk little-endian u32 section into caller storage; one memcpy on
+  /// little-endian hosts. Bounds-checked as a whole before any byte moves.
+  void u32_array(std::uint32_t* dst, std::size_t count) {
+    // remaining()/4 sidesteps any 4*count overflow on absurd counts.
+    if (count > remaining() / 4) {
+      throw Error("codec: truncated input: u32_array needs " +
+                  std::to_string(count) + " elements (4 bytes each), " +
+                  std::to_string(remaining()) + " bytes remaining at offset " +
+                  std::to_string(position_));
+    }
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(dst, bytes_.data() + position_, 4 * count);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        dst[i] = load_le32(bytes_.data() + position_ + 4 * i);
+      }
+    }
+    position_ += 4 * count;
+  }
+
+  /// Skips `count` bytes (bounds-checked like any read).
+  void skip(std::size_t count) {
+    need(count, "skip");
+    position_ += count;
+  }
+
+  [[nodiscard]] std::size_t position() const { return position_; }
   [[nodiscard]] std::size_t remaining() const {
     return bytes_.size() - position_;
   }
@@ -105,12 +187,31 @@ public:
   /// Decoders call this after the last field: trailing garbage is corruption
   /// too, not padding.
   void expect_end() const {
-    require(exhausted(), "codec: trailing bytes after decoded value");
+    require(exhausted(), "codec: " + std::to_string(remaining()) +
+                             " trailing bytes after decoded value");
   }
 
 private:
-  void need(std::size_t count) const {
-    require(count <= remaining(), "codec: truncated input");
+  [[nodiscard]] std::string underflow_message(std::size_t count,
+                                              const char* what) const {
+    return "codec: truncated input: " + std::string(what) + " needs " +
+           std::to_string(count) + " bytes, " + std::to_string(remaining()) +
+           " remaining at offset " + std::to_string(position_);
+  }
+
+  void need(std::size_t count, const char* what) const {
+    if (count > remaining()) {
+      throw Error(underflow_message(count, what));
+    }
+  }
+
+  static std::uint32_t load_le32(const char* src) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(src[i]))
+               << (8 * i);
+    }
+    return value;
   }
 
   std::string_view bytes_;

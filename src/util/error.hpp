@@ -10,10 +10,21 @@ namespace rlim {
 class Error : public std::runtime_error {
 public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const char* what) : std::runtime_error(what) {}
 };
 
 /// Throws rlim::Error with `message` when `condition` is false.
 inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw Error(message);
+  }
+}
+
+/// Literal-message overload: the common hot-path spelling
+/// `require(cond, "...")` must not materialize a std::string (a heap
+/// allocation) on the success path — per-gate validation in the decode
+/// loops calls this millions of times.
+inline void require(bool condition, const char* message) {
   if (!condition) {
     throw Error(message);
   }

@@ -1,0 +1,134 @@
+#include "util/mmap_file.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define RLIM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace rlim::util {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    mapping_ = std::exchange(other.mapping_, nullptr);
+    mapping_size_ = std::exchange(other.mapping_size_, 0);
+    const bool views_owned = other.view_.data() == other.owned_.data();
+    owned_ = std::move(other.owned_);
+    // A fallback view into the owned buffer must follow the buffer's move;
+    // mapped or scratch-backed views are stable.
+    view_ = views_owned ? std::string_view(owned_)
+                        : std::exchange(other.view_, {});
+    other.view_ = {};
+    open_ = std::exchange(other.open_, false);
+  }
+  return *this;
+}
+
+bool MmapFile::mmap_enabled() {
+#ifdef RLIM_HAVE_MMAP
+  static const bool enabled = [] {
+    const char* forced = std::getenv("RLIM_NO_MMAP");
+    return forced == nullptr || std::string_view(forced) == "0";
+  }();
+  return enabled;
+#else
+  return false;
+#endif
+}
+
+void MmapFile::close() {
+#ifdef RLIM_HAVE_MMAP
+  if (mapping_ != nullptr) {
+    ::munmap(mapping_, mapping_size_);
+  }
+#endif
+  mapping_ = nullptr;
+  mapping_size_ = 0;
+  owned_.clear();
+  view_ = {};
+  open_ = false;
+}
+
+bool MmapFile::open(const std::filesystem::path& path, std::string* scratch) {
+  close();
+#ifdef RLIM_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return false;
+  }
+  struct ::stat info {};
+  if (::fstat(fd, &info) != 0 || !S_ISREG(info.st_mode)) {
+    ::close(fd);
+    return false;
+  }
+  const auto size = static_cast<std::size_t>(info.st_size);
+  if (size == 0) {
+    ::close(fd);
+    open_ = true;  // empty file: a valid, empty view
+    return true;
+  }
+  if (mmap_enabled()) {
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps the inode alive
+    if (base == MAP_FAILED) {
+      return false;
+    }
+    mapping_ = base;
+    mapping_size_ = size;
+    view_ = std::string_view(static_cast<const char*>(base), size);
+    open_ = true;
+    return true;
+  }
+  // Plain-read fallback: one sized read into a recyclable buffer.
+  std::string& buffer = scratch != nullptr ? *scratch : owned_;
+  buffer.resize(size);
+  std::size_t done = 0;
+  while (done < size) {
+    const auto got = ::read(fd, buffer.data() + done, size - done);
+    if (got <= 0) {
+      break;  // EOF early (file shrank underneath us) or read error
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  ::close(fd);
+  if (done != size) {
+    buffer.clear();
+    return false;
+  }
+  view_ = std::string_view(buffer.data(), size);
+  open_ = true;
+  return true;
+#else
+  // No mmap on this platform: portable ifstream read into the recyclable
+  // buffer — same contract, just never zero-copy.
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return false;
+  }
+  std::string& buffer = scratch != nullptr ? *scratch : owned_;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return false;
+  }
+  buffer.resize(static_cast<std::size_t>(size));
+  is.read(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (static_cast<std::size_t>(is.gcount()) != buffer.size()) {
+    buffer.clear();
+    return false;
+  }
+  view_ = std::string_view(buffer.data(), buffer.size());
+  open_ = true;
+  return true;
+#endif
+}
+
+}  // namespace rlim::util

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace rlim::util {
+
+/// Read-only view of one whole file, mmap-backed where the platform allows
+/// (mio-style: map the entire file, close the descriptor immediately), with
+/// a plain-read fallback for platforms without mmap and for tests
+/// (`RLIM_NO_MMAP=1` forces the fallback process-wide).
+///
+/// The view's lifetime is the MmapFile's: store readers keep the object
+/// alive while decoding straight out of the mapping, so a load is
+/// map + validate + bulk copy with no intermediate buffer.
+///
+/// Files written under the store's tmp+rename discipline are never mutated
+/// in place, so a mapping observes a stable frame; a concurrently *replaced*
+/// entry keeps the old inode alive until unmap. Movable, not copyable.
+class MmapFile {
+public:
+  MmapFile() = default;
+  ~MmapFile() { close(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Opens and maps `path` read-only. Returns false (leaving *this empty)
+  /// when the file cannot be opened, stat'ed, or read — a missing entry is
+  /// the caller's plain cache miss, not an error. When the fallback read
+  /// path is taken and `scratch` is non-null, the bytes land in *scratch
+  /// (capacity recycled across calls — the pooled-worker case); the view
+  /// then aliases the scratch buffer, which must outlive this object.
+  bool open(const std::filesystem::path& path, std::string* scratch = nullptr);
+
+  /// Unmaps / releases; the object returns to the empty state.
+  void close();
+
+  /// The file's bytes. Empty view when nothing is open (or the file is
+  /// empty — distinguish with is_open()).
+  [[nodiscard]] std::string_view bytes() const { return view_; }
+  [[nodiscard]] bool is_open() const { return open_; }
+  /// True when bytes() aliases a live memory mapping (false on the
+  /// plain-read fallback).
+  [[nodiscard]] bool is_mapped() const { return mapping_ != nullptr; }
+
+  /// False when this process forces the plain-read path (RLIM_NO_MMAP set
+  /// to anything but "0", or no platform support).
+  [[nodiscard]] static bool mmap_enabled();
+
+private:
+  void* mapping_ = nullptr;  ///< live mmap base (page-aligned), or null
+  std::size_t mapping_size_ = 0;
+  std::string owned_;  ///< fallback storage when no scratch was provided
+  std::string_view view_;
+  bool open_ = false;
+};
+
+}  // namespace rlim::util

@@ -511,7 +511,12 @@ TEST(Cli, CacheVerifySignalsRepairedStores) {
   }
   const auto repaired = run_cli({"cache", "verify", "--cache-dir", dir});
   EXPECT_EQ(repaired.code, 2) << repaired.out;
-  EXPECT_NE(repaired.out.find("evicted corrupt"), std::string::npos);
+  // A truncated file fails map validation (it is not even a framed entry),
+  // which verify reports separately from content-hash mismatches.
+  EXPECT_NE(repaired.out.find("evicted map-validation"), std::string::npos)
+      << repaired.out;
+  EXPECT_NE(repaired.out.find("evicted hash-mismatch"), std::string::npos)
+      << repaired.out;
 }
 
 TEST(Cli, CacheRejectsBadUsage) {

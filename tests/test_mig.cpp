@@ -318,5 +318,153 @@ TEST(Mig, FingerprintSeparatesStructures) {
   EXPECT_NE(mig.fingerprint(), inverted.fingerprint());
 }
 
+// ---- degenerate graphs -----------------------------------------------------
+
+TEST(MigDegenerate, EmptyGraphStructuralQueries) {
+  Mig mig;
+  EXPECT_EQ(mig.num_nodes(), 1u);
+  EXPECT_EQ(mig.num_pis(), 0u);
+  EXPECT_EQ(mig.num_gates(), 0u);
+  EXPECT_EQ(mig.num_pos(), 0u);
+  EXPECT_EQ(mig.depth(), 0u);
+  EXPECT_EQ(mig.complement_edge_count(), 0u);
+  const auto levels = mig.levels();
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_EQ(levels[0], 0u);
+  const auto fanouts = mig.fanout_counts();
+  ASSERT_EQ(fanouts.size(), 1u);
+  EXPECT_EQ(fanouts[0], 0u);
+  EXPECT_TRUE(mig.gate_fanins().empty());
+  EXPECT_EQ(mig.reachable_from_pos().size(), 1u);
+  EXPECT_EQ(mig.fingerprint(), Mig().fingerprint());
+}
+
+TEST(MigDegenerate, PiOnlyGraph) {
+  Mig mig;
+  const auto a = mig.create_pi("a");
+  const auto b = mig.create_pi("b");
+  mig.create_po(a, "pass");
+  mig.create_po(!b);
+  EXPECT_EQ(mig.num_gates(), 0u);
+  EXPECT_EQ(mig.depth(), 0u);
+  // Inverter accounting covers gate fanins only; the complemented PO edge is
+  // not a memory write in the RM3 model.
+  EXPECT_EQ(mig.complement_edge_count(), 0u);
+  const auto fanouts = mig.fanout_counts();
+  EXPECT_EQ(fanouts[a.index()], 1u);
+  EXPECT_EQ(fanouts[b.index()], 1u);
+  const auto reachable = mig.reachable_from_pos();
+  EXPECT_TRUE(reachable[a.index()]);
+  EXPECT_TRUE(reachable[b.index()]);
+  // Cleanup on a gate-free graph is the identity (names included).
+  const auto cleaned = mig.cleanup();
+  EXPECT_EQ(cleaned.fingerprint(), mig.fingerprint());
+  EXPECT_EQ(cleaned.num_pis(), 2u);
+  EXPECT_EQ(cleaned.pi_name(0), "a");
+  EXPECT_EQ(cleaned.po_name(0), "pass");
+}
+
+TEST(MigDegenerate, ConstantOnlyPo) {
+  Mig mig;
+  mig.create_po(Mig::get_constant(true), "one");
+  mig.create_po(Mig::get_constant(false));
+  EXPECT_EQ(mig.num_nodes(), 1u);
+  EXPECT_EQ(mig.num_pos(), 2u);
+  EXPECT_EQ(mig.depth(), 0u);
+  // Constant-1 is node 0 complemented; constant edges are excluded from the
+  // inverter count just like complement_count ignores constant fanins.
+  EXPECT_EQ(mig.complement_edge_count(), 0u);
+  const auto fanouts = mig.fanout_counts();
+  EXPECT_EQ(fanouts[0], 2u);
+  EXPECT_TRUE(mig.reachable_from_pos()[0]);
+  const auto cleaned = mig.cleanup();
+  EXPECT_EQ(cleaned.num_pos(), 2u);
+  EXPECT_TRUE(simulate(cleaned, {})[0]);
+  EXPECT_FALSE(simulate(cleaned, {})[1]);
+}
+
+// ---- adopt_raw validation --------------------------------------------------
+
+namespace {
+
+/// Extracts the raw sections of a graph, the same way the store's decoder
+/// produces them.
+Mig::RawGraph raw_of(const Mig& mig) {
+  Mig::RawGraph raw;
+  raw.num_pis = mig.num_pis();
+  raw.fanins.assign(mig.gate_fanins().begin(), mig.gate_fanins().end());
+  raw.pos.assign(mig.pos().begin(), mig.pos().end());
+  raw.pi_names = mig.pi_names();
+  raw.po_names = mig.po_names();
+  return raw;
+}
+
+Mig small_graph() {
+  Mig mig;
+  const auto a = mig.create_pi("a");
+  const auto b = mig.create_pi("b");
+  const auto c = mig.create_pi("c");
+  const auto g = mig.create_maj(a, !b, c);
+  mig.create_po(mig.create_maj(a, g, !c), "out");
+  return mig;
+}
+
+}  // namespace
+
+TEST(MigAdoptRaw, RoundTripsStructureNamesAndMetadata) {
+  const auto original = small_graph();
+  auto adopted = Mig::adopt_raw(raw_of(original));
+  EXPECT_EQ(adopted.fingerprint(), original.fingerprint());
+  EXPECT_EQ(adopted.levels(), original.levels());
+  EXPECT_EQ(adopted.fanout_counts(), original.fanout_counts());
+  EXPECT_EQ(adopted.complement_edge_count(), original.complement_edge_count());
+  EXPECT_EQ(adopted.pi_name(0), "a");
+  EXPECT_EQ(adopted.po_name(0), "out");
+  // The strash table is rebuilt: an adopted gate is found, not duplicated.
+  const auto a = Signal::from_node(1);
+  const auto b = Signal::from_node(2);
+  const auto c = Signal::from_node(3);
+  EXPECT_TRUE(adopted.find_maj(a, !b, c).has_value());
+  const auto before = adopted.num_gates();
+  static_cast<void>(adopted.create_maj(a, !b, c));
+  EXPECT_EQ(adopted.num_gates(), before);
+}
+
+TEST(MigAdoptRaw, RejectsUnsortedOrTrivialFanins) {
+  // Unsorted fanin order violates the Ω.C canonical form.
+  auto raw = raw_of(small_graph());
+  std::swap(raw.fanins[0][0], raw.fanins[0][1]);
+  EXPECT_THROW(static_cast<void>(Mig::adopt_raw(std::move(raw))), Error);
+  // A repeated fanin index is a trivial Ω.M gate that create_maj would have
+  // folded away.
+  raw = raw_of(small_graph());
+  raw.fanins[0][1] = raw.fanins[0][0];
+  EXPECT_THROW(static_cast<void>(Mig::adopt_raw(std::move(raw))), Error);
+}
+
+TEST(MigAdoptRaw, RejectsForwardAndOutOfRangeReferences) {
+  auto raw = raw_of(small_graph());
+  // A gate referencing itself (or any later node) breaks topological order.
+  raw.fanins[0][2] = Signal::from_node(4);
+  EXPECT_THROW(static_cast<void>(Mig::adopt_raw(std::move(raw))), Error);
+  raw = raw_of(small_graph());
+  raw.pos[0] = Signal::from_node(99);
+  EXPECT_THROW(static_cast<void>(Mig::adopt_raw(std::move(raw))), Error);
+}
+
+TEST(MigAdoptRaw, RejectsDuplicateGates) {
+  auto raw = raw_of(small_graph());
+  ASSERT_GE(raw.fanins.size(), 2u);
+  raw.fanins[1] = raw.fanins[0];
+  EXPECT_THROW(static_cast<void>(Mig::adopt_raw(std::move(raw))), Error);
+}
+
+TEST(MigAdoptRaw, RejectsNameCountMismatch) {
+  auto raw = raw_of(small_graph());
+  raw.pi_names = NamePool();
+  raw.pi_names.append("only-one");
+  EXPECT_THROW(static_cast<void>(Mig::adopt_raw(std::move(raw))), Error);
+}
+
 }  // namespace
 }  // namespace rlim::mig

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <random>
 
 #include "benchmarks/arithmetic.hpp"
 #include "core/endurance.hpp"
@@ -150,6 +151,59 @@ TEST(StoreSerialize, TruncatedPayloadThrowsInsteadOfMisdecoding) {
       << "trailing garbage must be rejected";
 }
 
+TEST(StoreSerialize, RandomizedTruncationNeverReadsPastTheEnd) {
+  // Every prefix of a valid payload must throw rlim::Error from the
+  // bounds-checked reader — never crash, hang, or decode. A fixed seed keeps
+  // failures reproducible.
+  ProgramPayload payload{mig::rewrite_endurance(sample_graph(), 2),
+                         sample_stats(), sample_report()};
+  const auto bytes = encode_payload(payload);
+  ASSERT_GT(bytes.size(), 64u);
+  std::mt19937 rng(0x51f0u);
+  for (int i = 0; i < 200; ++i) {
+    const auto keep = rng() % bytes.size();
+    EXPECT_THROW(
+        static_cast<void>(decode_program_payload(bytes.substr(0, keep))),
+        Error)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(StoreSerialize, RejectsInconsistentSectionTable) {
+  const auto graph = sample_graph();
+  util::ByteWriter out;
+  encode(out, graph);
+  auto bytes = out.take();
+  // Offset 20 holds sections_bytes (after the five u32 counts); nudging it
+  // must be caught by the header/section cross-check, not by a misread.
+  ASSERT_GT(bytes.size(), 24u);
+  bytes[20] = static_cast<char>(static_cast<unsigned char>(bytes[20]) + 1);
+  util::ByteReader in(bytes);
+  EXPECT_THROW(static_cast<void>(decode_mig(in)), Error);
+}
+
+TEST(StoreSerialize, RejectsTamperedFaninSection) {
+  // Flip a bit inside the bulk fanin section: the result either violates the
+  // canonical-form validation or no longer matches the embedded fingerprint
+  // — either way decode must throw rather than return a different graph.
+  const auto graph = sample_graph();
+  util::ByteWriter out;
+  encode(out, graph);
+  auto bytes = out.take();
+  const auto num_pis = graph.num_pis();
+  const auto num_pos = graph.num_pos();
+  const std::size_t fanin_offset = 24 + 4ull * num_pis +
+                                   graph.pi_names().pool().size() +
+                                   4ull * num_pos +
+                                   graph.po_names().pool().size();
+  ASSERT_GT(graph.num_gates(), 2u);
+  ASSERT_LT(fanin_offset + 12ull * graph.num_gates(), bytes.size());
+  bytes[fanin_offset] = static_cast<char>(
+      static_cast<unsigned char>(bytes[fanin_offset]) ^ 0x01);
+  util::ByteReader in(bytes);
+  EXPECT_THROW(static_cast<void>(decode_mig(in)), Error);
+}
+
 // ---- disk store ------------------------------------------------------------
 
 TEST(DiskStore, RewriteEntryRoundTripsThroughDisk) {
@@ -241,7 +295,7 @@ TEST(DiskStore, VersionMismatchedEntryIsEvictedNotDecoded) {
       .u64(3)
       .str("k");
   out.u32(4).raw("past");
-  out.u64(util::Fnv1a64().str(out.bytes()).digest());
+  out.u64(util::fnv1a64_lanes(out.bytes()));
   const auto path = path_of(root, EntryKind::Rewrite, 3, "k");
   fs::create_directories(path.parent_path());
   {
@@ -272,7 +326,7 @@ TEST(DiskStore, AuthenticatedGarbagePayloadIsEvicted) {
       .u64(4)
       .str("k");
   out.u32(7).raw("garbage");
-  out.u64(util::Fnv1a64().str(out.bytes()).digest());
+  out.u64(util::fnv1a64_lanes(out.bytes()));
   const auto path = path_of(root, EntryKind::Program, 4, "k");
   fs::create_directories(path.parent_path());
   {
@@ -387,10 +441,47 @@ TEST(StoreGc, VerifyEvictsDamageAndKeepsHealth) {
   const auto result = gc.verify();
   EXPECT_EQ(result.scanned, 3u);
   EXPECT_EQ(result.ok, 2u);
-  EXPECT_EQ(result.evicted_corrupt, 1u);
+  EXPECT_EQ(result.evicted_corrupt(), 1u);
+  // A 10-byte stump cannot hold even the frame prefix: that is a
+  // map-validation failure, not a hash mismatch or decode failure.
+  EXPECT_EQ(result.evicted_map, 1u);
+  EXPECT_EQ(result.evicted_hash, 0u);
+  EXPECT_EQ(result.evicted_decode, 0u);
+  EXPECT_GT(result.ok_bytes, 0u);
+  EXPECT_EQ(result.evicted_bytes, 10u);
   EXPECT_FALSE(fs::exists(paths[1]));
   EXPECT_TRUE(fs::exists(paths[0]));
   EXPECT_TRUE(fs::exists(paths[2]));
+}
+
+TEST(StoreGc, VerifyDistinguishesHashMismatchFromMisframing) {
+  const auto root = fresh_dir("gc_verify_classes");
+  DiskStore disk(root);
+  const auto paths = seed_entries(disk, root, 3);
+  // paths[0]: flip a bit mid-frame — framing stays intact, the whole-frame
+  // hash disagrees.
+  {
+    std::string bytes;
+    std::ifstream is(paths[0], std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is), {});
+    is.close();
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+    std::ofstream os(paths[0], std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  // paths[1]: replace with a foreign file — map validation fails at magic.
+  {
+    std::ofstream os(paths[1], std::ios::binary | std::ios::trunc);
+    os << "this is not an rlim entry but it is long enough to read";
+  }
+  const auto result = Gc(root).verify();
+  EXPECT_EQ(result.scanned, 3u);
+  EXPECT_EQ(result.ok, 1u);
+  EXPECT_EQ(result.evicted_hash, 1u);
+  EXPECT_EQ(result.evicted_map, 1u);
+  EXPECT_EQ(result.evicted_decode, 0u);
+  EXPECT_EQ(result.evicted_corrupt(), 2u);
 }
 
 TEST(StoreGc, ClearRemovesEverything) {

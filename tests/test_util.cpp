@@ -3,10 +3,13 @@
 #include <array>
 #include <bit>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <vector>
 
 #include "util/codec.hpp"
+#include "util/mmap_file.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 #include "util/registry.hpp"
@@ -274,6 +277,133 @@ TEST(Codec, ExpectEndRejectsTrailingBytes) {
   EXPECT_EQ(in.u8(), 2u);
   in.expect_end();
   EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Codec, BulkU32ArrayRoundTripsAndBoundsChecks) {
+  const std::vector<std::uint32_t> values{0, 1, 0x01020304, 0xffffffffu};
+  ByteWriter out;
+  out.u32_array(values.data(), values.size());
+  ASSERT_EQ(out.size(), 16u);
+  // Bulk writes produce the same little-endian bytes as element writes.
+  ByteWriter scalar;
+  for (const auto v : values) scalar.u32(v);
+  EXPECT_EQ(out.bytes(), scalar.bytes());
+
+  std::vector<std::uint32_t> back(values.size());
+  ByteReader in(out.bytes());
+  in.u32_array(back.data(), back.size());
+  EXPECT_EQ(back, values);
+  in.expect_end();
+
+  // Reading one element more than was written must throw, not over-read.
+  ByteReader short_read(out.bytes());
+  std::vector<std::uint32_t> too_many(values.size() + 1);
+  EXPECT_THROW(short_read.u32_array(too_many.data(), too_many.size()), Error);
+}
+
+TEST(Codec, HostileArrayCountDoesNotOverflow) {
+  // count * 4 would wrap in 32-bit (and even size_t) arithmetic if the
+  // bounds check were written naively; the reader must reject it outright.
+  ByteWriter out;
+  out.u32(1).u32(2);
+  ByteReader in(out.bytes());
+  std::array<std::uint32_t, 1> sink{};
+  EXPECT_THROW(
+      in.u32_array(sink.data(), std::numeric_limits<std::size_t>::max() / 2),
+      Error);
+  // The failed bulk read consumed nothing.
+  EXPECT_EQ(in.remaining(), 8u);
+}
+
+TEST(Codec, ViewAndStrViewAreZeroCopy) {
+  ByteWriter out;
+  out.str("payload").raw("xy");
+  ByteReader in(out.bytes());
+  const auto sv = in.str_view();
+  EXPECT_EQ(sv, "payload");
+  // The view aliases the writer's buffer — no copy was made.
+  EXPECT_GE(sv.data(), out.bytes().data());
+  EXPECT_LT(sv.data(), out.bytes().data() + out.bytes().size());
+  EXPECT_EQ(in.view(2), "xy");
+  EXPECT_THROW(static_cast<void>(in.view(1)), Error);
+}
+
+TEST(Codec, UnderflowErrorsReportWhatAndWhere) {
+  ByteWriter out;
+  out.u8(1);
+  ByteReader in(out.bytes());
+  in.skip(1);
+  try {
+    static_cast<void>(in.u64());
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string_view what = e.what();
+    EXPECT_NE(what.find("u64"), std::string_view::npos) << what;
+    EXPECT_NE(what.find("8"), std::string_view::npos) << what;
+  }
+}
+
+TEST(Codec, PatchU32BackfillsLengthPrefix) {
+  ByteWriter out;
+  out.u8(0xcc);
+  const auto at = out.size();
+  out.u32(0);  // placeholder
+  out.raw("abcdef");
+  out.patch_u32(at, static_cast<std::uint32_t>(out.size() - at - 4));
+  ByteReader in(out.bytes());
+  EXPECT_EQ(in.u8(), 0xcc);
+  EXPECT_EQ(in.u32(), 6u);
+  EXPECT_EQ(in.view(6), "abcdef");
+  // Patching outside the written range is a bug, not a silent resize.
+  EXPECT_THROW(out.patch_u32(out.size() - 3, 0), Error);
+}
+
+TEST(Codec, RecycledWriterReusesCapacityAndStartsEmpty) {
+  ByteWriter first;
+  first.raw(std::string(4096, 'z'));
+  auto storage = first.take();
+  const auto* data = storage.data();
+  ByteWriter second(std::move(storage));
+  EXPECT_EQ(second.size(), 0u);
+  second.u32(42);
+  EXPECT_EQ(second.bytes().data(), data);  // same heap block, no realloc
+}
+
+TEST(MmapFileTest, MapsWholeFileAndCloses) {
+  const auto path = std::filesystem::path(::testing::TempDir()) / "mmap_probe.bin";
+  const std::string payload = "rlim mmap probe\n";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << payload;
+  }
+  MmapFile file;
+  ASSERT_TRUE(file.open(path));
+  EXPECT_TRUE(file.is_open());
+  EXPECT_EQ(file.bytes(), payload);
+  EXPECT_EQ(file.is_mapped(), MmapFile::mmap_enabled());
+  file.close();
+  EXPECT_FALSE(file.is_open());
+  EXPECT_TRUE(file.bytes().empty());
+}
+
+TEST(MmapFileTest, MissingFileIsAMissNotAnError) {
+  MmapFile file;
+  EXPECT_FALSE(file.open(std::filesystem::path(::testing::TempDir()) /
+                         "does_not_exist.bin"));
+  EXPECT_FALSE(file.is_open());
+}
+
+TEST(MmapFileTest, MoveTransfersTheView) {
+  const auto path = std::filesystem::path(::testing::TempDir()) / "mmap_move.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "abc";
+  }
+  MmapFile a;
+  ASSERT_TRUE(a.open(path));
+  MmapFile b = std::move(a);
+  EXPECT_FALSE(a.is_open());
+  EXPECT_EQ(b.bytes(), "abc");
 }
 
 TEST(Codec, DoublesSurviveBitExactly) {

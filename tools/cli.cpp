@@ -598,9 +598,17 @@ int cmd_cache(const Options& options, std::ostream& out) {
     doc.title = "cache verify " + dir;
     kv("scanned", result.scanned);
     kv("ok", result.ok);
-    kv("evicted corrupt", result.evicted_corrupt);
+    kv("ok bytes", result.ok_bytes);
+    // Distinct failure classes: map-validation (framing) failures and
+    // whole-frame hash mismatches are not the same diagnosis — the former is
+    // a foreign/truncated file, the latter bit rot under intact framing —
+    // and neither is a payload that merely stopped decoding in this build.
+    kv("evicted map-validation", result.evicted_map);
+    kv("evicted hash-mismatch", result.evicted_hash);
+    kv("evicted undecodable", result.evicted_decode);
     kv("evicted version-mismatch", result.evicted_version);
-    if (result.evicted_corrupt > 0 || result.evicted_version > 0) {
+    kv("evicted bytes", result.evicted_bytes);
+    if (result.evicted_corrupt() > 0 || result.evicted_version > 0) {
       code = 2;
     }
   } else if (sub == "clear") {

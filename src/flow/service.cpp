@@ -82,15 +82,17 @@ void Service::ensure_worker_locked() {
 Service::~Service() { shutdown(); }
 
 void Service::shutdown() {
+  std::vector<Ticket> finished;
   {
     const std::scoped_lock lock(mutex_);
     if (!stopping_) {
       stopping_ = true;
-      cancel_all_pending_locked();
+      cancel_all_pending_locked(finished);
       queue_.clear();
       done_cv_.notify_all();
     }
   }
+  notify_finished(finished);
   queue_cv_.notify_all();
   for (auto& worker : workers_) {
     if (worker.joinable()) {
@@ -265,32 +267,37 @@ JobResult Service::execute(const Job& job, store::IoScratch* scratch) {
 }
 
 void Service::finish(const TaskPtr& task, JobResult result) {
-  const std::scoped_lock lock(mutex_);
-  if (task->registered) {
-    inflight_.erase(task->key);
-    task->registered = false;
-  }
-  task->result = std::move(result);
-  task->state = Task::State::Done;
-  ++stats_.executed;
-  complete_locked(task);
-  for (const auto& follower : task->followers) {
-    if (follower->state == Task::State::Done) {
-      continue;  // cancelled while attached
+  std::vector<Ticket> finished;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (task->registered) {
+      inflight_.erase(task->key);
+      task->registered = false;
     }
-    follower->result = task->result;
-    if (follower->result.ok()) {
-      // Same contract as a program-cache hit: shared artifacts, own label.
-      follower->result.report.benchmark = follower->job.display_label();
+    task->result = std::move(result);
+    task->state = Task::State::Done;
+    ++stats_.executed;
+    complete_locked(task, finished);
+    for (const auto& follower : task->followers) {
+      if (follower->state == Task::State::Done) {
+        continue;  // cancelled while attached
+      }
+      follower->result = task->result;
+      if (follower->result.ok()) {
+        // Same contract as a program-cache hit: shared artifacts, own label.
+        follower->result.report.benchmark = follower->job.display_label();
+      }
+      follower->state = Task::State::Done;
+      complete_locked(follower, finished);
     }
-    follower->state = Task::State::Done;
-    complete_locked(follower);
+    task->followers.clear();
+    done_cv_.notify_all();
   }
-  task->followers.clear();
-  done_cv_.notify_all();
+  notify_finished(finished);
 }
 
-void Service::complete_locked(const TaskPtr& task) {
+void Service::complete_locked(const TaskPtr& task,
+                              std::vector<Ticket>& finished) {
   ++stats_.completed;
   if (task->cancelled) {
     ++stats_.cancelled;
@@ -300,11 +307,24 @@ void Service::complete_locked(const TaskPtr& task) {
     ++task->batch->done;
     task->batch->cv.notify_all();
   }
+  if (options_.on_finished) {
+    finished.push_back(task->ticket);
+  }
+}
+
+void Service::notify_finished(const std::vector<Ticket>& finished) const {
+  if (!options_.on_finished) {
+    return;
+  }
+  for (const auto ticket : finished) {
+    options_.on_finished(ticket);
+  }
 }
 
 // ---- cancellation ----------------------------------------------------------
 
-void Service::cancel_locked(const TaskPtr& task) {
+void Service::cancel_locked(const TaskPtr& task,
+                            std::vector<Ticket>& finished) {
   task->cancelled = true;
   task->state = Task::State::Done;
   task->result = JobResult{};
@@ -329,24 +349,28 @@ void Service::cancel_locked(const TaskPtr& task) {
     requeued = true;
   }
   task->followers.clear();
-  complete_locked(task);
+  complete_locked(task, finished);
   if (requeued) {
     queue_cv_.notify_all();
   }
 }
 
 bool Service::cancel(Ticket ticket) {
-  const std::scoped_lock lock(mutex_);
-  const auto it = tasks_.find(ticket);
-  if (it == tasks_.end() || it->second->state != Task::State::Pending) {
-    return false;
+  std::vector<Ticket> finished;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = tasks_.find(ticket);
+    if (it == tasks_.end() || it->second->state != Task::State::Pending) {
+      return false;
+    }
+    cancel_locked(it->second, finished);
+    done_cv_.notify_all();
   }
-  cancel_locked(it->second);
-  done_cv_.notify_all();
+  notify_finished(finished);
   return true;
 }
 
-std::size_t Service::cancel_all_pending_locked() {
+std::size_t Service::cancel_all_pending_locked(std::vector<Ticket>& finished) {
   // To a fixpoint: cancelling a primary re-queues its followers as pending,
   // and those must be swept up by the same drain whatever the map order.
   std::size_t count = 0;
@@ -355,7 +379,7 @@ std::size_t Service::cancel_all_pending_locked() {
     again = false;
     for (auto& [ticket, task] : tasks_) {
       if (task->state == Task::State::Pending) {
-        cancel_locked(task);
+        cancel_locked(task, finished);
         ++count;
         again = true;
       }
@@ -370,11 +394,16 @@ std::size_t Service::cancel_all_pending_locked() {
 }
 
 std::size_t Service::cancel_pending() {
-  const std::scoped_lock lock(mutex_);
-  const auto count = cancel_all_pending_locked();
-  if (count > 0) {
-    done_cv_.notify_all();
+  std::vector<Ticket> finished;
+  std::size_t count = 0;
+  {
+    const std::scoped_lock lock(mutex_);
+    count = cancel_all_pending_locked(finished);
+    if (count > 0) {
+      done_cv_.notify_all();
+    }
   }
+  notify_finished(finished);
   return count;
 }
 

@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,16 @@ struct ServiceOptions {
   /// worker blocks on the duplicate. The Runner façade turns this off to
   /// keep the historical cache-counter semantics observable.
   bool coalesce = true;
+  /// Completion hook: invoked once per ticket — after its result became
+  /// collectable — with no Service lock held, from whichever thread finished
+  /// it (a worker, a cancelling caller, or shutdown()). The hook may call
+  /// try_get()/wait() on the ticket; it must not block for long (it runs on
+  /// the worker's time) and must tolerate tickets it never saw submitted
+  /// (none are generated, but ordering with concurrent collectors is the
+  /// hook's problem: a racing wait() may have collected the ticket first).
+  /// This is how the socket front-end turns job completion into an event
+  /// instead of a poll.
+  std::function<void(Ticket)> on_finished{};
 };
 
 /// Monotonic per-Service counters (all since construction).
@@ -165,11 +176,15 @@ private:
   /// Runs the pipeline for one job (the former Runner::execute).
   [[nodiscard]] JobResult execute(const Job& job, store::IoScratch* scratch);
   void finish(const TaskPtr& task, JobResult result);
-  void complete_locked(const TaskPtr& task);
-  void cancel_locked(const TaskPtr& task);
+  /// `finished` collects tickets to report through options_.on_finished once
+  /// the lock is released (the hook must never run under mutex_).
+  void complete_locked(const TaskPtr& task, std::vector<Ticket>& finished);
+  void cancel_locked(const TaskPtr& task, std::vector<Ticket>& finished);
   /// Cancels every pending task to a fixpoint (cancelling a coalescing
   /// primary re-queues its followers as pending, which must be caught too).
-  std::size_t cancel_all_pending_locked();
+  std::size_t cancel_all_pending_locked(std::vector<Ticket>& finished);
+  /// Runs the on_finished hook (if any) for every collected ticket.
+  void notify_finished(const std::vector<Ticket>& finished) const;
   /// Spawns one more worker when the pool is below its ceiling.
   void ensure_worker_locked();
   [[nodiscard]] std::optional<DupKey> duplicate_key(const Job& job,

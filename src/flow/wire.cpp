@@ -45,8 +45,8 @@ std::pair<MessageKind, std::string_view> unframe(std::string_view bytes) {
           "wire: version mismatch (frame v" + std::to_string(version) +
               ", this build speaks v" + std::to_string(kWireVersion) + ")");
   const auto kind = head.u8();
-  require(kind == static_cast<std::uint8_t>(MessageKind::JobSpec) ||
-              kind == static_cast<std::uint8_t>(MessageKind::JobResult),
+  require(kind >= static_cast<std::uint8_t>(MessageKind::JobSpec) &&
+              kind <= static_cast<std::uint8_t>(MessageKind::Stats),
           "wire: unknown message kind");
   return {static_cast<MessageKind>(kind), body.substr(kHeaderSize)};
 }
@@ -171,6 +171,69 @@ JobResult decode_job_result(std::string_view bytes) {
   }
   in.expect_end();
   return result;
+}
+
+// ---- Ping / Stats ----------------------------------------------------------
+
+std::string encode_ping() { return seal(frame_header(MessageKind::Ping)); }
+
+void decode_ping(std::string_view bytes) {
+  util::ByteReader in(payload_of(bytes, MessageKind::Ping));
+  in.expect_end();
+}
+
+std::string encode(const StatsReply& stats) {
+  auto out = frame_header(MessageKind::Stats);
+  out.u64(stats.submitted)
+      .u64(stats.completed)
+      .u64(stats.executed)
+      .u64(stats.coalesced)
+      .u64(stats.cancelled)
+      .u64(stats.rewrite_hits)
+      .u64(stats.rewrite_misses)
+      .u64(stats.program_hits)
+      .u64(stats.program_misses);
+  out.u8(stats.has_store ? 1 : 0);
+  if (stats.has_store) {
+    out.u64(stats.store_rewrite_loads)
+        .u64(stats.store_program_loads)
+        .u64(stats.store_load_misses)
+        .u64(stats.store_stores)
+        .u64(stats.store_failures)
+        .u64(stats.store_evicted_corrupt)
+        .u64(stats.store_evicted_version);
+  }
+  out.u32(stats.workers);
+  return seal(std::move(out));
+}
+
+StatsReply decode_stats(std::string_view bytes) {
+  util::ByteReader in(payload_of(bytes, MessageKind::Stats));
+  StatsReply stats;
+  stats.submitted = in.u64();
+  stats.completed = in.u64();
+  stats.executed = in.u64();
+  stats.coalesced = in.u64();
+  stats.cancelled = in.u64();
+  stats.rewrite_hits = in.u64();
+  stats.rewrite_misses = in.u64();
+  stats.program_hits = in.u64();
+  stats.program_misses = in.u64();
+  const auto has_store = in.u8();
+  require(has_store <= 1, "wire: bad StatsReply store tag");
+  stats.has_store = has_store == 1;
+  if (stats.has_store) {
+    stats.store_rewrite_loads = in.u64();
+    stats.store_program_loads = in.u64();
+    stats.store_load_misses = in.u64();
+    stats.store_stores = in.u64();
+    stats.store_failures = in.u64();
+    stats.store_evicted_corrupt = in.u64();
+    stats.store_evicted_version = in.u64();
+  }
+  stats.workers = in.u32();
+  in.expect_end();
+  return stats;
 }
 
 MessageKind peek_kind(std::string_view frame) { return unframe(frame).first; }

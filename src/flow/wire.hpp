@@ -26,15 +26,35 @@ namespace rlim::flow::wire {
 /// changes, so two processes either agree on the bytes or refuse loudly.
 
 inline constexpr std::string_view kMagic = "RLWM";
-inline constexpr std::uint32_t kWireVersion = 1;
+inline constexpr std::uint32_t kWireVersion = 2;
+
+/// Ceiling a frame consumer should enforce on any untrusted length prefix
+/// *before* allocating or resizing a buffer — an absurd u32 from a damaged
+/// or hostile peer must cost a clean rlim::Error, never a multi-GB resize.
+/// The net transport's stream framing takes this as its configurable
+/// default; generous enough for the largest inline-graph JobResult the
+/// suite produces by two orders of magnitude.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
 
 enum class MessageKind : std::uint8_t {
   JobSpec = 1,    ///< a job to execute (request)
   JobResult = 2,  ///< the outcome of one job (response)
+  Ping = 3,       ///< health probe (request; empty payload)
+  Stats = 4,      ///< shard health snapshot (Ping response)
 };
 
 [[nodiscard]] constexpr std::string_view to_string(MessageKind kind) {
-  return kind == MessageKind::JobSpec ? "job-spec" : "job-result";
+  switch (kind) {
+    case MessageKind::JobSpec:
+      return "job-spec";
+    case MessageKind::JobResult:
+      return "job-result";
+    case MessageKind::Ping:
+      return "ping";
+    case MessageKind::Stats:
+      return "stats";
+  }
+  return "unknown";
 }
 
 /// Serializable description of one Job. Exactly one source representation is
@@ -65,12 +85,47 @@ struct JobSpec {
   [[nodiscard]] Job to_job() const;
 };
 
+/// Health snapshot of one serving shard: the Service's lifetime counters,
+/// the two cache levels' hit/miss counts, and — when a persistent store is
+/// attached — its disk-tier counters. Everything a fleet monitor needs to
+/// tell a hot shard (disk hits) from a cold or thrashing one, shipped as
+/// the response to a Ping frame and printed by `rlim stats --connect`.
+struct StatsReply {
+  // flow::ServiceStats, field for field.
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t cancelled = 0;
+  // PipelineCache counters (both levels).
+  std::uint64_t rewrite_hits = 0;
+  std::uint64_t rewrite_misses = 0;
+  std::uint64_t program_hits = 0;
+  std::uint64_t program_misses = 0;
+  // store::StoreCounters; meaningful only when has_store is true.
+  bool has_store = false;
+  std::uint64_t store_rewrite_loads = 0;
+  std::uint64_t store_program_loads = 0;
+  std::uint64_t store_load_misses = 0;
+  std::uint64_t store_stores = 0;
+  std::uint64_t store_failures = 0;
+  std::uint64_t store_evicted_corrupt = 0;
+  std::uint64_t store_evicted_version = 0;
+  // Serving-side shape.
+  std::uint32_t workers = 0;
+
+  bool operator==(const StatsReply&) const = default;
+};
+
 /// Encodes one message into a framed byte string.
 [[nodiscard]] std::string encode(const JobSpec& spec);
 /// JobResult frames carry error-or-payload: a failed job ships only its
 /// error string; a successful one ships RewriteStats, the EnduranceReport
 /// (program included), and — when present — the prepared graph.
 [[nodiscard]] std::string encode(const JobResult& result);
+[[nodiscard]] std::string encode(const StatsReply& stats);
+/// A Ping frame (empty payload).
+[[nodiscard]] std::string encode_ping();
 
 /// Authenticates the frame and returns its kind without decoding the
 /// payload — the dispatch primitive of a message loop.
@@ -79,5 +134,8 @@ struct JobSpec {
 /// Decoders: authenticate, check the kind, decode, reject trailing bytes.
 [[nodiscard]] JobSpec decode_job_spec(std::string_view frame);
 [[nodiscard]] JobResult decode_job_result(std::string_view frame);
+[[nodiscard]] StatsReply decode_stats(std::string_view frame);
+/// Authenticates a Ping frame (throws on anything else).
+void decode_ping(std::string_view frame);
 
 }  // namespace rlim::flow::wire

@@ -1,0 +1,228 @@
+#include "net/client.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include "net/framing.hpp"
+#include "util/error.hpp"
+
+namespace rlim::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Internal marker for "the connection is gone, retry may help" — never
+/// escapes the client (it is rethrown as rlim::Error once retries are
+/// exhausted).
+struct TransportFailure {
+  std::string reason;
+};
+
+}  // namespace
+
+Client::Client(Endpoint endpoint, ClientOptions options)
+    : endpoint_(std::move(endpoint)), options_(options) {}
+
+void Client::ensure_connected() {
+  if (fd_.valid()) {
+    return;
+  }
+  fd_ = connect_tcp(endpoint_, options_.connect_timeout);
+  const int one = 1;
+  ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  ++telemetry_.connects;
+}
+
+void Client::exchange(
+    const std::vector<Request>& requests,
+    const std::function<void(std::uint64_t, std::string_view)>& on_frame) {
+  std::vector<bool> answered(requests.size(), false);
+  std::size_t remaining = requests.size();
+  for (unsigned attempt = 0; remaining > 0; ++attempt) {
+    try {
+      try {
+        ensure_connected();
+        pump(requests, answered, remaining, on_frame);
+      } catch (const Error& error) {
+        // connect_tcp failures and damaged response frames land here; both
+        // are transport-class (a fresh connection + resend may succeed).
+        throw TransportFailure{error.what()};
+      }
+    } catch (const TransportFailure& failure) {
+      fd_.reset();
+      if (attempt >= options_.max_retries) {
+        throw Error("net: shard " + endpoint_.to_string() +
+                    " unreachable after " + std::to_string(attempt + 1) +
+                    " attempts: " + failure.reason);
+      }
+      ++telemetry_.retries;
+      const auto backoff = std::min(
+          options_.backoff_cap,
+          options_.backoff_base * (std::int64_t{1} << std::min(attempt, 20u)));
+      std::this_thread::sleep_for(backoff);
+    }
+  }
+}
+
+void Client::pump(
+    const std::vector<Request>& requests, std::vector<bool>& answered,
+    std::size_t& remaining,
+    const std::function<void(std::uint64_t, std::string_view)>& on_frame) {
+  std::unordered_map<std::uint64_t, std::size_t> by_ticket;
+  by_ticket.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    by_ticket.emplace(requests[i].ticket, i);
+  }
+
+  FrameReader reader(options_.max_frame_bytes);
+  std::size_t send_index = 0;  // next request to encode
+  std::string out;             // bytes being written
+  std::size_t out_offset = 0;
+  auto last_activity = Clock::now();
+  char chunk[64 * 1024];
+
+  while (remaining > 0) {
+    // Refill the write buffer with a bounded batch of unanswered requests —
+    // full pipelining, but the buffer stays a few hundred KB however large
+    // the job stream is.
+    if (out_offset == out.size()) {
+      out.clear();
+      out_offset = 0;
+      while (send_index < requests.size() && out.size() < 256 * 1024) {
+        if (!answered[send_index]) {
+          out += envelope(requests[send_index].ticket,
+                          requests[send_index].encode());
+          ++telemetry_.frames_out;
+        }
+        ++send_index;
+      }
+    }
+
+    ::pollfd pfd{fd_.get(), POLLIN, 0};
+    if (out_offset < out.size()) {
+      pfd.events |= POLLOUT;
+    }
+    const auto idle =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now() - last_activity);
+    const auto wait = options_.request_timeout - idle;
+    if (wait.count() <= 0) {
+      throw TransportFailure{"request timed out after " +
+                             std::to_string(options_.request_timeout.count()) +
+                             " ms of silence"};
+    }
+    const int ready = ::poll(&pfd, 1, static_cast<int>(wait.count()));
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw TransportFailure{"poll failed"};
+    }
+    if (ready == 0) {
+      throw TransportFailure{"request timed out after " +
+                             std::to_string(options_.request_timeout.count()) +
+                             " ms of silence"};
+    }
+
+    if ((pfd.revents & POLLIN) != 0) {
+      while (true) {
+        std::size_t received = 0;
+        const auto status = recv_some(fd_.get(), chunk, sizeof chunk, received);
+        if (status == IoStatus::Closed) {
+          throw TransportFailure{"connection closed by shard"};
+        }
+        if (status == IoStatus::WouldBlock) {
+          break;
+        }
+        last_activity = Clock::now();
+        reader.feed(std::string_view(chunk, received));
+        // FrameReader/decode throws Error on damage; exchange() maps that to
+        // a transport failure and the whole connection restarts.
+        while (auto message = reader.next()) {
+          const auto it = by_ticket.find(message->ticket);
+          if (it == by_ticket.end() || answered[it->second]) {
+            continue;  // stale or duplicate ticket — ignore
+          }
+          on_frame(message->ticket, message->frame);
+          answered[it->second] = true;
+          --remaining;
+          ++telemetry_.frames_in;
+        }
+      }
+    } else if ((pfd.revents & (POLLERR | POLLHUP)) != 0) {
+      throw TransportFailure{"connection reset by shard"};
+    }
+
+    if ((pfd.revents & POLLOUT) != 0 && out_offset < out.size()) {
+      std::size_t sent = 0;
+      const auto status =
+          send_some(fd_.get(), std::string_view(out).substr(out_offset), sent);
+      if (status == IoStatus::Closed) {
+        throw TransportFailure{"connection closed by shard mid-send"};
+      }
+      if (status == IoStatus::Ok) {
+        out_offset += sent;
+      }
+    }
+  }
+}
+
+std::vector<flow::JobResult> Client::run(
+    const std::vector<flow::wire::JobSpec>& specs) {
+  std::vector<std::optional<flow::JobResult>> slots(specs.size());
+  std::vector<std::size_t> indices(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    indices[i] = i;
+  }
+  run_indices(specs, indices, slots);
+  std::vector<flow::JobResult> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+void Client::run_indices(const std::vector<flow::wire::JobSpec>& specs,
+                         const std::vector<std::size_t>& indices,
+                         std::vector<std::optional<flow::JobResult>>& results) {
+  require(results.size() >= specs.size(),
+          "net: result slots must cover every spec");
+  std::vector<Request> requests;
+  requests.reserve(indices.size());
+  for (const auto index : indices) {
+    require(index < specs.size(), "net: request index out of range");
+    if (results[index].has_value()) {
+      continue;
+    }
+    // Ticket = index + 1: stable across retries, unique within the batch,
+    // and trivially mapped back to its result slot.
+    requests.push_back(Request{
+        index + 1, [&specs, index] { return encode(specs[index]); }});
+  }
+  exchange(requests, [&results](std::uint64_t ticket, std::string_view frame) {
+    results[ticket - 1] = flow::wire::decode_job_result(frame);
+  });
+}
+
+flow::wire::StatsReply Client::ping() {
+  flow::wire::StatsReply reply;
+  std::vector<Request> requests;
+  requests.push_back(Request{1, [] { return flow::wire::encode_ping(); }});
+  exchange(requests, [&reply](std::uint64_t, std::string_view frame) {
+    reply = flow::wire::decode_stats(frame);
+  });
+  return reply;
+}
+
+}  // namespace rlim::net

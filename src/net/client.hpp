@@ -1,0 +1,112 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "flow/job.hpp"
+#include "flow/wire.hpp"
+#include "net/socket.hpp"
+
+namespace rlim::net {
+
+struct ClientOptions {
+  /// Ceiling on establishing one TCP connection.
+  std::chrono::milliseconds connect_timeout{2000};
+  /// Inactivity ceiling while responses are outstanding: if the shard sends
+  /// nothing for this long, the connection is declared dead and the retry
+  /// path takes over. Per-byte progress resets it, so a long pipelined
+  /// batch is not penalized for its total duration.
+  std::chrono::milliseconds request_timeout{30000};
+  /// Reconnect attempts after the first failure. Jobs are pure functions of
+  /// their spec (idempotent), so unacknowledged requests are simply resent
+  /// on the fresh connection.
+  unsigned max_retries = 3;
+  /// Exponential backoff between attempts: base * 2^attempt, capped.
+  std::chrono::milliseconds backoff_base{50};
+  std::chrono::milliseconds backoff_cap{2000};
+  /// Ceiling on one received framed message.
+  std::size_t max_frame_bytes = flow::wire::kDefaultMaxFrameBytes;
+};
+
+/// Client-side lifetime counters (reads happen between calls; the client is
+/// not thread-safe).
+struct ClientTelemetry {
+  std::uint64_t connects = 0;   ///< successful TCP connections
+  std::uint64_t retries = 0;    ///< reconnect-and-resend rounds
+  std::uint64_t frames_out = 0;
+  std::uint64_t frames_in = 0;
+};
+
+/// One shard's client: a lazily connected TCP peer speaking length-
+/// delimited flow::wire envelopes with in-flight pipelining — every request
+/// of a batch is written without waiting, responses match up by ticket in
+/// whatever completion order the shard chose.
+///
+/// Failure model: anything that breaks the byte stream (refused or timed-
+/// out connect, reset, EOF mid-frame, a response that fails wire
+/// authentication, inactivity past request_timeout) tears the connection
+/// down and — because job execution is idempotent — retries the
+/// unacknowledged requests on a fresh connection with bounded exponential
+/// backoff. A JobResult carrying an error is NOT retried: that is the job's
+/// own deterministic outcome, delivered. After max_retries reconnects the
+/// client throws rlim::Error; the ShardRouter catches that and fails the
+/// remaining jobs over to the next shard on the ring.
+class Client {
+ public:
+  explicit Client(Endpoint endpoint, ClientOptions options = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
+  [[nodiscard]] const ClientTelemetry& telemetry() const {
+    return telemetry_;
+  }
+
+  /// Pipelines every spec and returns results in spec order.
+  [[nodiscard]] std::vector<flow::JobResult> run(
+      const std::vector<flow::wire::JobSpec>& specs);
+
+  /// The ShardRouter's primitive: executes specs[i] for each listed index,
+  /// filling results[i] (slots already holding a value are skipped —
+  /// that is what makes cross-shard failover resume instead of restart).
+  /// Throws on unrecoverable transport failure; results received before
+  /// the failure stay filled.
+  void run_indices(const std::vector<flow::wire::JobSpec>& specs,
+                   const std::vector<std::size_t>& indices,
+                   std::vector<std::optional<flow::JobResult>>& results);
+
+  /// Health probe: sends Ping, returns the shard's Stats snapshot.
+  [[nodiscard]] flow::wire::StatsReply ping();
+
+ private:
+  /// One logical request: the ticket it travels under and its frame
+  /// encoder (invoked per attempt, so resends re-encode).
+  struct Request {
+    std::uint64_t ticket = 0;
+    std::function<std::string()> encode;
+  };
+
+  /// Sends every request whose ticket is still outstanding and pumps
+  /// responses through `on_frame` until none remain, reconnecting and
+  /// resending across transport failures per the options.
+  void exchange(
+      const std::vector<Request>& requests,
+      const std::function<void(std::uint64_t, std::string_view)>& on_frame);
+  void pump(
+      const std::vector<Request>& requests,
+      std::vector<bool>& answered, std::size_t& remaining,
+      const std::function<void(std::uint64_t, std::string_view)>& on_frame);
+  void ensure_connected();
+
+  Endpoint endpoint_;
+  ClientOptions options_;
+  Fd fd_;
+  ClientTelemetry telemetry_;
+};
+
+}  // namespace rlim::net

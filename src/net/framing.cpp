@@ -1,0 +1,58 @@
+#include "net/framing.hpp"
+
+#include "util/codec.hpp"
+#include "util/error.hpp"
+
+namespace rlim::net {
+
+std::string envelope(std::uint64_t ticket, std::string_view frame) {
+  util::ByteWriter out;
+  out.reserve(kLengthBytes + kTicketBytes + frame.size());
+  out.u32(static_cast<std::uint32_t>(kTicketBytes + frame.size()));
+  out.u64(ticket);
+  out.raw(frame);
+  return out.take();
+}
+
+void FrameReader::feed(std::string_view bytes) {
+  // Reclaim consumed prefix before growing — a long-lived connection's
+  // buffer stays proportional to its largest in-flight message, not its
+  // traffic history.
+  if (offset_ > 0 && (offset_ >= buffer_.size() || offset_ > 64 * 1024)) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+std::optional<FramedMessage> FrameReader::next() {
+  const auto available = buffer_.size() - offset_;
+  if (available < kLengthBytes) {
+    return std::nullopt;
+  }
+  util::ByteReader header(
+      std::string_view(buffer_).substr(offset_, kLengthBytes));
+  const std::size_t length = header.u32();
+  // The hardening that matters: both checks run before any allocation is
+  // sized from the untrusted prefix. A runt length cannot even hold the
+  // ticket; an absurd one would otherwise commit this side to buffering
+  // (and eventually resizing into) gigabytes.
+  require(length >= kTicketBytes,
+          "net: framing error: length prefix shorter than a ticket");
+  require(length <= kTicketBytes + max_frame_bytes_,
+          "net: framing error: " + std::to_string(length) +
+              "-byte message exceeds the " +
+              std::to_string(max_frame_bytes_) + "-byte frame ceiling");
+  if (available < kLengthBytes + length) {
+    return std::nullopt;
+  }
+  util::ByteReader body(
+      std::string_view(buffer_).substr(offset_ + kLengthBytes, length));
+  FramedMessage message;
+  message.ticket = body.u64();
+  message.frame = std::string(body.view(length - kTicketBytes));
+  offset_ += kLengthBytes + length;
+  return message;
+}
+
+}  // namespace rlim::net

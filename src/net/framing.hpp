@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "flow/wire.hpp"
+
+namespace rlim::net {
+
+/// Stream framing of the net transport. TCP gives a byte stream; each
+/// message travels as one self-delimiting envelope:
+///
+///   u32 length | u64 ticket | flow::wire frame
+///
+/// `length` (little-endian) counts the ticket and frame bytes that follow.
+/// `ticket` is a client-chosen correlation id echoed verbatim on every
+/// response, which is what makes in-flight pipelining work: responses may
+/// arrive in any completion order and still find their request.
+///
+/// The length prefix is the only field a peer can use to make this side
+/// allocate, so it is validated against a configurable ceiling *before* any
+/// buffer grows (flow::wire::kDefaultMaxFrameBytes by default). A frame's
+/// own integrity (magic, version, FNV hash) is flow::wire's job once the
+/// envelope delimits it.
+inline constexpr std::size_t kLengthBytes = 4;
+inline constexpr std::size_t kTicketBytes = 8;
+
+/// Encodes one envelope.
+[[nodiscard]] std::string envelope(std::uint64_t ticket,
+                                   std::string_view frame);
+
+struct FramedMessage {
+  std::uint64_t ticket = 0;
+  std::string frame;
+};
+
+/// Incremental envelope parser over received stream bytes. feed() appends
+/// whatever the socket produced; next() yields complete messages. A length
+/// prefix that is shorter than a ticket or larger than the configured
+/// ceiling throws rlim::Error — the stream is unrecoverable after framing
+/// damage, so callers drop the connection.
+class FrameReader {
+ public:
+  explicit FrameReader(
+      std::size_t max_frame_bytes = flow::wire::kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::string_view bytes);
+  [[nodiscard]] std::optional<FramedMessage> next();
+
+  /// Bytes buffered but not yet consumed (diagnostics/tests).
+  [[nodiscard]] std::size_t buffered() const {
+    return buffer_.size() - offset_;
+  }
+
+ private:
+  std::string buffer_;
+  std::size_t offset_ = 0;
+  std::size_t max_frame_bytes_;
+};
+
+}  // namespace rlim::net

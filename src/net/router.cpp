@@ -1,0 +1,165 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace rlim::net {
+
+namespace {
+
+/// murmur3 finalizer: full-avalanche scrambling. FNV-1a alone is not enough
+/// here — digests of strings that differ only in a short suffix ("…cap=3"
+/// vs "…cap=4", "endpoint#17" vs "endpoint#18") agree in their high bits,
+/// which would clump the virtual nodes into a few ring arcs and starve
+/// shards. One finalizer round restores uniformity.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Order-sensitive combination of two 64-bit hashes.
+std::uint64_t combine(std::uint64_t seed, std::uint64_t value) {
+  return mix64(seed ^ mix64(value));
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<Endpoint> endpoints,
+                         ClientOptions options) {
+  require(!endpoints.empty(), "net: router needs at least one endpoint");
+  shards_.reserve(endpoints.size());
+  for (const auto& endpoint : endpoints) {
+    shards_.push_back(std::make_unique<Shard>(endpoint, options));
+  }
+  ring_.reserve(shards_.size() * kReplicas);
+  for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+    const auto base = endpoints[shard].to_string();
+    for (unsigned replica = 0; replica < kReplicas; ++replica) {
+      ring_.push_back(RingNode{
+          mix64(util::fnv1a64(base + "#" + std::to_string(replica))), shard});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingNode& a, const RingNode& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+            });
+}
+
+std::uint64_t ShardRouter::key_of(const flow::wire::JobSpec& spec) {
+  const auto source_key = spec.graph.has_value()
+                              ? spec.graph->fingerprint()
+                              : util::fnv1a64(spec.source_ref);
+  return combine(source_key, util::fnv1a64(spec.config_spec));
+}
+
+std::optional<std::size_t> ShardRouter::route_key(std::uint64_t key) const {
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const RingNode& node, std::uint64_t value) {
+        return node.hash < value;
+      });
+  // Walk clockwise from the key's arc until an alive shard owns a node —
+  // that walk IS the failover order, so a dead shard's keys spill onto its
+  // ring successors instead of all piling onto one survivor.
+  for (std::size_t step = 0; step < ring_.size(); ++step, ++it) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    if (!shards_[it->shard]->dead) {
+      return it->shard;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> ShardRouter::route(
+    const flow::wire::JobSpec& spec) const {
+  return route_key(key_of(spec));
+}
+
+std::vector<flow::JobResult> ShardRouter::run(
+    const std::vector<flow::wire::JobSpec>& specs) {
+  std::vector<std::optional<flow::JobResult>> slots(specs.size());
+  std::vector<std::uint64_t> keys;
+  keys.reserve(specs.size());
+  for (const auto& spec : specs) {
+    keys.push_back(key_of(spec));
+  }
+
+  bool rerouting = false;
+  while (true) {
+    // Partition the still-unanswered indices over the alive shards.
+    std::vector<std::vector<std::size_t>> partitions(shards_.size());
+    bool pending = false;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (slots[i].has_value()) {
+        continue;
+      }
+      pending = true;
+      const auto shard = route_key(keys[i]);
+      if (!shard) {
+        flow::JobResult failed;
+        failed.error = "net: no shard available (every endpoint is dead)";
+        slots[i] = std::move(failed);
+        continue;
+      }
+      partitions[*shard].push_back(i);
+      if (rerouting) {
+        ++telemetry_.rerouted;
+      }
+    }
+    if (!pending) {
+      break;
+    }
+
+    // One submission thread per shard: each pipelines its partition and
+    // fills disjoint result slots, so no synchronization is needed beyond
+    // the join. A thread that throws marks its shard dead; the next round
+    // re-partitions whatever it left unanswered.
+    std::vector<std::thread> threads;
+    for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+      if (partitions[shard].empty()) {
+        continue;
+      }
+      threads.emplace_back([this, shard, &specs, &slots,
+                            indices = std::move(partitions[shard])] {
+        try {
+          shards_[shard]->client.run_indices(specs, indices, slots);
+        } catch (const Error&) {
+          shards_[shard]->dead = true;
+        }
+      });
+    }
+    if (threads.empty()) {
+      break;  // everything resolved to an error slot above
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+    const auto died = std::count_if(
+        shards_.begin(), shards_.end(),
+        [](const auto& shard) { return shard->dead; });
+    if (static_cast<std::uint64_t>(died) > telemetry_.failovers) {
+      telemetry_.failovers = static_cast<std::uint64_t>(died);
+      rerouting = true;
+    }
+  }
+
+  std::vector<flow::JobResult> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+}  // namespace rlim::net

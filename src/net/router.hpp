@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "flow/job.hpp"
+#include "flow/wire.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+
+namespace rlim::net {
+
+/// Router-level lifetime counters.
+struct RouterTelemetry {
+  std::uint64_t failovers = 0;  ///< shards declared dead mid-run
+  std::uint64_t rerouted = 0;   ///< jobs re-partitioned onto another shard
+};
+
+/// Partitions a job stream across N shard endpoints by consistent hashing,
+/// with automatic failover.
+///
+/// The ring holds kReplicas virtual nodes per endpoint (FNV-1a of
+/// "endpoint#replica"), and a spec's key combines the graph identity with
+/// the canonical config key: the fingerprint for an inline graph, the
+/// FNV-1a of the reference string for a by-reference spec. Identical
+/// (netlist, config) cells therefore always land on the same shard — which
+/// is exactly what keeps each shard's pipeline cache and persistent store
+/// hot — and adding or removing a shard only remaps the ~1/N of keys whose
+/// ring arcs moved.
+///
+/// (By-reference specs hash the reference string rather than the graph
+/// content so routing never has to build the netlist locally; same
+/// cache-locality property, since equal refs resolve to equal graphs.)
+///
+/// Failover: each shard's Client retries transport failures itself (see
+/// ClientOptions); when a client gives up, the router marks that shard dead
+/// for the rest of its lifetime, re-partitions the shard's unanswered jobs
+/// across the survivors (walking to the next alive ring node), and keeps
+/// every result already received. Only when every shard is dead do the
+/// remaining jobs come back as error JobResults.
+class ShardRouter {
+ public:
+  static constexpr unsigned kReplicas = 64;
+
+  explicit ShardRouter(std::vector<Endpoint> endpoints,
+                       ClientOptions options = {});
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] const Endpoint& endpoint(std::size_t shard) const {
+    return shards_[shard]->client.endpoint();
+  }
+  [[nodiscard]] bool alive(std::size_t shard) const {
+    return !shards_[shard]->dead;
+  }
+  [[nodiscard]] const ClientTelemetry& telemetry(std::size_t shard) const {
+    return shards_[shard]->client.telemetry();
+  }
+  [[nodiscard]] const RouterTelemetry& telemetry() const { return telemetry_; }
+
+  /// The ring key of a spec (exposed for tests and diagnostics).
+  [[nodiscard]] static std::uint64_t key_of(const flow::wire::JobSpec& spec);
+
+  /// First-choice alive shard for a spec; nullopt when every shard is dead.
+  [[nodiscard]] std::optional<std::size_t> route(
+      const flow::wire::JobSpec& spec) const;
+
+  /// Executes the whole stream across the cluster and returns results in
+  /// spec order. Shards run concurrently (one submission thread each);
+  /// failures fail over as described above. Never throws for shard loss —
+  /// jobs that no shard could execute carry an error JobResult.
+  [[nodiscard]] std::vector<flow::JobResult> run(
+      const std::vector<flow::wire::JobSpec>& specs);
+
+  /// Probes one shard (throws rlim::Error when it is unreachable).
+  [[nodiscard]] flow::wire::StatsReply ping(std::size_t shard) {
+    return shards_[shard]->client.ping();
+  }
+
+ private:
+  struct Shard {
+    Client client;
+    bool dead = false;
+
+    Shard(const Endpoint& endpoint, const ClientOptions& options)
+        : client(endpoint, options) {}
+  };
+  struct RingNode {
+    std::uint64_t hash;
+    std::size_t shard;
+  };
+
+  [[nodiscard]] std::optional<std::size_t> route_key(std::uint64_t key) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<RingNode> ring_;  ///< sorted by hash
+  RouterTelemetry telemetry_;
+};
+
+}  // namespace rlim::net

@@ -1,0 +1,380 @@
+#include "net/server.hpp"
+
+#include <array>
+#include <cerrno>
+#include <utility>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include "store/disk_store.hpp"
+#include "util/error.hpp"
+
+namespace rlim::net {
+
+namespace {
+
+void epoll_add(int epoll_fd, int fd, std::uint32_t events) {
+  ::epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  require(::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &event) == 0,
+          "net: epoll_ctl(ADD) failed");
+}
+
+}  // namespace
+
+Server::Server(const Endpoint& listen, ServerOptions options)
+    : options_(std::move(options)), listen_host_(listen.host) {
+  listen_fd_ = listen_tcp(listen);
+  port_ = local_port(listen_fd_);
+
+  epoll_fd_ = Fd(::epoll_create1(0));
+  require(epoll_fd_.valid(), "net: epoll_create1 failed");
+  wake_fd_ = Fd(::eventfd(0, EFD_NONBLOCK));
+  require(wake_fd_.valid(), "net: eventfd failed");
+  epoll_add(epoll_fd_.get(), listen_fd_.get(), EPOLLIN);
+  epoll_add(epoll_fd_.get(), wake_fd_.get(), EPOLLIN);
+
+  flow::ServiceOptions service_options;
+  service_options.jobs = options_.jobs;
+  service_options.cache_dir = options_.cache_dir;
+  // Completion-to-event bridge: workers drop the ticket into the mailbox
+  // and kick the eventfd; the epoll loop turns it into response frames.
+  service_options.on_finished = [this](flow::Ticket ticket) {
+    {
+      const std::scoped_lock lock(completion_mutex_);
+      completed_.push_back(ticket);
+    }
+    wake();
+  };
+  service_ = std::make_unique<flow::Service>(std::move(service_options));
+
+  thread_ = std::thread([this] { loop(); });
+}
+
+Server::~Server() {
+  stop();
+  // Drain the Service while every member (mailbox, eventfd) is still alive:
+  // its shutdown cancels pending tickets, which runs the completion hook.
+  service_.reset();
+}
+
+void Server::stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  stop_.store(true);
+  wake();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  // Release the port: a peer probing a stopped shard gets an instant
+  // ECONNREFUSED instead of a handshake into a backlog nobody drains —
+  // that refusal is what makes client failover fast.
+  listen_fd_.reset();
+  // The loop is gone; tear the connections down from this thread and stop
+  // burning workers on jobs nobody will read. Running jobs finish on their
+  // own; their results are dropped by Service destruction.
+  connections_.clear();
+  routes_.clear();
+  service_->cancel_pending();
+}
+
+void Server::wake() {
+  const std::uint64_t token = 1;
+  [[maybe_unused]] const auto n =
+      ::write(wake_fd_.get(), &token, sizeof token);
+}
+
+ServerCounters Server::counters() const {
+  const std::scoped_lock lock(counters_mutex_);
+  return counters_;
+}
+
+flow::wire::StatsReply Server::stats_reply() const {
+  flow::wire::StatsReply reply;
+  const auto stats = service_->stats();
+  reply.submitted = stats.submitted;
+  reply.completed = stats.completed;
+  reply.executed = stats.executed;
+  reply.coalesced = stats.coalesced;
+  reply.cancelled = stats.cancelled;
+  const auto& cache = service_->cache();
+  reply.rewrite_hits = cache.hits();
+  reply.rewrite_misses = cache.misses();
+  reply.program_hits = cache.program_hits();
+  reply.program_misses = cache.program_misses();
+  if (const auto& disk = cache.disk_store(); disk != nullptr) {
+    const auto counters = disk->counters();
+    reply.has_store = true;
+    reply.store_rewrite_loads = counters.rewrite_loads;
+    reply.store_program_loads = counters.program_loads;
+    reply.store_load_misses = counters.load_misses;
+    reply.store_stores = counters.stores;
+    reply.store_failures = counters.store_failures;
+    reply.store_evicted_corrupt = counters.evicted_corrupt;
+    reply.store_evicted_version = counters.evicted_version;
+  }
+  reply.workers = service_->workers();
+  return reply;
+}
+
+// ---- event loop ------------------------------------------------------------
+
+void Server::loop() {
+  std::array<::epoll_event, 64> events;
+  while (!stop_.load()) {
+    const int ready = ::epoll_wait(epoll_fd_.get(), events.data(),
+                                   static_cast<int>(events.size()), -1);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // epoll itself failed — nothing left to serve
+    }
+    for (int i = 0; i < ready && !stop_.load(); ++i) {
+      const int fd = events[i].data.fd;
+      const auto flags = events[i].events;
+      if (fd == wake_fd_.get()) {
+        std::uint64_t token = 0;
+        while (::read(wake_fd_.get(), &token, sizeof token) > 0) {
+        }
+        drain_completions();
+        continue;
+      }
+      if (fd == listen_fd_.get()) {
+        accept_connections();
+        continue;
+      }
+      if ((flags & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_connection(fd, /*dropped=*/true);
+        continue;
+      }
+      if ((flags & EPOLLIN) != 0) {
+        handle_readable(fd);
+      }
+      if ((flags & EPOLLOUT) != 0) {
+        handle_writable(fd);
+      }
+    }
+  }
+}
+
+void Server::accept_connections() {
+  while (true) {
+    if (options_.accept_delay.count() > 0) {
+      // Failure injection: a deliberately slow acceptor, to exercise client
+      // timeouts and backoff against real kernel behavior. Sliced so stop()
+      // never has to out-wait the injected delay.
+      const auto deadline =
+          std::chrono::steady_clock::now() + options_.accept_delay;
+      while (std::chrono::steady_clock::now() < deadline && !stop_.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (stop_.load()) {
+        return;
+      }
+    }
+    Fd conn(::accept4(listen_fd_.get(), nullptr, nullptr, SOCK_NONBLOCK));
+    if (!conn.valid()) {
+      return;  // EAGAIN (drained) or a transient accept error — either way
+               // the next EPOLLIN on the listener retries
+    }
+    const int one = 1;
+    ::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const int fd = conn.get();
+    epoll_add(epoll_fd_.get(), fd, EPOLLIN);
+    connections_.emplace(
+        fd, Connection(std::move(conn), options_.max_frame_bytes));
+    const std::scoped_lock lock(counters_mutex_);
+    ++counters_.accepted;
+  }
+}
+
+void Server::update_interest(int fd, const Connection& conn) {
+  ::epoll_event event{};
+  event.events =
+      EPOLLIN | (conn.out_queue.empty() ? 0u : static_cast<unsigned>(EPOLLOUT));
+  event.data.fd = fd;
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &event);
+}
+
+void Server::handle_readable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) {
+    return;  // closed earlier in this event batch
+  }
+  auto& conn = it->second;
+  char chunk[64 * 1024];
+  while (true) {
+    std::size_t received = 0;
+    const auto status = recv_some(fd, chunk, sizeof chunk, received);
+    if (status == IoStatus::Closed) {
+      close_connection(fd, /*dropped=*/false);
+      return;
+    }
+    if (status == IoStatus::WouldBlock) {
+      break;
+    }
+    conn.reader.feed(std::string_view(chunk, received));
+    try {
+      while (auto message = conn.reader.next()) {
+        {
+          const std::scoped_lock lock(counters_mutex_);
+          ++counters_.frames_in;
+        }
+        handle_frame(fd, conn, *message);
+        if (connections_.find(fd) == connections_.end()) {
+          return;  // handle_frame dropped the connection
+        }
+      }
+    } catch (const Error&) {
+      // Framing damage (runt/oversize length prefix): the stream cannot be
+      // re-synchronized, so the connection goes.
+      close_connection(fd, /*dropped=*/true);
+      return;
+    }
+  }
+}
+
+void Server::handle_frame(int fd, Connection& conn,
+                          const FramedMessage& message) {
+  flow::wire::MessageKind kind;
+  try {
+    kind = flow::wire::peek_kind(message.frame);
+  } catch (const Error& error) {
+    // The envelope delimited it, so the stream stays usable — answer the
+    // damaged frame (bad magic, hash mismatch, version skew) on its own
+    // ticket and keep serving the connection.
+    {
+      const std::scoped_lock lock(counters_mutex_);
+      ++counters_.decode_errors;
+    }
+    flow::JobResult failed;
+    failed.error = std::string("server: ") + error.what();
+    queue_reply(fd, conn, message.ticket, flow::wire::encode(failed));
+    return;
+  }
+  if (kind == flow::wire::MessageKind::Ping) {
+    queue_reply(fd, conn, message.ticket, flow::wire::encode(stats_reply()));
+    return;
+  }
+  if (kind != flow::wire::MessageKind::JobSpec) {
+    // A server never receives results or stats; a peer that sends them is
+    // not speaking the protocol.
+    close_connection(fd, /*dropped=*/true);
+    return;
+  }
+  try {
+    const auto spec = flow::wire::decode_job_spec(message.frame);
+    const auto ticket = service_->submit(spec.to_job());
+    routes_.emplace(ticket, std::make_pair(fd, message.ticket));
+    conn.tickets.push_back(ticket);
+  } catch (const std::exception& error) {
+    // Decoded-but-unrunnable (unknown policy, unresolvable source): the
+    // job's failure, not the connection's.
+    {
+      const std::scoped_lock lock(counters_mutex_);
+      ++counters_.decode_errors;
+    }
+    flow::JobResult failed;
+    failed.error = error.what();
+    queue_reply(fd, conn, message.ticket, flow::wire::encode(failed));
+  }
+}
+
+void Server::queue_reply(int fd, Connection& conn, std::uint64_t client_ticket,
+                         std::string frame) {
+  conn.out_queue.push_back(envelope(client_ticket, frame));
+  {
+    const std::scoped_lock lock(counters_mutex_);
+    ++counters_.frames_out;
+  }
+  // Opportunistic flush: we are on the loop thread and the socket is very
+  // likely writable — skip one epoll round trip.
+  handle_writable(fd);
+}
+
+void Server::handle_writable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) {
+    return;
+  }
+  auto& conn = it->second;
+  while (!conn.out_queue.empty()) {
+    const auto& front = conn.out_queue.front();
+    std::size_t sent = 0;
+    const auto status = send_some(
+        fd, std::string_view(front).substr(conn.out_offset), sent);
+    if (status == IoStatus::Closed) {
+      close_connection(fd, /*dropped=*/true);
+      return;
+    }
+    if (status == IoStatus::WouldBlock) {
+      break;
+    }
+    conn.out_offset += sent;
+    if (conn.out_offset == front.size()) {
+      conn.out_queue.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+  update_interest(fd, conn);
+}
+
+void Server::drain_completions() {
+  std::vector<flow::Ticket> ready;
+  {
+    const std::scoped_lock lock(completion_mutex_);
+    ready.swap(completed_);
+  }
+  for (const auto ticket : ready) {
+    auto result = service_->try_get(ticket);
+    if (!result) {
+      continue;  // completion raced shutdown — nothing to route
+    }
+    const auto route = routes_.find(ticket);
+    if (route == routes_.end()) {
+      continue;  // connection died while the job ran: collected + discarded
+    }
+    const auto [fd, client_ticket] = route->second;
+    routes_.erase(route);
+    const auto conn = connections_.find(fd);
+    if (conn == connections_.end()) {
+      continue;
+    }
+    std::erase(conn->second.tickets, ticket);
+    // Responses carry the report and stats, not the prepared graph — the
+    // rewritten MIG stays in the shard's cache where the next job wants it,
+    // instead of multiplying every response's size.
+    result->prepared = nullptr;
+    queue_reply(fd, conn->second, client_ticket,
+                flow::wire::encode(*result));
+  }
+}
+
+void Server::close_connection(int fd, bool dropped) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) {
+    return;
+  }
+  // Pending jobs of a vanished peer are wasted work — cancel them. Running
+  // ones finish and get discarded when their completion finds no route.
+  for (const auto ticket : it->second.tickets) {
+    routes_.erase(ticket);
+    service_->cancel(ticket);
+  }
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  connections_.erase(it);
+  if (dropped) {
+    const std::scoped_lock lock(counters_mutex_);
+    ++counters_.dropped_connections;
+  }
+}
+
+}  // namespace rlim::net

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/service.hpp"
+#include "flow/wire.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+
+namespace rlim::net {
+
+struct ServerOptions {
+  /// flow::Service worker-pool ceiling (0 = hardware concurrency).
+  unsigned jobs = 0;
+  /// Persistent store directory backing the shard's pipeline cache; empty
+  /// leaves the disk tier off. A cluster gives each shard its own directory —
+  /// consistent-hash routing is what keeps every shard's store hot.
+  std::string cache_dir{};
+  /// Ceiling on one framed message (enforced on the untrusted length prefix
+  /// before any allocation).
+  std::size_t max_frame_bytes = flow::wire::kDefaultMaxFrameBytes;
+  /// Failure-injection knob: sleep this long before every accept. Only the
+  /// loopback test harness sets it (client connect timeouts and retries are
+  /// exercised against a genuinely slow acceptor).
+  std::chrono::milliseconds accept_delay{0};
+};
+
+/// Lifetime I/O counters of one Server (monotonic, read at any time).
+struct ServerCounters {
+  std::uint64_t accepted = 0;          ///< connections accepted
+  std::uint64_t frames_in = 0;         ///< envelopes parsed off the wire
+  std::uint64_t frames_out = 0;        ///< envelopes written back
+  std::uint64_t decode_errors = 0;     ///< authenticated-envelope frames that
+                                       ///< failed wire decoding (answered
+                                       ///< with an error JobResult)
+  std::uint64_t dropped_connections = 0;  ///< closed on framing damage,
+                                          ///< protocol misuse, or I/O error
+};
+
+/// The shard side of the net transport: a single epoll event loop that
+/// accepts TCP connections, parses length-delimited envelopes, feeds
+/// decoded flow::wire JobSpec frames into an owned flow::Service, and
+/// streams JobResult frames back tagged with the client's ticket ids — in
+/// completion order, which is what makes in-flight pipelining pay.
+///
+/// Ping frames are answered inline with a Stats frame (service counters,
+/// both cache levels, disk-store counters), so a fleet monitor can probe a
+/// shard without costing it a worker.
+///
+/// Failure containment per connection: framing damage (bad length prefix)
+/// or an unparseable/mis-kinded frame closes that connection only; a frame
+/// that authenticates but fails JobSpec decoding (unknown policy, damaged
+/// payload) is answered with an error JobResult on the same ticket. A
+/// vanished peer's in-flight jobs run to completion and their results are
+/// discarded; its still-pending jobs are cancelled.
+///
+/// The accept loop, reads, writes, and completion dispatch all run on one
+/// background thread (started by the constructor); all the heavy lifting
+/// happens on the Service's worker pool. stop() (or destruction) shuts the
+/// loop down, closes every connection, and drains the Service.
+class Server {
+ public:
+  /// Binds and starts serving immediately. Throws rlim::Error when the
+  /// endpoint cannot be bound or the cache directory is unusable.
+  explicit Server(const Endpoint& listen, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The actually bound port (resolves an ephemeral bind request).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] Endpoint endpoint() const {
+    return {listen_host_, port_};
+  }
+
+  /// Stops accepting, closes every connection (in-flight responses are
+  /// abandoned — the client's retry path owns recovery), and joins the
+  /// loop. Idempotent.
+  void stop();
+
+  [[nodiscard]] ServerCounters counters() const;
+  [[nodiscard]] flow::ServiceStats service_stats() const {
+    return service_->stats();
+  }
+  [[nodiscard]] const flow::PipelineCache& cache() const {
+    return service_->cache();
+  }
+
+  /// The shard's health snapshot (same payload a Ping returns).
+  [[nodiscard]] flow::wire::StatsReply stats_reply() const;
+
+ private:
+  struct Connection {
+    Fd fd;
+    FrameReader reader;
+    std::deque<std::string> out_queue;  ///< encoded envelopes
+    std::size_t out_offset = 0;         ///< sent bytes of out_queue.front()
+    /// Outstanding service tickets submitted by this connection.
+    std::vector<flow::Ticket> tickets;
+
+    explicit Connection(Fd socket, std::size_t max_frame_bytes)
+        : fd(std::move(socket)), reader(max_frame_bytes) {}
+  };
+
+  void loop();
+  void accept_connections();
+  void handle_readable(int fd);
+  void handle_writable(int fd);
+  void handle_frame(int fd, Connection& conn, const FramedMessage& message);
+  void queue_reply(int fd, Connection& conn, std::uint64_t client_ticket,
+                   std::string frame);
+  void drain_completions();
+  void close_connection(int fd, bool dropped);
+  void update_interest(int fd, const Connection& conn);
+  void wake();
+
+  ServerOptions options_;
+  std::string listen_host_;
+  std::uint16_t port_ = 0;
+  Fd listen_fd_;
+  Fd epoll_fd_;
+  Fd wake_fd_;  ///< eventfd: job completions and stop requests
+
+  std::unique_ptr<flow::Service> service_;
+
+  std::unordered_map<int, Connection> connections_;
+  /// service ticket -> (connection fd, client ticket). Entries whose
+  /// connection died stay until completion, then collect-and-discard.
+  std::unordered_map<flow::Ticket, std::pair<int, std::uint64_t>> routes_;
+
+  std::mutex completion_mutex_;
+  std::vector<flow::Ticket> completed_;  ///< pushed by service workers
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> stopped_{false};
+  std::thread thread_;
+
+  mutable std::mutex counters_mutex_;
+  ServerCounters counters_;
+};
+
+}  // namespace rlim::net

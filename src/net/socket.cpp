@@ -1,0 +1,246 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace rlim::net {
+
+namespace {
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string("net: ") + what + ": " + std::strerror(errno);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  require(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+          "net: cannot set O_NONBLOCK");
+}
+
+/// getaddrinfo wrapper shared by listen and connect. Returns the resolved
+/// list; the caller walks it until one address works.
+struct AddrList {
+  ::addrinfo* head = nullptr;
+  ~AddrList() {
+    if (head != nullptr) {
+      ::freeaddrinfo(head);
+    }
+  }
+};
+
+void resolve(const Endpoint& endpoint, bool passive, AddrList& out) {
+  ::addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+  const auto service = std::to_string(endpoint.port);
+  const int rc = ::getaddrinfo(endpoint.host.empty() ? nullptr
+                                                     : endpoint.host.c_str(),
+                               service.c_str(), &hints, &out.head);
+  require(rc == 0, "net: cannot resolve '" + endpoint.to_string() +
+                       "': " + ::gai_strerror(rc));
+}
+
+}  // namespace
+
+Endpoint parse_endpoint(std::string_view text) {
+  Endpoint endpoint;
+  std::string_view host;
+  std::string_view port;
+  if (!text.empty() && text.front() == '[') {
+    // [IPv6]:PORT
+    const auto close = text.find(']');
+    require(close != std::string_view::npos && close + 1 < text.size() &&
+                text[close + 1] == ':',
+            "net: bad endpoint '" + std::string(text) +
+                "' (expected [HOST]:PORT)");
+    host = text.substr(1, close - 1);
+    port = text.substr(close + 2);
+  } else {
+    const auto colon = text.rfind(':');
+    require(colon != std::string_view::npos,
+            "net: bad endpoint '" + std::string(text) +
+                "' (expected HOST:PORT)");
+    host = text.substr(0, colon);
+    port = text.substr(colon + 1);
+  }
+  require(!host.empty(), "net: endpoint '" + std::string(text) +
+                             "' is missing a host");
+  require(!port.empty() &&
+              port.find_first_not_of("0123456789") == std::string_view::npos,
+          "net: endpoint '" + std::string(text) +
+              "' needs a numeric port");
+  unsigned long value = 0;
+  for (const char c : port) {
+    value = value * 10 + static_cast<unsigned long>(c - '0');
+    require(value <= 65535, "net: endpoint '" + std::string(text) +
+                                "' port is out of range");
+  }
+  endpoint.host = std::string(host);
+  endpoint.port = static_cast<std::uint16_t>(value);
+  return endpoint;
+}
+
+std::vector<Endpoint> parse_endpoints(std::string_view text) {
+  std::vector<Endpoint> endpoints;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto end = text.find(',', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    const auto piece = text.substr(start, end - start);
+    require(!piece.empty(), "net: empty endpoint in list '" +
+                                std::string(text) + "'");
+    endpoints.push_back(parse_endpoint(piece));
+    if (end == text.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+  require(!endpoints.empty(), "net: endpoint list is empty");
+  return endpoints;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+Fd listen_tcp(const Endpoint& endpoint, int backlog) {
+  ignore_sigpipe();
+  AddrList addrs;
+  resolve(endpoint, /*passive=*/true, addrs);
+  std::string last_error = "no addresses";
+  for (const auto* addr = addrs.head; addr != nullptr; addr = addr->ai_next) {
+    Fd fd(::socket(addr->ai_family, addr->ai_socktype, addr->ai_protocol));
+    if (!fd.valid()) {
+      last_error = errno_message("socket");
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd.get(), addr->ai_addr, addr->ai_addrlen) != 0 ||
+        ::listen(fd.get(), backlog) != 0) {
+      last_error = errno_message("bind/listen");
+      continue;
+    }
+    set_nonblocking(fd.get());
+    return fd;
+  }
+  throw Error("net: cannot listen on '" + endpoint.to_string() +
+              "': " + last_error);
+}
+
+std::uint16_t local_port(const Fd& socket) {
+  ::sockaddr_storage addr{};
+  ::socklen_t len = sizeof addr;
+  require(::getsockname(socket.get(),
+                        reinterpret_cast<::sockaddr*>(&addr), &len) == 0,
+          "net: getsockname failed");
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<::sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<::sockaddr_in6*>(&addr)->sin6_port);
+  }
+  throw Error("net: unexpected socket family");
+}
+
+Fd connect_tcp(const Endpoint& endpoint, std::chrono::milliseconds timeout) {
+  ignore_sigpipe();
+  AddrList addrs;
+  resolve(endpoint, /*passive=*/false, addrs);
+  std::string last_error = "no addresses";
+  for (const auto* addr = addrs.head; addr != nullptr; addr = addr->ai_next) {
+    Fd fd(::socket(addr->ai_family, addr->ai_socktype, addr->ai_protocol));
+    if (!fd.valid()) {
+      last_error = errno_message("socket");
+      continue;
+    }
+    set_nonblocking(fd.get());
+    if (::connect(fd.get(), addr->ai_addr, addr->ai_addrlen) == 0) {
+      return fd;
+    }
+    if (errno != EINPROGRESS) {
+      last_error = errno_message("connect");
+      continue;
+    }
+    // Nonblocking connect: wait for writability, then read the final
+    // status out of SO_ERROR (the only reliable way to tell success from a
+    // delayed refusal).
+    ::pollfd pfd{fd.get(), POLLOUT, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (ready == 0) {
+      last_error = "connect timed out after " +
+                   std::to_string(timeout.count()) + " ms";
+      continue;
+    }
+    if (ready < 0) {
+      last_error = errno_message("poll");
+      continue;
+    }
+    int status = 0;
+    ::socklen_t status_len = sizeof status;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &status, &status_len) !=
+            0 ||
+        status != 0) {
+      errno = status != 0 ? status : errno;
+      last_error = errno_message("connect");
+      continue;
+    }
+    return fd;
+  }
+  throw Error("net: cannot connect to '" + endpoint.to_string() +
+              "': " + last_error);
+}
+
+IoStatus send_some(int fd, std::string_view bytes, std::size_t& sent) {
+  sent = 0;
+  const auto n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  if (n > 0) {
+    sent = static_cast<std::size_t>(n);
+    return IoStatus::Ok;
+  }
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return IoStatus::WouldBlock;
+  }
+  return IoStatus::Closed;  // EPIPE, ECONNRESET, or any other hard error
+}
+
+IoStatus recv_some(int fd, char* buffer, std::size_t capacity,
+                   std::size_t& received) {
+  received = 0;
+  const auto n = ::recv(fd, buffer, capacity, 0);
+  if (n > 0) {
+    received = static_cast<std::size_t>(n);
+    return IoStatus::Ok;
+  }
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return IoStatus::WouldBlock;
+  }
+  return IoStatus::Closed;  // n == 0 is orderly EOF
+}
+
+}  // namespace rlim::net

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rlim::net {
+
+/// One TCP endpoint in the CLI's `HOST:PORT` notation. HOST is a numeric
+/// IPv4/IPv6 address or a resolvable name; PORT 0 asks the kernel for an
+/// ephemeral port when listening (tests bind this way and read the resolved
+/// port back with local_port()).
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  /// Round-trips through parse_endpoint: IPv6 literals come back bracketed.
+  [[nodiscard]] std::string to_string() const {
+    const bool ipv6 = host.find(':') != std::string::npos;
+    return (ipv6 ? "[" + host + "]" : host) + ":" + std::to_string(port);
+  }
+  bool operator==(const Endpoint&) const = default;
+};
+
+/// Parses `HOST:PORT` (throws rlim::Error on a missing/non-numeric port or
+/// empty host). IPv6 literals use brackets: `[::1]:7070`.
+[[nodiscard]] Endpoint parse_endpoint(std::string_view text);
+
+/// Parses a comma-separated endpoint list, e.g. `h1:7070,h2:7070` (the
+/// `rlim submit --connect` syntax). At least one endpoint is required.
+[[nodiscard]] std::vector<Endpoint> parse_endpoints(std::string_view text);
+
+/// RAII file descriptor. Closes on destruction; moveable, not copyable.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Process-wide SIGPIPE suppression, idempotent. Every socket entry point
+/// calls this: a peer that vanishes mid-write must surface as a recoverable
+/// I/O error on that one connection, never as a fatal signal to the whole
+/// process. Writes additionally pass MSG_NOSIGNAL as a belt-and-braces
+/// measure (it also protects callers that installed their own handler).
+void ignore_sigpipe();
+
+/// Creates a nonblocking listening socket (SO_REUSEADDR) bound to
+/// `endpoint`. Throws rlim::Error when the address cannot be resolved or
+/// bound.
+[[nodiscard]] Fd listen_tcp(const Endpoint& endpoint, int backlog = 128);
+
+/// The locally bound port of a socket — resolves port 0 after listen_tcp.
+[[nodiscard]] std::uint16_t local_port(const Fd& socket);
+
+/// Connects with a timeout; the returned socket is nonblocking and ready
+/// for I/O. Throws rlim::Error on resolution failure, refusal, or timeout.
+[[nodiscard]] Fd connect_tcp(const Endpoint& endpoint,
+                             std::chrono::milliseconds timeout);
+
+/// Outcome of one nonblocking send/recv step.
+enum class IoStatus {
+  Ok,          ///< moved at least one byte
+  WouldBlock,  ///< no bytes available/acceptable right now (EAGAIN)
+  Closed,      ///< orderly EOF, reset, or any other hard error — the
+               ///< connection is gone either way
+};
+
+/// Nonblocking write (MSG_NOSIGNAL). On Ok, `sent` holds the bytes written
+/// (possibly a short write — call again for the rest).
+[[nodiscard]] IoStatus send_some(int fd, std::string_view bytes,
+                                 std::size_t& sent);
+
+/// Nonblocking read. On Ok, `received` holds the bytes read into `buffer`.
+[[nodiscard]] IoStatus recv_some(int fd, char* buffer, std::size_t capacity,
+                                 std::size_t& received);
+
+}  // namespace rlim::net

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -473,6 +474,64 @@ TEST(FlowService, WorkerCountDefaultsToHardwareConcurrency) {
 TEST(FlowService, CacheDirRequiresCaching) {
   EXPECT_THROW(Service({.cache_rewrites = false, .cache_dir = "/tmp/x"}),
                Error);
+}
+
+TEST(FlowService, OnFinishedFiresOncePerTicketAndAllowsCollection) {
+  std::mutex mutex;
+  std::vector<Ticket> notified;
+  ServiceOptions options;
+  options.jobs = 2;
+  options.on_finished = [&](Ticket ticket) {
+    const std::scoped_lock lock(mutex);
+    notified.push_back(ticket);
+  };
+  Service service(std::move(options));
+  std::vector<Ticket> tickets;
+  for (unsigned bits = 2; bits <= 5; ++bits) {
+    tickets.push_back(service.submit({Source::graph(bench::make_adder(bits),
+                                                    "a" + std::to_string(bits)),
+                                      core::make_config(core::Strategy::Naive),
+                                      {}}));
+  }
+  for (const auto ticket : tickets) {
+    // The hook's contract: by the time a wait() returns, the result was
+    // collectable — so the notification must not be lost either.
+    ASSERT_TRUE(service.wait(ticket).ok());
+  }
+  service.shutdown();
+  const std::scoped_lock lock(mutex);
+  auto sorted_notified = notified;
+  std::sort(sorted_notified.begin(), sorted_notified.end());
+  EXPECT_EQ(sorted_notified, tickets);
+}
+
+TEST(FlowService, OnFinishedFiresForCancelledTickets) {
+  const auto gate = std::make_shared<Gate>();
+  std::mutex mutex;
+  std::vector<Ticket> notified;
+  ServiceOptions options;
+  options.jobs = 1;
+  options.on_finished = [&](Ticket ticket) {
+    const std::scoped_lock lock(mutex);
+    notified.push_back(ticket);
+  };
+  Service service(std::move(options));
+  const auto running = service.submit(
+      {gated_source(gate), core::make_config(core::Strategy::Naive), {}});
+  gate->await_entered();  // the single worker is stuck inside the gated build
+  const auto pending = service.submit({Source::graph(bench::make_adder(4), "p"),
+                                       core::make_config(core::Strategy::Naive),
+                                       {}});
+  EXPECT_TRUE(service.cancel(pending));  // never ran — cancellation completes it
+  {
+    const std::scoped_lock lock(mutex);
+    EXPECT_EQ(notified, std::vector<Ticket>{pending});
+  }
+  gate->release();
+  ASSERT_TRUE(service.wait(running).ok());
+  service.shutdown();
+  const std::scoped_lock lock(mutex);
+  EXPECT_EQ(notified.size(), 2u);
 }
 
 }  // namespace

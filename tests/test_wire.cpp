@@ -125,6 +125,80 @@ TEST(FlowWire, ResultWithoutPreparedGraphRoundTrips) {
   expect_reports_equal(decoded.report, result.report);
 }
 
+// ---- ping / stats -----------------------------------------------------------
+
+TEST(FlowWire, PingRoundTrips) {
+  const auto frame = encode_ping();
+  EXPECT_EQ(peek_kind(frame), MessageKind::Ping);
+  EXPECT_NO_THROW(decode_ping(frame));
+  // Ping authenticates like everything else: a damaged frame is rejected.
+  auto corrupt = frame;
+  corrupt[corrupt.size() / 2] =
+      static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x01);
+  EXPECT_THROW(decode_ping(corrupt), Error);
+}
+
+StatsReply sample_stats() {
+  StatsReply stats;
+  stats.submitted = 101;
+  stats.completed = 100;
+  stats.executed = 73;
+  stats.coalesced = 21;
+  stats.cancelled = 1;
+  stats.rewrite_hits = 50;
+  stats.rewrite_misses = 23;
+  stats.program_hits = 40;
+  stats.program_misses = 33;
+  stats.has_store = true;
+  stats.store_rewrite_loads = 7;
+  stats.store_program_loads = 8;
+  stats.store_load_misses = 9;
+  stats.store_stores = 10;
+  stats.store_failures = 1;
+  stats.store_evicted_corrupt = 2;
+  stats.store_evicted_version = 3;
+  stats.workers = 16;
+  return stats;
+}
+
+TEST(FlowWire, StatsReplyRoundTrips) {
+  const auto stats = sample_stats();
+  const auto frame = encode(stats);
+  EXPECT_EQ(peek_kind(frame), MessageKind::Stats);
+  EXPECT_EQ(decode_stats(frame), stats);
+
+  // The storeless variant drops the store block entirely.
+  StatsReply storeless = stats;
+  storeless.has_store = false;
+  storeless.store_rewrite_loads = 0;
+  storeless.store_program_loads = 0;
+  storeless.store_load_misses = 0;
+  storeless.store_stores = 0;
+  storeless.store_failures = 0;
+  storeless.store_evicted_corrupt = 0;
+  storeless.store_evicted_version = 0;
+  const auto short_frame = encode(storeless);
+  EXPECT_LT(short_frame.size(), frame.size());
+  EXPECT_EQ(decode_stats(short_frame), storeless);
+}
+
+TEST(FlowWire, StatsKindIsChecked) {
+  EXPECT_THROW(static_cast<void>(decode_stats(encode_ping())), Error);
+  EXPECT_THROW(decode_ping(encode(sample_stats())), Error);
+  EXPECT_THROW(static_cast<void>(decode_job_spec(encode(sample_stats()))),
+               Error);
+}
+
+TEST(FlowWire, StatsBitFlipsAreRejected) {
+  const auto frame = encode(sample_stats());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    auto corrupt = frame;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    EXPECT_THROW(static_cast<void>(decode_stats(corrupt)), Error)
+        << "flip at byte " << i << " must not decode";
+  }
+}
+
 // ---- framing ----------------------------------------------------------------
 
 TEST(FlowWire, PeekKindDispatches) {

@@ -5,6 +5,9 @@
 #include <filesystem>
 #include <iostream>
 #include <optional>
+#include <utility>
+
+#include <signal.h>
 
 #include "benchmarks/suite.hpp"
 #include "core/lifetime.hpp"
@@ -12,8 +15,12 @@
 #include "flow/runner.hpp"
 #include "flow/service.hpp"
 #include "flow/suite.hpp"
+#include "flow/wire.hpp"
 #include "mig/io.hpp"
 #include "mig/rewriting.hpp"
+#include "net/client.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
 #include "store/disk_store.hpp"
 #include "store/format.hpp"
 #include "store/gc.hpp"
@@ -41,6 +48,12 @@ struct Options {
   bool disasm = false;
   bool verify = false;
   bool stdin_jobs = false;  // serve: read job specs from the input stream
+  std::string listen;       // serve: HOST:PORT socket front-end
+  std::string connect;      // submit/stats: shard endpoint list
+  std::optional<unsigned> retries;                   // submit: per-shard
+  std::optional<std::uint64_t> connect_timeout_ms;   // submit/stats
+  std::optional<std::uint64_t> request_timeout_ms;   // submit/stats
+  std::optional<std::uint64_t> max_frame_bytes;      // serve/submit/stats
   std::string cache_dir;  // --cache-dir: overrides RLIM_CACHE_DIR
   std::optional<std::uint64_t> max_bytes;     // cache gc
   std::optional<std::uint64_t> max_age_days;  // cache gc
@@ -63,8 +76,8 @@ std::uint64_t parse_u64(const std::string& option, const std::string& text) {
 Options parse(const std::vector<std::string>& args) {
   Options options;
   require(!args.empty(),
-          "missing command (info, rewrite, compile, suite, serve, policies, "
-          "cache, version)");
+          "missing command (info, rewrite, compile, suite, serve, submit, "
+          "stats, policies, cache, version)");
   options.command = args[0] == "--version" ? "version" : args[0];
   for (std::size_t i = 1; i < args.size(); ++i) {
     const auto& arg = args[i];
@@ -92,6 +105,22 @@ Options parse(const std::vector<std::string>& args) {
       options.verify = true;
     } else if (arg == "--stdin-jobs") {
       options.stdin_jobs = true;
+    } else if (arg == "--listen") {
+      options.listen = next();
+      require(!options.listen.empty(), "--listen needs HOST:PORT");
+    } else if (arg == "--connect") {
+      options.connect = next();
+      require(!options.connect.empty(),
+              "--connect needs HOST:PORT[,HOST:PORT...]");
+    } else if (arg == "--retries") {
+      options.retries = static_cast<unsigned>(parse_u64(arg, next()));
+    } else if (arg == "--connect-timeout-ms") {
+      options.connect_timeout_ms = parse_u64(arg, next());
+    } else if (arg == "--request-timeout-ms") {
+      options.request_timeout_ms = parse_u64(arg, next());
+    } else if (arg == "--max-frame-bytes") {
+      options.max_frame_bytes = parse_u64(arg, next());
+      require(*options.max_frame_bytes > 0, "--max-frame-bytes must be > 0");
     } else if (arg == "--cache-dir") {
       options.cache_dir = next();
       require(!options.cache_dir.empty(), "--cache-dir needs a directory");
@@ -410,6 +439,273 @@ int cmd_suite(const Options& options, std::ostream& out, std::ostream& err) {
   return all_verified ? 0 : 2;
 }
 
+/// Splits one job-stream line (`NETLIST [CONFIG-SPEC]`) into the netlist
+/// label and the optional config spec; nullopt for blank and `#` comment
+/// lines. Shared by `serve --stdin-jobs` and `submit` so the two transports
+/// accept byte-identical streams.
+std::optional<std::pair<std::string, std::optional<std::string>>>
+split_job_line(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') {
+    return std::nullopt;
+  }
+  const auto last = line.find_last_not_of(" \t\r");
+  const auto text = line.substr(first, last - first + 1);
+  const auto space = text.find_first_of(" \t");
+  if (space == std::string::npos) {
+    return std::make_pair(text, std::nullopt);
+  }
+  return std::make_pair(
+      text.substr(0, space),
+      std::optional<std::string>(
+          text.substr(text.find_first_not_of(" \t", space))));
+}
+
+/// Client/router knobs from the command line (defaults from ClientOptions).
+net::ClientOptions client_options_from(const Options& options) {
+  net::ClientOptions client;
+  if (options.retries) {
+    client.max_retries = *options.retries;
+  }
+  if (options.connect_timeout_ms) {
+    client.connect_timeout = std::chrono::milliseconds(
+        static_cast<std::int64_t>(*options.connect_timeout_ms));
+  }
+  if (options.request_timeout_ms) {
+    client.request_timeout = std::chrono::milliseconds(
+        static_cast<std::int64_t>(*options.request_timeout_ms));
+  }
+  if (options.max_frame_bytes) {
+    client.max_frame_bytes = *options.max_frame_bytes;
+  }
+  return client;
+}
+
+/// `rlim serve --listen HOST:PORT`: the socket front-end. Binds a
+/// net::Server (epoll loop + owned flow::Service) and parks this thread in
+/// sigwait until SIGINT/SIGTERM asks for shutdown — jobs arrive as
+/// flow::wire frames from `rlim submit`, not from stdin, and configs travel
+/// inside the specs.
+int cmd_serve_listen(const Options& options, std::ostream& err) {
+  require(options.positional.empty(),
+          "serve reads jobs from the socket, not the command line");
+  require(!options.disasm && !options.verify,
+          "serve: --disasm/--verify are compile-only");
+  require(!options.format,
+          "serve --listen speaks flow::wire frames; --format belongs to "
+          "submit");
+  require(options.config_spec.empty() && !options.strategy && !options.cap &&
+              !options.effort,
+          "serve --listen: configs travel inside the submitted job specs "
+          "(pass --config/--strategy to `rlim submit`)");
+
+  // Block the shutdown signals before the server spawns its threads so they
+  // inherit the mask and sigwait() below is their only consumer.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  net::ServerOptions server_options;
+  server_options.jobs = options.jobs;
+  server_options.cache_dir = resolve_cache_dir(options);
+  if (options.max_frame_bytes) {
+    server_options.max_frame_bytes = *options.max_frame_bytes;
+  }
+  net::Server server(net::parse_endpoint(options.listen),
+                     std::move(server_options));
+  err << "rlim: serve: listening on " << server.endpoint().to_string()
+      << " (" << server.stats_reply().workers << " workers)\n";
+  err.flush();
+
+  int received = 0;
+  sigwait(&mask, &received);
+  server.stop();
+
+  const auto stats = server.service_stats();
+  const auto counters = server.counters();
+  err << "rlim: serve: " << stats.submitted << " jobs over "
+      << counters.accepted << " connections, " << stats.executed
+      << " executed, " << stats.coalesced << " coalesced, "
+      << counters.frames_out << " frames out, " << counters.decode_errors
+      << " decode errors, " << counters.dropped_connections
+      << " connections dropped\n";
+  print_store_summary(server.cache(), err);
+  return 0;
+}
+
+/// `rlim submit --connect EP[,EP...]`: the client side of the socket
+/// transport. Reads the same `NETLIST [CONFIG-SPEC]` lines as
+/// `serve --stdin-jobs`, ships them as by-reference flow::wire JobSpecs
+/// through a net::ShardRouter (consistent hashing + failover), and prints
+/// the same CSV rows in input order — a cluster run is byte-identical to a
+/// local one.
+int cmd_submit(const Options& options, std::istream& in, std::ostream& out,
+               std::ostream& err) {
+  require(!options.connect.empty(),
+          "submit needs --connect HOST:PORT[,HOST:PORT...]");
+  require(options.positional.empty(),
+          "submit reads jobs from stdin, not the command line");
+  require(!options.disasm && !options.verify,
+          "submit: --disasm/--verify are compile-only");
+  require(!options.format || *options.format == flow::ReportFormat::Csv,
+          "submit streams CSV rows; --format " +
+              flow::to_string(format_of(options)) + " cannot stream");
+  const auto default_config = config_from(options);
+
+  /// One input line: an index into `specs`, or the parse failure pinned to
+  /// the line's stream position.
+  struct Line {
+    std::string label;
+    std::optional<std::size_t> spec;
+    std::string error;
+  };
+  std::vector<Line> lines;
+  std::vector<flow::wire::JobSpec> specs;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto split = split_job_line(line);
+    if (!split) {
+      continue;
+    }
+    Line item;
+    item.label = split->first;
+    try {
+      const auto config = split->second
+                              ? core::PipelineConfig::parse(*split->second)
+                              : default_config;
+      item.spec = specs.size();
+      specs.push_back(
+          flow::wire::JobSpec::reference(item.label, config, item.label));
+    } catch (const std::exception& error) {
+      item.error = error.what();
+    }
+    lines.push_back(std::move(item));
+  }
+
+  net::ShardRouter router(net::parse_endpoints(options.connect),
+                          client_options_from(options));
+  const auto results = router.run(specs);
+
+  flow::write_csv_row(summary_columns(), out);
+  std::size_t failures = 0;
+  for (const auto& item : lines) {
+    flow::JobResult parse_failed;
+    const flow::JobResult* result = &parse_failed;
+    if (item.spec) {
+      result = &results[*item.spec];
+    } else {
+      parse_failed.error = item.error;
+    }
+    if (!result->ok()) {
+      ++failures;
+    }
+    flow::write_csv_row(
+        result_cells(item.label, *result, summary_columns().size()), out);
+  }
+  out.flush();
+
+  err << "rlim: submit: " << specs.size() << " jobs across "
+      << router.shard_count() << " shards, "
+      << router.telemetry().failovers << " failovers, "
+      << router.telemetry().rerouted << " jobs rerouted, " << failures
+      << " failed\n";
+  for (std::size_t shard = 0; shard < router.shard_count(); ++shard) {
+    const auto& telemetry = router.telemetry(shard);
+    err << "rlim: shard " << router.endpoint(shard).to_string() << ": "
+        << (router.alive(shard) ? "alive" : "dead") << ", "
+        << telemetry.connects << " connects, " << telemetry.retries
+        << " retries, " << telemetry.frames_out << " out, "
+        << telemetry.frames_in << " in\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+/// `rlim stats --connect EP[,EP...]`: pings every shard and renders one
+/// column per endpoint. An unreachable shard keeps its column (dashes) and
+/// flips the exit code, so a fleet check reads as one table either way.
+int cmd_stats(const Options& options, std::ostream& out) {
+  require(!options.connect.empty(),
+          "stats needs --connect HOST:PORT[,HOST:PORT...]");
+  require(options.positional.empty(), "stats takes no positional arguments");
+  const auto endpoints = net::parse_endpoints(options.connect);
+
+  flow::Report doc;
+  doc.title = "shard stats";
+  doc.columns = {"metric"};
+  std::vector<std::optional<flow::wire::StatsReply>> replies;
+  bool any_unreachable = false;
+  for (const auto& endpoint : endpoints) {
+    doc.columns.push_back(endpoint.to_string());
+    net::Client client(endpoint, client_options_from(options));
+    try {
+      replies.push_back(client.ping());
+    } catch (const std::exception& error) {
+      replies.emplace_back();
+      doc.add_note(endpoint.to_string() + ": " + error.what());
+      any_unreachable = true;
+    }
+  }
+
+  using Field = std::uint64_t (*)(const flow::wire::StatsReply&);
+  const std::pair<const char*, Field> metrics[] = {
+      {"workers", [](const flow::wire::StatsReply& r) {
+         return std::uint64_t{r.workers}; }},
+      {"submitted", [](const flow::wire::StatsReply& r) { return r.submitted; }},
+      {"completed", [](const flow::wire::StatsReply& r) { return r.completed; }},
+      {"executed", [](const flow::wire::StatsReply& r) { return r.executed; }},
+      {"coalesced", [](const flow::wire::StatsReply& r) { return r.coalesced; }},
+      {"cancelled", [](const flow::wire::StatsReply& r) { return r.cancelled; }},
+      {"rewrite hits", [](const flow::wire::StatsReply& r) {
+         return r.rewrite_hits; }},
+      {"rewrite misses", [](const flow::wire::StatsReply& r) {
+         return r.rewrite_misses; }},
+      {"program hits", [](const flow::wire::StatsReply& r) {
+         return r.program_hits; }},
+      {"program misses", [](const flow::wire::StatsReply& r) {
+         return r.program_misses; }},
+  };
+  for (const auto& [name, field] : metrics) {
+    std::vector<std::string> row{name};
+    for (const auto& reply : replies) {
+      row.push_back(reply ? std::to_string(field(*reply)) : "-");
+    }
+    doc.add_row(std::move(row));
+  }
+  // The store block renders only when some shard has a disk tier — a
+  // storeless fleet's table stays short.
+  const std::pair<const char*, Field> store_metrics[] = {
+      {"store rewrite loads", [](const flow::wire::StatsReply& r) {
+         return r.store_rewrite_loads; }},
+      {"store program loads", [](const flow::wire::StatsReply& r) {
+         return r.store_program_loads; }},
+      {"store load misses", [](const flow::wire::StatsReply& r) {
+         return r.store_load_misses; }},
+      {"store stores", [](const flow::wire::StatsReply& r) {
+         return r.store_stores; }},
+      {"store failures", [](const flow::wire::StatsReply& r) {
+         return r.store_failures; }},
+  };
+  bool any_store = false;
+  for (const auto& reply : replies) {
+    any_store |= reply && reply->has_store;
+  }
+  if (any_store) {
+    for (const auto& [name, field] : store_metrics) {
+      std::vector<std::string> row{name};
+      for (const auto& reply : replies) {
+        row.push_back(reply && reply->has_store
+                          ? std::to_string(field(*reply))
+                          : "-");
+      }
+      doc.add_row(std::move(row));
+    }
+  }
+  flow::make_sink(format_of(options))->write(doc, out);
+  return any_unreachable ? 1 : 0;
+}
+
 /// `rlim serve --stdin-jobs`: the async execution path end-to-end. Lines
 /// (`NETLIST [CONFIG-SPEC]`) are submitted to a flow::Service as they
 /// arrive — execution starts immediately, duplicates coalesce — and results
@@ -419,9 +715,13 @@ int cmd_suite(const Options& options, std::ostream& out, std::ostream& err) {
 /// same position instead of killing the stream.
 int cmd_serve(const Options& options, std::istream& in, std::ostream& out,
               std::ostream& err) {
-  require(options.stdin_jobs,
-          "serve needs --stdin-jobs (the only transport so far; a socket "
-          "front-end speaking flow::wire frames is the planned next one)");
+  require(options.stdin_jobs != !options.listen.empty(),
+          "serve needs exactly one transport: --stdin-jobs (newline-delimited "
+          "specs on stdin) or --listen HOST:PORT (flow::wire frames over TCP "
+          "from `rlim submit`)");
+  if (!options.listen.empty()) {
+    return cmd_serve_listen(options, err);
+  }
   require(options.positional.empty(),
           "serve reads jobs from stdin, not the command line");
   require(!options.disasm && !options.verify,
@@ -476,25 +776,18 @@ int cmd_serve(const Options& options, std::istream& in, std::ostream& out,
 
   std::string line;
   while (std::getline(in, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') {
+    const auto split = split_job_line(line);
+    if (!split) {
       continue;
     }
-    const auto last = line.find_last_not_of(" \t\r");
-    const auto text = line.substr(first, last - first + 1);
-    const auto space = text.find_first_of(" \t");
     Pending item;
-    item.label = text.substr(0, space);
+    item.label = split->first;
     try {
       flow::Job job;
       job.source = flow::Source::netlist(item.label);
       job.label = item.label;
-      if (space == std::string::npos) {
-        job.config = default_config;
-      } else {
-        const auto spec = text.substr(text.find_first_not_of(" \t", space));
-        job.config = core::PipelineConfig::parse(spec);
-      }
+      job.config = split->second ? core::PipelineConfig::parse(*split->second)
+                                 : default_config;
       item.ticket = service.submit(std::move(job));
       ++accepted;
     } catch (const std::exception& error) {
@@ -654,6 +947,12 @@ int run(const std::vector<std::string>& args, std::istream& in,
     if (options.command == "serve") {
       return cmd_serve(options, in, out, err);
     }
+    if (options.command == "submit") {
+      return cmd_submit(options, in, out, err);
+    }
+    if (options.command == "stats") {
+      return cmd_stats(options, out);
+    }
     if (options.command == "policies") {
       return cmd_policies(options, out);
     }
@@ -666,8 +965,8 @@ int run(const std::vector<std::string>& args, std::istream& in,
     throw Error("unknown command '" + options.command + "'");
   } catch (const std::exception& error) {
     err << "rlim_cli: " << error.what() << '\n'
-        << "usage: rlim_cli info|rewrite|compile|suite|serve|policies|cache|"
-           "version ... (see tools/cli.hpp)\n";
+        << "usage: rlim_cli info|rewrite|compile|suite|serve|submit|stats|"
+           "policies|cache|version ... (see tools/cli.hpp)\n";
     return 1;
   }
 }

@@ -21,6 +21,19 @@ namespace rlim::cli {
 ///                                           executes them as they arrive,
 ///                                           streams one CSV result row per
 ///                                           job (see below)
+///   serve   --listen HOST:PORT [opts]     — socket shard: accepts TCP
+///                                           connections speaking length-
+///                                           delimited flow::wire frames,
+///                                           executes JobSpecs on an owned
+///                                           flow::Service, streams results
+///                                           back; SIGINT/SIGTERM shuts down
+///   submit  --connect EP[,EP...] [opts]   — reads the same job-spec lines
+///                                           as `serve --stdin-jobs`, ships
+///                                           them to serving shards via
+///                                           consistent hashing with retry +
+///                                           failover, prints the same CSV
+///   stats   --connect EP[,EP...]          — ping every shard, render its
+///                                           service/cache/store counters
 ///   policies                              — list the registered rewrite /
 ///                                           selection / allocation policies
 ///   cache   stats|gc|clear|verify         — maintain the persistent
@@ -39,6 +52,16 @@ namespace rlim::cli {
 ///   --jobs N       worker threads for batch compiles     (compile, serve)
 ///                  (default: hardware concurrency)
 ///   --stdin-jobs   read `NETLIST [CONFIG-SPEC]` lines from stdin   (serve)
+///   --listen HOST:PORT        bind the socket front-end            (serve)
+///                  (port 0 binds an ephemeral port, printed on stderr)
+///   --connect EP[,EP...]      shard endpoints              (submit, stats)
+///   --retries N    reconnect-and-resend rounds per shard (default 3)
+///                                                        (submit, stats)
+///   --connect-timeout-ms N    TCP connect ceiling (default 2000)
+///   --request-timeout-ms N    per-connection inactivity ceiling while
+///                  responses are outstanding (default 30000)
+///   --max-frame-bytes N       wire-frame ceiling, enforced before any
+///                  allocation (default 64 MiB)      (serve, submit, stats)
 ///   --format table|csv|json   report serialization   (compile, suite, policies)
 ///   --disasm       print the RM3 program (single netlist only) (compile)
 ///   --verify       cross-check the program on the crossbar     (compile)
@@ -67,6 +90,18 @@ namespace rlim::cli {
 /// (the only order that keeps output byte-stable for any worker count), one
 /// header row first; per-job failures become `error:` rows and flip the exit
 /// code to 1 after the stream drains. Telemetry goes to stderr.
+///
+/// `serve --listen HOST:PORT` binds the same execution loop behind a TCP
+/// socket (net::Server): clients ship flow::wire JobSpec frames and receive
+/// JobResult frames in completion order, tagged with their own ticket ids.
+/// `submit --connect` is the matching client: it reads the identical job-
+/// stream syntax, routes each job to a shard by consistent hashing on
+/// (graph identity, canonical config key) — so repeated cells always hit
+/// the same shard's cache — retries transport failures, fails over to the
+/// surviving shards when one dies, and emits CSV rows in input order that
+/// are byte-identical to a local `serve --stdin-jobs` run of the same
+/// stream. `stats --connect` pings each shard and renders one column per
+/// endpoint from its Stats reply.
 ///
 /// Netlist files are selected by extension: `.mig` (text format) or `.blif`.
 /// `bench:NAME` compiles a generator from the built-in suite.

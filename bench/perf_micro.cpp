@@ -8,6 +8,7 @@
 
 #include "benchmarks/arithmetic.hpp"
 #include "core/endurance.hpp"
+#include "fault/fault.hpp"
 #include "flow/runner.hpp"
 #include "flow/suite.hpp"
 #include "mig/rewriting.hpp"
@@ -117,6 +118,25 @@ void BM_FullPipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+// Cost of the Monte-Carlo fault engine itself: K seeded trials over a
+// precompiled program, each replaying random inputs on a fresh FaultArray
+// until the first wrong output (the work a `fault=` config adds per job).
+void BM_FaultSweep(benchmark::State& state) {
+  const auto graph = adder_graph(16).cleanup();
+  const auto config = core::make_config(core::Strategy::FullEndurance);
+  const auto report = core::run_pipeline(graph, config, "adder16");
+  const auto sweep = fault::make_sweep(util::PolicySpec{
+      "stuck",
+      {{"rate", "0.001"}, {"endurance", "400"}, {"sigma", "0.3"},
+       {"trials", std::to_string(state.range(0))}, {"runs", "300"}}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::run_sweep(report.program, graph, sweep));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FaultSweep)->Arg(3)->Arg(9)->Unit(benchmark::kMillisecond);
 
 void BM_MigFingerprint(benchmark::State& state) {
   const auto& graph = adder_graph(128);

@@ -3,6 +3,7 @@
 #include <array>
 #include <charconv>
 
+#include "fault/fault.hpp"
 #include "mig/rewriting.hpp"
 #include "plim/allocator.hpp"
 #include "plim/selector.hpp"
@@ -98,6 +99,10 @@ std::string PipelineConfig::canonical_key() const {
   std::string key = "rewrite=" + rewrite.canonical() +
                     ",select=" + selection.canonical() +
                     ",alloc=" + allocation.canonical();
+  // rlim::fault:: in full — the `fault` member shadows the namespace here.
+  if (rlim::fault::active(fault)) {
+    key += ",fault=" + fault.canonical();
+  }
   if (max_writes) {
     key += ",cap=" + std::to_string(*max_writes);
   }
@@ -105,10 +110,12 @@ std::string PipelineConfig::canonical_key() const {
 }
 
 PipelineConfig PipelineConfig::normalized() const {
+  rlim::fault::ensure_registered();
   PipelineConfig out = *this;
   out.rewrite = mig::rewrites().normalize(rewrite);
   out.selection = plim::selectors().normalize(selection);
   out.allocation = plim::allocators().normalize(allocation);
+  out.fault = rlim::fault::models().normalize(fault);
   if (out.max_writes) {
     require(*out.max_writes >= 3,
             "PipelineConfig: max_writes cap must be at least 3 (the "
@@ -124,6 +131,7 @@ PipelineConfig PipelineConfig::parse(std::string_view spec) {
   bool seen_rewrite = false;
   bool seen_select = false;
   bool seen_alloc = false;
+  bool seen_fault = false;
   bool seen_cap = false;
 
   std::size_t start = 0;
@@ -177,13 +185,16 @@ PipelineConfig PipelineConfig::parse(std::string_view spec) {
       } else if (field == "alloc") {
         claim(seen_alloc);
         config.allocation = util::PolicySpec::parse(value);
+      } else if (field == "fault") {
+        claim(seen_fault);
+        config.fault = util::PolicySpec::parse(value);
       } else if (field == "cap") {
         claim(seen_cap);
         config.max_writes = parse_cap(value, spec);
       } else {
         throw Error("config spec '" + std::string(spec) + "': unknown field '" +
                     std::string(field) +
-                    "' (expected rewrite, select, alloc, cap)");
+                    "' (expected rewrite, select, alloc, fault, cap)");
       }
     }
     first = false;
@@ -199,6 +210,7 @@ PipelineConfig PipelineConfig::parse(std::string_view spec) {
   (void)mig::make_rewrite(config.rewrite);
   (void)plim::make_selector(config.selection);
   (void)plim::make_allocator(config.allocation);
+  (void)rlim::fault::make_sweep(config.fault);
   return config;
 }
 

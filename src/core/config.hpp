@@ -43,8 +43,9 @@ strategy_aliases();
 
 /// Everything needed to run one pipeline, as string-keyed policy specs:
 /// rewriting flow (mig::rewrites()), node-selection policy
-/// (plim::selectors()), allocation policy (plim::allocators()), and the
-/// optional maximum-write cap.
+/// (plim::selectors()), allocation policy (plim::allocators()), fault
+/// scenario (fault::models(); `none` = no sweep), and the optional
+/// maximum-write cap.
 ///
 /// Configs built by make_config() or parse() are *normalized* — every
 /// declared policy parameter is filled in (e.g. `effort=5`) — so equality is
@@ -54,6 +55,10 @@ struct PipelineConfig {
   util::PolicySpec rewrite{"none", {}};
   util::PolicySpec selection{"naive", {}};
   util::PolicySpec allocation{"lifo", {}};
+  /// Fault scenario for the Monte-Carlo lifetime sweep; `none` (the
+  /// default) runs no sweep and keeps canonical_key() byte-identical to
+  /// pre-fault configs.
+  util::PolicySpec fault{"none", {}};
   std::optional<std::uint64_t> max_writes;
 
   /// Rewriting effort — the `effort` parameter of the rewrite spec (0 when
@@ -66,7 +71,9 @@ struct PipelineConfig {
   /// Canonical spec string, the program-cache key:
   ///   rewrite=endurance:effort=5,select=endurance,alloc=min_write,cap=100
   /// Fields in fixed order, policy parameters sorted by name; `cap` is
-  /// omitted when unset. parse(canonical_key()) reproduces the config.
+  /// omitted when unset and `fault` when it is `none`, so pre-fault keys
+  /// (and the five paper presets) are unchanged.
+  /// parse(canonical_key()) reproduces the config.
   [[nodiscard]] std::string canonical_key() const;
 
   /// The config with every policy validated against its registry and every
@@ -74,12 +81,13 @@ struct PipelineConfig {
   [[nodiscard]] PipelineConfig normalized() const;
 
   /// Parses a config spec: comma-separated `field=value` clauses with
-  /// fields `rewrite`, `select`, `alloc` (policy specs, see
+  /// fields `rewrite`, `select`, `alloc`, `fault` (policy specs, see
   /// util::PolicySpec) and `cap` (unsigned, >= 3). The first clause may be
   /// a bare preset alias (see strategy_aliases()), which later clauses
   /// override:
   ///   full
   ///   full,cap=100
+  ///   full,fault=stuck:rate=1e-4:seed=7:trials=32
   ///   rewrite=endurance:effort=5,select=wear_quota:quota=4,alloc=start_gap
   /// Every policy is validated against its registry (unknown keys and
   /// parameters are hard errors).

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/config.hpp"
+#include "fault/sweep.hpp"
 #include "mig/mig.hpp"
 #include "mig/rewriting.hpp"
 #include "plim/compiler.hpp"
@@ -23,6 +24,9 @@ struct EnduranceReport {
   std::size_t gates_before_rewrite = 0;
   std::size_t gates_after_rewrite = 0;
   plim::Program program;              ///< for execution / trace replay
+  /// Monte-Carlo lifetime distribution; present iff the config requests a
+  /// fault scenario (`fault=` clause other than `none`).
+  std::optional<fault::LifetimeDistribution> fault_sweep;
 };
 
 /// Rewrites `graph` per the config (the expensive step — cache the result

@@ -77,12 +77,16 @@ VariabilityStudy lifetime_under_variability(const plim::Program& program,
   require(trials >= 1, "lifetime_under_variability: need at least one trial");
   VariabilityStudy study;
   for (unsigned trial = 0; trial < trials; ++trial) {
-    plim::RramArray array(program.num_cells(),
-                          plim::RramConfig{.endurance_limit = cell_endurance,
-                                           .endurance_sigma = endurance_sigma,
-                                           .variation_seed = seed + trial});
+    // mix_seed, not `seed + trial`: additive derivation makes (seed 5,
+    // trial 1) and (seed 6, trial 0) draw identical per-cell limits, so
+    // sweeps over nearby job seeds silently replay the same weak cells.
+    plim::RramArray array(
+        program.num_cells(),
+        plim::RramConfig{.endurance_limit = cell_endurance,
+                         .endurance_sigma = endurance_sigma,
+                         .variation_seed = util::mix_seed(seed, trial)});
     study.lifetimes.push_back(measured_executions_until_failure_on(
-        array, program, reference, max_runs, seed * 977 + trial));
+        array, program, reference, max_runs, util::mix_seed(~seed, trial)));
   }
   std::sort(study.lifetimes.begin(), study.lifetimes.end());
   study.min = study.lifetimes.front();

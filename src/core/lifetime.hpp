@@ -54,6 +54,9 @@ struct VariabilityStudy {
   double mean = 0.0;
 };
 
+/// Per-trial variability and input streams derive from `seed` via
+/// util::mix_seed(seed, trial), so trials are independent and studies with
+/// nearby base seeds never share a variability draw.
 [[nodiscard]] VariabilityStudy lifetime_under_variability(
     const plim::Program& program, const mig::Mig& reference,
     std::uint64_t cell_endurance, double endurance_sigma, unsigned trials,

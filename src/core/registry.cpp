@@ -4,9 +4,12 @@
 
 namespace rlim::registry {
 
-std::vector<std::string_view> kinds() { return {"rewrite", "select", "alloc"}; }
+std::vector<std::string_view> kinds() {
+  return {"rewrite", "select", "alloc", "fault"};
+}
 
 std::vector<util::PolicyInfo> list(std::string_view kind) {
+  fault::ensure_registered();
   if (kind == "rewrite") {
     return mig::rewrites().list();
   }
@@ -16,11 +19,15 @@ std::vector<util::PolicyInfo> list(std::string_view kind) {
   if (kind == "alloc") {
     return plim::allocators().list();
   }
+  if (kind == "fault") {
+    return fault::models().list();
+  }
   throw Error("unknown policy kind '" + std::string(kind) +
-              "' (expected rewrite, select, alloc)");
+              "' (expected rewrite, select, alloc, fault)");
 }
 
 const util::PolicyInfo& describe(std::string_view kind, std::string_view key) {
+  fault::ensure_registered();
   if (kind == "rewrite") {
     return mig::rewrites().describe(key);
   }
@@ -30,8 +37,11 @@ const util::PolicyInfo& describe(std::string_view kind, std::string_view key) {
   if (kind == "alloc") {
     return plim::allocators().describe(key);
   }
+  if (kind == "fault") {
+    return fault::models().describe(key);
+  }
   throw Error("unknown policy kind '" + std::string(kind) +
-              "' (expected rewrite, select, alloc)");
+              "' (expected rewrite, select, alloc, fault)");
 }
 
 mig::RewriteFn make_rewrite(const util::PolicySpec& spec) {
@@ -43,7 +53,12 @@ plim::SelectorPtr make_selector(const util::PolicySpec& spec) {
 }
 
 plim::AllocatorPtr make_allocator(const util::PolicySpec& spec) {
+  fault::ensure_registered();
   return plim::make_allocator(spec);
+}
+
+fault::SweepSpec make_sweep(const util::PolicySpec& spec) {
+  return fault::make_sweep(spec);
 }
 
 }  // namespace rlim::registry

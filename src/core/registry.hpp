@@ -3,15 +3,16 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mig/rewriting.hpp"
 #include "plim/allocator.hpp"
 #include "plim/selector.hpp"
 
-/// Unified, string-keyed view over the three policy registries behind a
+/// Unified, string-keyed view over the four policy registries behind a
 /// core::PipelineConfig — the discovery surface of the pluggable-policy API
 /// (`rlim policies` renders it). Kinds are named after the config-spec
 /// grammar fields: "rewrite" (mig::rewrites()), "select" (plim::selectors()),
-/// "alloc" (plim::allocators()).
+/// "alloc" (plim::allocators()), "fault" (fault::models()).
 namespace rlim::registry {
 
 /// The policy dimensions of a PipelineConfig, in spec-grammar field order.
@@ -30,5 +31,6 @@ namespace rlim::registry {
 [[nodiscard]] mig::RewriteFn make_rewrite(const util::PolicySpec& spec);
 [[nodiscard]] plim::SelectorPtr make_selector(const util::PolicySpec& spec);
 [[nodiscard]] plim::AllocatorPtr make_allocator(const util::PolicySpec& spec);
+[[nodiscard]] fault::SweepSpec make_sweep(const util::PolicySpec& spec);
 
 }  // namespace rlim::registry

@@ -1,0 +1,176 @@
+#include "fault/array.hpp"
+
+#include "util/error.hpp"
+
+namespace rlim::fault {
+
+namespace {
+
+// Distinct salts keep the endurance-variability stream and the fault stream
+// decorrelated even though both derive from the constructor seed.
+constexpr std::uint64_t kVariationSalt = 0x7661726961746eULL;  // "variatn"
+constexpr std::uint64_t kFaultSalt = 0x6661756c74ULL;          // "fault"
+
+plim::RramConfig base_config(const FaultProfile& profile, std::uint64_t seed) {
+  return plim::RramConfig{
+      .endurance_limit = profile.endurance,
+      .endurance_sigma = profile.sigma,
+      .variation_seed = util::mix_seed(seed, kVariationSalt),
+  };
+}
+
+}  // namespace
+
+FaultArray::FaultArray(plim::Cell num_cells, const FaultProfile& profile,
+                       std::uint64_t seed, std::vector<bool> memory_cells)
+    : RramArray(num_cells + profile.spares, base_config(profile, seed)),
+      profile_(profile),
+      logical_(num_cells),
+      memory_cell_(std::move(memory_cells)),
+      stuck_(num_cells + profile.spares, 0),
+      forward_(num_cells),
+      next_spare_(num_cells),
+      rng_(util::mix_seed(seed, kFaultSalt)) {
+  require(memory_cell_.empty() || memory_cell_.size() == num_cells,
+          "FaultArray: memory_cells mask must cover every logical cell");
+  for (plim::Cell cell = 0; cell < logical_; ++cell) {
+    forward_[cell] = cell;
+  }
+  // Manufacturing defects: each physical cell is stuck at a random value with
+  // its region's probability. Spares count as logic-mode — a spare only ever
+  // substitutes for a cell the program writes.
+  const auto physical = size();
+  for (plim::Cell cell = 0; cell < physical; ++cell) {
+    const auto& region = cell < logical_ ? region_of(cell) : profile_.logic;
+    if (region.stuck_rate > 0.0 && rng_.uniform01() < region.stuck_rate) {
+      stuck_[cell] = 1;
+      state(cell).value = (rng_() & 1) != 0 ? ~0ULL : 0ULL;
+    }
+  }
+}
+
+void FaultArray::check_logical(plim::Cell cell) const {
+  require(cell < logical_, "FaultArray: logical cell index out of range");
+}
+
+const RegionProfile& FaultArray::region_of(plim::Cell cell) const {
+  if (!memory_cell_.empty() && memory_cell_[cell]) {
+    return profile_.memory;
+  }
+  return profile_.logic;
+}
+
+bool FaultArray::try_remap(plim::Cell cell) {
+  if (profile_.repair != Repair::Remap) {
+    return false;
+  }
+  const auto physical = size();
+  while (next_spare_ < physical) {
+    const auto spare = next_spare_++;
+    if (stuck_[spare] == 0 && !hard_failed(state(spare))) {
+      forward_[cell] = spare;
+      ++remapped_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultArray::read(plim::Cell cell) const {
+  check_logical(cell);
+  const auto phys = forward_[cell];
+  const auto& st = state(phys);
+  if (stuck_[phys] != 0) {
+    return st.value;  // stuck cells hold their value; drift cannot move them
+  }
+  const auto& region = region_of(cell);
+  if (region.drift_rate > 0.0 && rng_.uniform01() < region.drift_rate) {
+    // Resistance drift flips one of the 64 simulation lanes, persistently:
+    // the disturbed value is what every later read returns.
+    const auto flipped = st.value ^ (1ULL << rng_.below(64));
+    const_cast<FaultArray*>(this)->state(phys).value = flipped;
+    ++disturbed_;
+    return flipped;
+  }
+  return st.value;
+}
+
+void FaultArray::write(plim::Cell cell, std::uint64_t value) {
+  check_logical(cell);
+  auto phys = forward_[cell];
+  if (stuck_[phys] != 0 || hard_failed(state(phys))) {
+    if (!try_remap(cell)) {
+      ++dropped_;
+      return;
+    }
+    phys = forward_[cell];
+  }
+  auto& st = state(phys);
+  const auto& region = region_of(cell);
+  st.writes += region.wear_per_write;
+  // Cycle-to-cycle variability: the pulse wears the cell but fails to latch.
+  if (region.write_fail_rate > 0.0 && rng_.uniform01() < region.write_fail_rate) {
+    return;
+  }
+  st.value = value;
+  if (region.wear_stuck_rate > 0.0 && rng_.uniform01() < region.wear_stuck_rate) {
+    stuck_[phys] = 1;  // early wear-out: stuck at the value just written
+  }
+}
+
+void FaultArray::preload(plim::Cell cell, std::uint64_t value) {
+  check_logical(cell);
+  auto phys = forward_[cell];
+  if (stuck_[phys] != 0 || hard_failed(state(phys))) {
+    // The memory controller repairs resident data the same way it repairs
+    // program writes; without repair the preload is dropped.
+    if (!try_remap(cell)) {
+      ++dropped_;
+      return;
+    }
+    phys = forward_[cell];
+  }
+  state(phys).value = value;  // uncounted: data already resident
+}
+
+bool FaultArray::is_failed(plim::Cell cell) const {
+  check_logical(cell);
+  const auto phys = forward_[cell];
+  return stuck_[phys] != 0 || hard_failed(state(phys));
+}
+
+std::size_t FaultArray::failed_cell_count() const {
+  std::size_t failed = 0;
+  const auto physical = size();
+  for (plim::Cell cell = 0; cell < physical; ++cell) {
+    if (stuck_[cell] != 0 || hard_failed(state(cell))) {
+      ++failed;
+    }
+  }
+  return failed;
+}
+
+void FaultArray::reset_values() {
+  const auto physical = size();
+  for (plim::Cell cell = 0; cell < physical; ++cell) {
+    if (stuck_[cell] != 0 || hard_failed(state(cell))) {
+      continue;  // stuck cells keep their value across executions
+    }
+    state(cell).value = 0;
+  }
+}
+
+bool FaultArray::is_stuck(plim::Cell cell) const {
+  check_logical(cell);
+  return stuck_[forward_[cell]] != 0;
+}
+
+std::size_t FaultArray::stuck_cell_count() const {
+  std::size_t stuck = 0;
+  for (const auto flag : stuck_) {
+    stuck += flag != 0 ? 1 : 0;
+  }
+  return stuck;
+}
+
+}  // namespace rlim::fault

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "plim/rram_array.hpp"
+#include "util/rng.hpp"
+
+namespace rlim::fault {
+
+/// plim::RramArray with a seeded fault overlay: manufacturing and
+/// wear-induced stuck-at cells, per-read resistance-drift disturbances,
+/// cycle-to-cycle write variability, mixed-mode region profiles, and
+/// optional spare-cell remapping.
+///
+/// The array exposes `num_cells` *logical* cells — the indices the PLiM
+/// program addresses — backed by `num_cells + profile.spares` physical cells
+/// in the base class. `forward_` maps logical to physical; remapping
+/// redirects a logical cell to a healthy spare. All overrides translate the
+/// index once and then work on protected base state directly (never back
+/// through the virtual public API, which expects logical indices).
+///
+/// Determinism: all fault draws come from one Xoshiro256 stream seeded by
+/// the constructor, and the endurance-variability draw uses a decorrelated
+/// seed derived from the same value — two arrays built with equal arguments
+/// behave identically.
+class FaultArray final : public plim::RramArray {
+ public:
+  /// `memory_cells` marks the memory-mode region (typically the program's PI
+  /// cells); empty means every cell is logic-mode. When non-empty its size
+  /// must equal `num_cells`.
+  FaultArray(plim::Cell num_cells, const FaultProfile& profile,
+             std::uint64_t seed, std::vector<bool> memory_cells = {});
+
+  [[nodiscard]] std::uint64_t read(plim::Cell cell) const override;
+  void write(plim::Cell cell, std::uint64_t value) override;
+  void preload(plim::Cell cell, std::uint64_t value) override;
+  [[nodiscard]] bool is_failed(plim::Cell cell) const override;
+  /// Physical cells that are stuck (manufacturing, wear-induced) or have
+  /// exhausted their endurance — unused healthy spares do not count.
+  [[nodiscard]] std::size_t failed_cell_count() const override;
+  void reset_values() override;
+
+  /// Logical address space (base size() reports physical cells incl. spares).
+  [[nodiscard]] plim::Cell logical_size() const { return logical_; }
+
+  [[nodiscard]] bool is_stuck(plim::Cell cell) const;
+  [[nodiscard]] std::size_t stuck_cell_count() const;
+  [[nodiscard]] std::uint64_t remapped_count() const { return remapped_; }
+  [[nodiscard]] std::uint64_t dropped_writes() const { return dropped_; }
+  [[nodiscard]] std::uint64_t disturbed_reads() const { return disturbed_; }
+
+ private:
+  void check_logical(plim::Cell cell) const;
+  [[nodiscard]] const RegionProfile& region_of(plim::Cell cell) const;
+  /// Redirects `cell` to the next healthy spare; false when none remain.
+  bool try_remap(plim::Cell cell);
+
+  FaultProfile profile_;
+  plim::Cell logical_;
+  std::vector<bool> memory_cell_;
+  std::vector<std::uint8_t> stuck_;   // physical index; value latched in state
+  std::vector<plim::Cell> forward_;   // logical -> physical
+  plim::Cell next_spare_;
+  mutable util::Xoshiro256 rng_;      // mutable: read disturbance draws
+  std::uint64_t remapped_ = 0;
+  std::uint64_t dropped_ = 0;
+  mutable std::uint64_t disturbed_ = 0;
+};
+
+}  // namespace rlim::fault

@@ -1,0 +1,252 @@
+#include "fault/fault.hpp"
+
+#include <mutex>
+
+#include "plim/allocator.hpp"
+#include "util/error.hpp"
+
+namespace rlim::fault {
+
+namespace {
+
+/// Trial bookkeeping every fault model shares. Declared last in each model's
+/// parameter list so model-specific knobs lead the `rlim policies` listing.
+std::vector<util::ParamInfo> with_common(std::vector<util::ParamInfo> params) {
+  params.push_back({"endurance", "400", "per-cell endurance limit (0 = unlimited)"});
+  params.push_back({"sigma", "0", "log-normal endurance variability (sigma >= 0)"});
+  params.push_back({"seed", "1", "Monte-Carlo base seed"});
+  params.push_back({"trials", "3", "independent seeded arrays per job"});
+  params.push_back({"runs", "500", "executions cap per trial (censoring bound)"});
+  return params;
+}
+
+SweepSpec common_sweep(const util::Params& params) {
+  SweepSpec spec;
+  spec.enabled = true;
+  spec.profile.endurance = util::param_u64(params, "endurance");
+  spec.profile.sigma = util::param_double(params, "sigma");
+  require(spec.profile.sigma >= 0.0, "fault model: sigma must be non-negative");
+  spec.seed = util::param_u64(params, "seed");
+  const auto trials = util::param_u64(params, "trials");
+  require(trials >= 1 && trials <= 100000,
+          "fault model: trials must be in [1, 100000]");
+  spec.trials = static_cast<std::uint32_t>(trials);
+  spec.runs = util::param_u64(params, "runs");
+  require(spec.runs >= 1, "fault model: runs must be at least 1");
+  return spec;
+}
+
+Repair parse_repair(const util::Params& params) {
+  const auto& text = params.at("repair");
+  if (text == "none") {
+    return Repair::None;
+  }
+  if (text == "remap") {
+    return Repair::Remap;
+  }
+  throw Error("fault model: repair='" + text + "' (expected none or remap)");
+}
+
+void apply_repair(SweepSpec& spec, const util::Params& params) {
+  spec.profile.repair = parse_repair(params);
+  const auto spares = util::param_u64(params, "spares");
+  require(spares <= 4096, "fault model: spares must be at most 4096");
+  spec.profile.spares = static_cast<std::uint32_t>(spares);
+  require(spec.profile.repair == Repair::None || spec.profile.spares >= 1,
+          "fault model: repair=remap needs spares >= 1");
+}
+
+void register_models(util::Registry<SweepFactory>& reg) {
+  reg.add({"none", "no fault injection (the default)", {}},
+          [](const util::Params&) { return SweepSpec{}; });
+
+  reg.add({"stuck",
+           "stuck-at cells: manufacturing defects plus wear-induced failures",
+           with_common({
+               {"rate", "0.0001", "manufacturing stuck-at probability per cell"},
+               {"wear_rate", "0", "per-write early wear-out probability"},
+               {"repair", "none", "repair policy: none | remap"},
+               {"spares", "0", "spare cells reserved for remapping"},
+           })},
+          [](const util::Params& params) {
+            auto spec = common_sweep(params);
+            spec.profile.logic.stuck_rate = util::param_probability(params, "rate");
+            spec.profile.logic.wear_stuck_rate =
+                util::param_probability(params, "wear_rate");
+            spec.profile.memory = spec.profile.logic;
+            apply_repair(spec, params);
+            return spec;
+          });
+
+  reg.add({"drift",
+           "resistance drift: each read may persistently disturb one pattern lane",
+           with_common({
+               {"rate", "0.0001", "per-read disturb probability"},
+           })},
+          [](const util::Params& params) {
+            auto spec = common_sweep(params);
+            spec.profile.logic.drift_rate = util::param_probability(params, "rate");
+            spec.profile.memory = spec.profile.logic;
+            return spec;
+          });
+
+  reg.add({"variation",
+           "cycle-to-cycle write variability: programming pulses that fail to latch",
+           with_common({
+               {"fail_rate", "0.001", "per-write latch-failure probability"},
+           })},
+          [](const util::Params& params) {
+            auto spec = common_sweep(params);
+            spec.profile.logic.write_fail_rate =
+                util::param_probability(params, "fail_rate");
+            spec.profile.memory = spec.profile.logic;
+            return spec;
+          });
+
+  reg.add({"mixed",
+           "mixed-mode execution: memory-mode (PI-resident) vs logic-mode regions "
+           "with distinct stuck rates and wear per write",
+           with_common({
+               {"mem_rate", "0.00001", "memory-mode manufacturing stuck-at probability"},
+               {"logic_rate", "0.0001", "logic-mode manufacturing stuck-at probability"},
+               {"logic_wear", "2", "wear units one logic-mode write costs (>= 1)"},
+               {"repair", "none", "repair policy: none | remap"},
+               {"spares", "0", "spare cells reserved for remapping"},
+           })},
+          [](const util::Params& params) {
+            auto spec = common_sweep(params);
+            spec.profile.memory.stuck_rate =
+                util::param_probability(params, "mem_rate");
+            spec.profile.logic.stuck_rate =
+                util::param_probability(params, "logic_rate");
+            const auto wear = util::param_u64(params, "logic_wear");
+            require(wear >= 1 && wear <= 1000,
+                    "fault model: logic_wear must be in [1, 1000]");
+            spec.profile.logic.wear_per_write = static_cast<unsigned>(wear);
+            apply_repair(spec, params);
+            return spec;
+          });
+}
+
+// --- repair/remap allocator decorators ------------------------------------
+//
+// Compile-time counterparts of the runtime repair machinery: they shape which
+// physical cells the compiler reuses, registered into plim::allocators() so
+// any `alloc=` spec can name them (e.g. `alloc=retire:inner=min_write`).
+
+plim::AllocatorPtr make_inner(const util::Params& params) {
+  const auto& key = params.at("inner");
+  require(key != "retire" && key != "spare",
+          "allocation policy: decorators cannot nest (inner='" + key + "')");
+  return plim::make_allocator(util::PolicySpec{key, {}});
+}
+
+/// Region retirement: a freed cell whose wear has reached `threshold` is
+/// dropped from circulation instead of returned to the inner free set.
+class RetireAllocator final : public plim::Allocator {
+ public:
+  RetireAllocator(plim::AllocatorPtr inner, std::uint64_t threshold)
+      : inner_(std::move(inner)), threshold_(threshold) {}
+
+  void push(plim::Cell cell, std::uint64_t writes) override {
+    if (writes >= threshold_) {
+      return;  // retired: the compiler will grow the array instead
+    }
+    inner_->push(cell, writes);
+  }
+
+  std::optional<plim::Cell> pop() override { return inner_->pop(); }
+
+  [[nodiscard]] std::size_t size() const override { return inner_->size(); }
+
+ private:
+  plim::AllocatorPtr inner_;
+  std::uint64_t threshold_;
+};
+
+/// Spare-cell reserve: holds back up to `spares` freed cells as a standby
+/// pool served only once the inner free set runs dry — the compile-time
+/// analogue of dedicated spare columns.
+class SpareAllocator final : public plim::Allocator {
+ public:
+  SpareAllocator(plim::AllocatorPtr inner, std::uint64_t spares)
+      : inner_(std::move(inner)), spares_(spares) {}
+
+  void push(plim::Cell cell, std::uint64_t writes) override {
+    if (reserve_.size() < spares_) {
+      reserve_.push_back(cell);
+      return;
+    }
+    inner_->push(cell, writes);
+  }
+
+  std::optional<plim::Cell> pop() override {
+    if (auto cell = inner_->pop()) {
+      return cell;
+    }
+    if (reserve_.empty()) {
+      return std::nullopt;
+    }
+    const auto cell = reserve_.back();
+    reserve_.pop_back();
+    return cell;
+  }
+
+  [[nodiscard]] std::size_t size() const override {
+    return inner_->size() + reserve_.size();
+  }
+
+ private:
+  plim::AllocatorPtr inner_;
+  std::vector<plim::Cell> reserve_;
+  std::uint64_t spares_;
+};
+
+void register_decorators(util::Registry<plim::AllocatorFactory>& reg) {
+  reg.add({"retire",
+           "decorator: retire freed cells whose wear reached a threshold",
+           {
+               {"inner", "min_write", "decorated allocation policy"},
+               {"threshold", "64", "retire cells with at least this many writes"},
+           }},
+          [](const util::Params& params) -> plim::AllocatorPtr {
+            const auto threshold = util::param_u64(params, "threshold");
+            require(threshold >= 1,
+                    "allocation policy retire: threshold must be at least 1");
+            return std::make_unique<RetireAllocator>(make_inner(params), threshold);
+          });
+
+  reg.add({"spare",
+           "decorator: hold freed cells in a standby reserve served last",
+           {
+               {"inner", "min_write", "decorated allocation policy"},
+               {"spares", "4", "reserve size in cells"},
+           }},
+          [](const util::Params& params) -> plim::AllocatorPtr {
+            return std::make_unique<SpareAllocator>(
+                make_inner(params), util::param_u64(params, "spares"));
+          });
+}
+
+}  // namespace
+
+util::Registry<SweepFactory>& models() {
+  ensure_registered();
+  static auto* reg = [] {
+    auto* r = new util::Registry<SweepFactory>("fault model");
+    register_models(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+SweepSpec make_sweep(const util::PolicySpec& spec) { return models().make(spec); }
+
+bool active(const util::PolicySpec& spec) { return spec.key != "none"; }
+
+void ensure_registered() {
+  static std::once_flag once;
+  std::call_once(once, [] { register_decorators(plim::allocators()); });
+}
+
+}  // namespace rlim::fault

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/registry.hpp"
+#include "util/spec.hpp"
+
+/// `rlim::fault` — seeded fault-injection and variability simulation over the
+/// PLiM crossbar, the scenario layer the paper's deterministic single-mode
+/// endurance results lack. Grounded in "Addressing Resiliency of In-Memory
+/// Floating Point Computation" (arXiv:2011.00648, stuck-at faults + repair)
+/// and the mixed-mode (memory-mode vs logic-mode) region partitioning of
+/// arXiv:2506.19063; see PAPERS.md.
+///
+/// Fault scenarios are registry-expressible through the same PolicySpec
+/// grammar as every other pipeline policy (`fault=stuck:rate=1e-4:seed=7`),
+/// so core::PipelineConfig::canonical_key(), the two-level pipeline cache,
+/// the disk store, the wire format, and the cluster CLI all pick up fault
+/// sweeps without any new plumbing.
+namespace rlim::fault {
+
+/// How a trial repairs cells it detects as unwritable.
+enum class Repair : std::uint8_t {
+  None,   ///< failures stand; writes to dead cells are dropped
+  Remap,  ///< spare-cell remapping: redirect the logical cell to a spare
+};
+
+/// Fault rates of one crossbar region. Mixed-mode execution partitions the
+/// array into memory-mode (data-resident, gentle pulses) and logic-mode
+/// (IMPLY compute, aggressive pulses) regions with distinct profiles;
+/// single-mode models use one profile for every cell.
+struct RegionProfile {
+  double stuck_rate = 0.0;       ///< manufacturing stuck-at probability per cell
+  double wear_stuck_rate = 0.0;  ///< per-write early wear-out probability
+  double drift_rate = 0.0;       ///< per-read resistance-drift disturb probability
+  double write_fail_rate = 0.0;  ///< per-write cycle-to-cycle latch-failure probability
+  unsigned wear_per_write = 1;   ///< wear units one counted write costs
+
+  bool operator==(const RegionProfile&) const = default;
+};
+
+/// Complete fault model of one simulated array.
+struct FaultProfile {
+  RegionProfile logic;   ///< profile of logic-mode cells (the default region)
+  RegionProfile memory;  ///< profile of memory-mode cells (PI-resident data)
+  std::uint64_t endurance = 0;  ///< per-cell endurance limit (0 = unlimited)
+  double sigma = 0.0;           ///< log-normal endurance variability
+  Repair repair = Repair::None;
+  std::uint32_t spares = 0;  ///< spare cells available for remapping
+
+  bool operator==(const FaultProfile&) const = default;
+};
+
+/// One Monte-Carlo lifetime sweep request: the fault model plus trial
+/// bookkeeping. `enabled` is false only for the `none` model (the default
+/// configuration), which runs no sweep at all.
+struct SweepSpec {
+  FaultProfile profile;
+  std::uint32_t trials = 3;  ///< independent seeded arrays per job
+  std::uint64_t runs = 500;  ///< executions cap per trial (censoring bound)
+  std::uint64_t seed = 1;    ///< base seed; per-trial seeds derive via util::mix_seed
+  bool enabled = false;
+
+  bool operator==(const SweepSpec&) const = default;
+};
+
+using SweepFactory = std::function<SweepSpec(const util::Params&)>;
+
+/// Registry of fault models (the `fault=` dimension of the config grammar).
+/// Built-ins: `none`, `stuck` (manufacturing + wear-induced stuck-at cells,
+/// optional spare-cell remapping), `drift` (per-read resistance-drift
+/// disturbance), `variation` (cycle-to-cycle write variability + log-normal
+/// endurance spread), `mixed` (memory-mode vs logic-mode region partitioning
+/// with distinct stuck rates and wear multipliers).
+[[nodiscard]] util::Registry<SweepFactory>& models();
+
+/// Normalizes `spec` against models() and constructs the sweep request.
+[[nodiscard]] SweepSpec make_sweep(const util::PolicySpec& spec);
+
+/// True when `spec` names a model that actually injects faults (anything but
+/// `none`) — the cheap gate config consumers use before paying for a sweep.
+[[nodiscard]] bool active(const util::PolicySpec& spec);
+
+/// Idempotent, thread-safe one-time registration of everything the fault
+/// library contributes to the shared registries: the fault models above and
+/// the repair/remap allocator decorators (`retire`, `spare`) that extend
+/// plim::allocators(). core::PipelineConfig calls this before validating
+/// specs, so any code path that parses a config sees the full registry.
+void ensure_registered();
+
+}  // namespace rlim::fault

@@ -1,0 +1,97 @@
+#include "fault/sweep.hpp"
+
+#include <algorithm>
+
+#include "fault/array.hpp"
+#include "mig/simulate.hpp"
+#include "plim/controller.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rlim::fault {
+
+namespace {
+
+// Separates the per-trial input stream from the per-trial array seed.
+constexpr std::uint64_t kInputSalt = 0x696e70757473ULL;  // "inputs"
+
+/// Nearest-rank percentile over a sorted sample (interpolation-free so the
+/// reported value is always an observed lifetime).
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, unsigned p) {
+  const auto n = sorted.size();
+  return sorted[(p * (n - 1) + 50) / 100];
+}
+
+}  // namespace
+
+LifetimeDistribution run_sweep(const plim::Program& program,
+                               const mig::Mig& reference, const SweepSpec& spec) {
+  require(spec.enabled, "run_sweep: spec does not request a sweep (fault=none)");
+  require(program.pi_cells().size() == reference.num_pis() &&
+              program.po_cells().size() == reference.num_pos(),
+          "run_sweep: program and reference MIG disagree on the PI/PO profile");
+
+  // Memory-mode region: the PI-resident cells. Everything the program writes
+  // is logic-mode.
+  std::vector<bool> memory_cells(program.num_cells(), false);
+  for (const auto cell : program.pi_cells()) {
+    memory_cells[cell] = true;
+  }
+
+  LifetimeDistribution dist;
+  dist.trials = spec.trials;
+  dist.runs_cap = spec.runs;
+
+  std::vector<std::uint64_t> lifetimes;
+  lifetimes.reserve(spec.trials);
+  std::uint64_t failed_sum = 0;
+  double lifetime_sum = 0.0;
+
+  std::vector<std::uint64_t> pi_values(program.pi_cells().size());
+  for (std::uint32_t trial = 0; trial < spec.trials; ++trial) {
+    FaultArray array(program.num_cells(), spec.profile,
+                     util::mix_seed(spec.seed, trial), memory_cells);
+    util::Xoshiro256 inputs(
+        util::mix_seed(util::mix_seed(spec.seed, kInputSalt), trial));
+
+    std::uint64_t correct_runs = 0;
+    for (; correct_runs < spec.runs; ++correct_runs) {
+      for (auto& word : pi_values) {
+        word = inputs();
+      }
+      const auto got = plim::evaluate(program, pi_values, &array);
+      if (got != mig::simulate(reference, pi_values)) {
+        break;
+      }
+    }
+    if (correct_runs == spec.runs) {
+      ++dist.censored;
+    }
+    lifetimes.push_back(correct_runs);
+    lifetime_sum += static_cast<double>(correct_runs);
+
+    const auto failed = static_cast<std::uint64_t>(array.failed_cell_count());
+    failed_sum += failed;
+    if (trial == 0) {
+      dist.failed_cells_min = failed;
+      dist.failed_cells_max = failed;
+    } else {
+      dist.failed_cells_min = std::min(dist.failed_cells_min, failed);
+      dist.failed_cells_max = std::max(dist.failed_cells_max, failed);
+    }
+    dist.remapped_total += array.remapped_count();
+    dist.dropped_writes += array.dropped_writes();
+  }
+
+  std::sort(lifetimes.begin(), lifetimes.end());
+  dist.lifetime_min = lifetimes.front();
+  dist.lifetime_p50 = percentile(lifetimes, 50);
+  dist.lifetime_p99 = percentile(lifetimes, 99);
+  dist.lifetime_max = lifetimes.back();
+  dist.lifetime_mean = lifetime_sum / static_cast<double>(spec.trials);
+  dist.failed_cells_mean =
+      static_cast<double>(failed_sum) / static_cast<double>(spec.trials);
+  return dist;
+}
+
+}  // namespace rlim::fault

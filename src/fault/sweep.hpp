@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault.hpp"
+#include "mig/mig.hpp"
+#include "plim/program.hpp"
+
+namespace rlim::fault {
+
+/// Summary of a Monte-Carlo lifetime sweep: `trials` independently seeded
+/// FaultArrays each execute the program until its outputs first diverge from
+/// the reference MIG (or the `runs_cap` censoring bound is hit). Lifetime is
+/// the number of *correct* executions before the first wrong one.
+struct LifetimeDistribution {
+  std::uint32_t trials = 0;
+  std::uint64_t runs_cap = 0;  ///< per-trial execution cap (censoring bound)
+  std::uint32_t censored = 0;  ///< trials still correct at the cap
+
+  std::uint64_t lifetime_min = 0;
+  std::uint64_t lifetime_p50 = 0;
+  std::uint64_t lifetime_p99 = 0;
+  std::uint64_t lifetime_max = 0;
+  double lifetime_mean = 0.0;
+
+  std::uint64_t failed_cells_min = 0;   ///< stuck + endurance-exhausted, at end
+  std::uint64_t failed_cells_max = 0;
+  double failed_cells_mean = 0.0;
+
+  std::uint64_t remapped_total = 0;  ///< spare-cell remaps across all trials
+  std::uint64_t dropped_writes = 0;  ///< writes lost to dead cells, all trials
+
+  bool operator==(const LifetimeDistribution&) const = default;
+};
+
+/// Runs the sweep. The program's PI cells form the memory-mode region
+/// (mixed-mode profiles treat them gently); everything else is logic-mode.
+/// Per-trial array and input streams derive from `spec.seed` via
+/// util::mix_seed, so results are deterministic in (program, mig, spec) and
+/// trials never alias across nearby base seeds.
+[[nodiscard]] LifetimeDistribution run_sweep(const plim::Program& program,
+                                             const mig::Mig& reference,
+                                             const SweepSpec& spec);
+
+}  // namespace rlim::fault

@@ -40,7 +40,7 @@ std::uint64_t RramArray::read(Cell cell) const {
 void RramArray::write(Cell cell, std::uint64_t value) {
   check(cell);
   auto& state = cells_[cell];
-  if (is_failed(cell)) {
+  if (hard_failed(state)) {
     return;  // stuck at last value; wear counter also saturates
   }
   state.value = value;
@@ -49,7 +49,11 @@ void RramArray::write(Cell cell, std::uint64_t value) {
 
 void RramArray::preload(Cell cell, std::uint64_t value) {
   check(cell);
-  cells_[cell].value = value;
+  auto& state = cells_[cell];
+  if (hard_failed(state)) {
+    return;  // stuck cells ignore uncounted writes too
+  }
+  state.value = value;
 }
 
 std::uint64_t RramArray::write_count(Cell cell) const {
@@ -68,18 +72,21 @@ std::vector<std::uint64_t> RramArray::write_counts() const {
 
 bool RramArray::is_failed(Cell cell) const {
   check(cell);
-  return cells_[cell].limit != 0 && cells_[cell].writes >= cells_[cell].limit;
+  return hard_failed(cells_[cell]);
 }
 
-std::uint64_t RramArray::endurance_of(Cell cell) const {
+std::optional<std::uint64_t> RramArray::endurance_of(Cell cell) const {
   check(cell);
+  if (cells_[cell].limit == 0) {
+    return std::nullopt;
+  }
   return cells_[cell].limit;
 }
 
 std::size_t RramArray::failed_cell_count() const {
   std::size_t failed = 0;
-  for (Cell cell = 0; cell < cells_.size(); ++cell) {
-    if (is_failed(cell)) {
+  for (const auto& state : cells_) {
+    if (hard_failed(state)) {
       ++failed;
     }
   }
@@ -88,6 +95,9 @@ std::size_t RramArray::failed_cell_count() const {
 
 void RramArray::reset_values() {
   for (auto& state : cells_) {
+    if (hard_failed(state)) {
+      continue;  // a stuck cell cannot be externally rewritten either
+    }
     state.value = 0;
   }
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "plim/instruction.hpp"
@@ -16,7 +17,10 @@ struct RramConfig {
   /// Cell-to-cell variability: per-cell limits are drawn log-normally,
   /// limit_i = endurance_limit · exp(σ·N(0,1)). 0 = uniform limits.
   double endurance_sigma = 0.0;
-  /// Seed of the per-cell variability draw (deterministic per array).
+  /// Seed of the per-cell variability draw. NOTE: every array built from the
+  /// same config shares one draw — batch code that instantiates many arrays
+  /// must derive a distinct seed per instance (util::mix_seed(job_seed,
+  /// instance)) or every trial silently replays the same weak cells.
   std::uint64_t variation_seed = 1;
 };
 
@@ -25,40 +29,55 @@ struct RramConfig {
 /// Values are 64-bit words so 64 input patterns evaluate in parallel.
 /// Every `write` increments the cell's wear counter; a cell that has reached
 /// the endurance limit becomes *stuck at its last value* (the common RRAM
-/// hard-failure mode) — further writes are silently dropped, which makes
-/// failure observable as wrong program outputs rather than a crash.
+/// hard-failure mode) — further writes (counted or not) are silently
+/// dropped, which makes failure observable as wrong program outputs rather
+/// than a crash.
+///
+/// The mutating entry points and the failure predicate are virtual so fault
+/// models (fault::FaultArray) can overlay stuck-at cells, read disturbance,
+/// write variability, and spare-cell remapping while remaining a drop-in
+/// array for the controller and `plim::evaluate`.
 class RramArray {
 public:
   explicit RramArray(Cell num_cells, RramConfig config = {});
+  virtual ~RramArray() = default;
 
   [[nodiscard]] Cell size() const { return static_cast<Cell>(cells_.size()); }
 
-  [[nodiscard]] std::uint64_t read(Cell cell) const;
+  [[nodiscard]] virtual std::uint64_t read(Cell cell) const;
 
   /// Counted write (wears the cell; dropped once the cell has failed).
-  void write(Cell cell, std::uint64_t value);
+  virtual void write(Cell cell, std::uint64_t value);
 
   /// Uncounted write: models data that is already resident (primary inputs)
   /// or an external initialization outside the program's write traffic.
-  void preload(Cell cell, std::uint64_t value);
+  /// A failed cell is stuck for uncounted writes too — the preload is
+  /// dropped and the cell keeps its last value.
+  virtual void preload(Cell cell, std::uint64_t value);
 
   [[nodiscard]] std::uint64_t write_count(Cell cell) const;
   [[nodiscard]] std::vector<std::uint64_t> write_counts() const;
 
-  [[nodiscard]] bool is_failed(Cell cell) const;
-  [[nodiscard]] std::size_t failed_cell_count() const;
+  [[nodiscard]] virtual bool is_failed(Cell cell) const;
+  [[nodiscard]] virtual std::size_t failed_cell_count() const;
 
-  /// Effective endurance limit of a cell under the variability model
-  /// (0 when the endurance model is disabled).
-  [[nodiscard]] std::uint64_t endurance_of(Cell cell) const;
+  /// Effective endurance limit of a cell under the variability model;
+  /// nullopt when the endurance model is disabled (the cell is unlimited).
+  /// Distinct from a genuinely zero budget, which the variability draw
+  /// clamps to 1 — an engaged model never yields a 0 limit.
+  [[nodiscard]] std::optional<std::uint64_t> endurance_of(Cell cell) const;
+  /// True when construction drew per-cell limits (endurance_limit != 0).
+  [[nodiscard]] bool has_endurance_model() const {
+    return config_.endurance_limit != 0;
+  }
 
   /// Clears values but keeps accumulated wear (a fresh execution on an aged
-  /// array).
-  void reset_values();
+  /// array). Failed cells are stuck and keep their last value even here.
+  virtual void reset_values();
 
   [[nodiscard]] util::WriteStats stats() const;
 
-private:
+protected:
   struct CellState {
     std::uint64_t value = 0;
     std::uint64_t writes = 0;
@@ -67,6 +86,18 @@ private:
 
   void check(Cell cell) const;
 
+  /// Direct cell-state access for fault-model subclasses, which keep their
+  /// own logical→physical mapping and must not bounce through the virtual
+  /// public API with already-translated indices.
+  [[nodiscard]] CellState& state(Cell cell) { return cells_[cell]; }
+  [[nodiscard]] const CellState& state(Cell cell) const { return cells_[cell]; }
+
+  /// The base hard-failure criterion on raw state (wear >= drawn limit).
+  [[nodiscard]] static bool hard_failed(const CellState& state) {
+    return state.limit != 0 && state.writes >= state.limit;
+  }
+
+private:
   std::vector<CellState> cells_;
   RramConfig config_;
 };

@@ -16,7 +16,9 @@ inline constexpr std::string_view kMagic = "RLIM";
 /// (header of counts + bulk little-endian sections), the frame trailer
 /// switched to the 8-byte-lane FNV variant, and the MIG fingerprint to the
 /// u32-lane variant — v1 entries are evicted and recomputed on first touch.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: EnduranceReport gained the optional Monte-Carlo fault-sweep block
+/// (u8 presence flag + fault::LifetimeDistribution).
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// What an entry file holds. Part of the content address, so the two cache
 /// levels never alias even for equal (fingerprint, key) pairs.

@@ -130,6 +130,40 @@ util::WriteStats decode_write_stats(util::ByteReader& in) {
   return stats;
 }
 
+void encode(util::ByteWriter& out, const fault::LifetimeDistribution& dist) {
+  out.u32(dist.trials)
+      .u64(dist.runs_cap)
+      .u32(dist.censored)
+      .u64(dist.lifetime_min)
+      .u64(dist.lifetime_p50)
+      .u64(dist.lifetime_p99)
+      .u64(dist.lifetime_max)
+      .f64(dist.lifetime_mean)
+      .u64(dist.failed_cells_min)
+      .u64(dist.failed_cells_max)
+      .f64(dist.failed_cells_mean)
+      .u64(dist.remapped_total)
+      .u64(dist.dropped_writes);
+}
+
+fault::LifetimeDistribution decode_lifetime_distribution(util::ByteReader& in) {
+  fault::LifetimeDistribution dist;
+  dist.trials = in.u32();
+  dist.runs_cap = in.u64();
+  dist.censored = in.u32();
+  dist.lifetime_min = in.u64();
+  dist.lifetime_p50 = in.u64();
+  dist.lifetime_p99 = in.u64();
+  dist.lifetime_max = in.u64();
+  dist.lifetime_mean = in.f64();
+  dist.failed_cells_min = in.u64();
+  dist.failed_cells_max = in.u64();
+  dist.failed_cells_mean = in.f64();
+  dist.remapped_total = in.u64();
+  dist.dropped_writes = in.u64();
+  return dist;
+}
+
 // ---- plim::Program ---------------------------------------------------------
 
 // An Instruction is three u32 words ({a, b} operand words + destination
@@ -187,6 +221,10 @@ void encode(util::ByteWriter& out, const core::EnduranceReport& report) {
   out.u64(report.gates_before_rewrite);
   out.u64(report.gates_after_rewrite);
   encode(out, report.program);
+  out.u8(report.fault_sweep.has_value() ? 1 : 0);
+  if (report.fault_sweep) {
+    encode(out, *report.fault_sweep);
+  }
 }
 
 core::EnduranceReport decode_report(util::ByteReader& in,
@@ -206,6 +244,11 @@ core::EnduranceReport decode_report(util::ByteReader& in,
   report.gates_before_rewrite = in.u64();
   report.gates_after_rewrite = in.u64();
   report.program = decode_program(in);
+  const auto has_sweep = in.u8();
+  require(has_sweep <= 1, "store: fault-sweep presence flag must be 0 or 1");
+  if (has_sweep != 0) {
+    report.fault_sweep = decode_lifetime_distribution(in);
+  }
   return report;
 }
 

@@ -51,6 +51,10 @@ void encode(util::ByteWriter& out, const mig::RewriteStats& stats);
 void encode(util::ByteWriter& out, const util::WriteStats& stats);
 [[nodiscard]] util::WriteStats decode_write_stats(util::ByteReader& in);
 
+void encode(util::ByteWriter& out, const fault::LifetimeDistribution& dist);
+[[nodiscard]] fault::LifetimeDistribution decode_lifetime_distribution(
+    util::ByteReader& in);
+
 // ---- plim::Program ---------------------------------------------------------
 
 /// Sectioned like the MIG (format v2): a u32 header —
@@ -74,6 +78,9 @@ void encode(util::ByteWriter& out, const plim::Program& program);
 /// addressed the entry; passing it (with its key) skips the per-load spec
 /// re-parse — the stored key is string-compared against `expected_key` and
 /// any disagreement falls back to the full parse-and-validate path.
+///
+/// Format v3 appends the optional fault-sweep block: a u8 presence flag,
+/// then the LifetimeDistribution fields when the report carries one.
 void encode(util::ByteWriter& out, const core::EnduranceReport& report);
 [[nodiscard]] core::EnduranceReport decode_report(
     util::ByteReader& in, const core::PipelineConfig* expected_config = nullptr,

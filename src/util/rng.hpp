@@ -13,6 +13,18 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Decorrelated per-instance seed: hashes (base, instance) so that nearby
+/// base seeds never alias nearby instances the way `base + instance` does
+/// (job seed 5 / trial 1 vs job seed 6 / trial 0 must not share a draw).
+/// Use this wherever a batch derives many RNG streams from one job seed.
+constexpr std::uint64_t mix_seed(std::uint64_t base, std::uint64_t instance) {
+  std::uint64_t state = base;
+  std::uint64_t mixed = splitmix64(state);  // advances state past `base`
+  state += instance;
+  mixed ^= splitmix64(state);
+  return mixed;
+}
+
 /// xoshiro256** — fast, high-quality deterministic PRNG.
 /// All randomness in rlim is seeded explicitly; there are no global RNGs.
 class Xoshiro256 {

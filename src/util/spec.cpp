@@ -1,6 +1,7 @@
 #include "util/spec.hpp"
 
 #include <charconv>
+#include <cmath>
 
 #include "util/error.hpp"
 
@@ -87,6 +88,26 @@ std::uint64_t param_u64(const Params& params, const std::string& name) {
   require(ec == std::errc() && ptr == end,
           "policy parameter " + name + "='" + text +
               "' is not an unsigned integer");
+  return value;
+}
+
+double param_double(const Params& params, const std::string& name) {
+  const auto& text = find_param(params, name);
+  double value = 0.0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  require(ec == std::errc() && ptr == end && std::isfinite(value),
+          "policy parameter " + name + "='" + text +
+              "' is not a finite number");
+  return value;
+}
+
+double param_probability(const Params& params, const std::string& name) {
+  const double value = param_double(params, name);
+  require(value >= 0.0 && value <= 1.0,
+          "policy parameter " + name + "='" + find_param(params, name) +
+              "' must be a probability in [0, 1]");
   return value;
 }
 

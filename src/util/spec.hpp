@@ -43,5 +43,10 @@ struct PolicySpec {
 [[nodiscard]] std::uint64_t param_u64(const Params& params,
                                       const std::string& name);
 [[nodiscard]] int param_int(const Params& params, const std::string& name);
+/// Finite double (accepts scientific notation, e.g. `rate=1e-4`).
+[[nodiscard]] double param_double(const Params& params, const std::string& name);
+/// param_double constrained to [0, 1] — fault rates and probabilities.
+[[nodiscard]] double param_probability(const Params& params,
+                                       const std::string& name);
 
 }  // namespace rlim::util

@@ -103,6 +103,22 @@ TEST(RramArray, EnduranceFailureIsStuckAtLastValue) {
   EXPECT_EQ(array.failed_cell_count(), 1u);
 }
 
+TEST(RramArray, FailedCellIgnoresPreloadAndReset) {
+  // A hard-failed cell is stuck at its last value for *every* external
+  // write path: counted writes, uncounted preloads, and reset_values.
+  RramArray array(2, RramConfig{.endurance_limit = 2});
+  array.write(0, 1);
+  array.write(0, 0xabcdULL);
+  ASSERT_TRUE(array.is_failed(0));
+  array.preload(0, 7);  // dropped: the cell is stuck
+  EXPECT_EQ(array.read(0), 0xabcdULL);
+  array.preload(1, 9);  // healthy neighbor still preloads
+  EXPECT_EQ(array.read(1), 9u);
+  array.reset_values();
+  EXPECT_EQ(array.read(0), 0xabcdULL);  // stuck value survives the reset
+  EXPECT_EQ(array.read(1), 0u);
+}
+
 TEST(RramArray, VariabilityDrawsPerCellLimits) {
   RramArray array(64, RramConfig{.endurance_limit = 1000,
                                  .endurance_sigma = 0.5,
@@ -111,9 +127,10 @@ TEST(RramArray, VariabilityDrawsPerCellLimits) {
   bool saw_above = false;
   for (Cell cell = 0; cell < 64; ++cell) {
     const auto limit = array.endurance_of(cell);
-    EXPECT_GE(limit, 1u);
-    saw_below |= limit < 1000;
-    saw_above |= limit > 1000;
+    ASSERT_TRUE(limit.has_value());
+    EXPECT_GE(*limit, 1u);
+    saw_below |= *limit < 1000;
+    saw_above |= *limit > 1000;
   }
   EXPECT_TRUE(saw_below);
   EXPECT_TRUE(saw_above);
@@ -128,11 +145,15 @@ TEST(RramArray, VariabilityDrawsPerCellLimits) {
 
 TEST(RramArray, VariabilityZeroSigmaIsUniform) {
   RramArray array(8, RramConfig{.endurance_limit = 77});
+  EXPECT_TRUE(array.has_endurance_model());
   for (Cell cell = 0; cell < 8; ++cell) {
     EXPECT_EQ(array.endurance_of(cell), 77u);
   }
+  // Model disabled: endurance_of is nullopt (unlimited), never a zero limit —
+  // the two used to be conflated as 0.
   RramArray unlimited(4);
-  EXPECT_EQ(unlimited.endurance_of(0), 0u);
+  EXPECT_FALSE(unlimited.has_endurance_model());
+  EXPECT_FALSE(unlimited.endurance_of(0).has_value());
 }
 
 TEST(RramArray, WeakCellFailsFirst) {
@@ -141,11 +162,11 @@ TEST(RramArray, WeakCellFailsFirst) {
                                  .variation_seed = 4});
   Cell weakest = 0;
   for (Cell cell = 1; cell < 32; ++cell) {
-    if (array.endurance_of(cell) < array.endurance_of(weakest)) {
+    if (*array.endurance_of(cell) < *array.endurance_of(weakest)) {
       weakest = cell;
     }
   }
-  for (std::uint64_t i = 0; i < array.endurance_of(weakest); ++i) {
+  for (std::uint64_t i = 0; i < *array.endurance_of(weakest); ++i) {
     for (Cell cell = 0; cell < 32; ++cell) {
       array.write(cell, i);
     }

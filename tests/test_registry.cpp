@@ -21,10 +21,11 @@ using core::Strategy;
 
 TEST(Registry, KindsCoverTheSpecGrammar) {
   const auto kinds = registry::kinds();
-  ASSERT_EQ(kinds.size(), 3u);
+  ASSERT_EQ(kinds.size(), 4u);
   EXPECT_EQ(kinds[0], "rewrite");
   EXPECT_EQ(kinds[1], "select");
   EXPECT_EQ(kinds[2], "alloc");
+  EXPECT_EQ(kinds[3], "fault");
 }
 
 TEST(Registry, BuiltinsAreListed) {
@@ -44,9 +45,13 @@ TEST(Registry, BuiltinsAreListed) {
     EXPECT_TRUE(select.count(key)) << key;
   }
   const auto alloc = keys("alloc");
-  for (const auto* key :
-       {"lifo", "fifo", "round_robin", "min_write", "start_gap"}) {
+  for (const auto* key : {"lifo", "fifo", "round_robin", "min_write",
+                          "start_gap", "retire", "spare"}) {
     EXPECT_TRUE(alloc.count(key)) << key;
+  }
+  const auto fault_models = keys("fault");
+  for (const auto* key : {"none", "stuck", "drift", "variation", "mixed"}) {
+    EXPECT_TRUE(fault_models.count(key)) << key;
   }
   EXPECT_THROW(static_cast<void>(registry::list("frobnicate")), Error);
 }
@@ -60,6 +65,10 @@ TEST(Registry, DescribeExposesParameters) {
   const auto& start_gap = registry::describe("alloc", "start_gap");
   ASSERT_EQ(start_gap.params.size(), 1u);
   EXPECT_EQ(start_gap.params[0].name, "interval");
+
+  const auto& stuck = registry::describe("fault", "stuck");
+  EXPECT_EQ(stuck.params[0].name, "rate");
+  EXPECT_EQ(stuck.params[0].default_value, "0.0001");
 
   EXPECT_THROW(static_cast<void>(registry::describe("select", "nope")), Error);
 }
@@ -195,29 +204,34 @@ TEST(ConfigSpec, EffortAccessors) {
 
 TEST(ConfigSpec, ParseCanonicalKeyRoundTripsEveryRegisteredCombination) {
   // The acceptance property of the redesign: parse(canonical_key(c)) == c
-  // for every registered policy combination (with and without a cap).
+  // for every registered policy combination (with and without a cap). Going
+  // through registry::list also forces fault::ensure_registered(), so the
+  // allocator decorators are in the listing regardless of test order.
   std::size_t combinations = 0;
-  for (const auto& rewrite : mig::rewrites().list()) {
-    for (const auto& select : plim::selectors().list()) {
-      for (const auto& alloc : plim::allocators().list()) {
-        for (const auto cap :
-             {std::optional<std::uint64_t>{}, std::optional<std::uint64_t>{10}}) {
-          PipelineConfig config;
-          config.rewrite = {rewrite.key, {}};
-          config.selection = {select.key, {}};
-          config.allocation = {alloc.key, {}};
-          config.max_writes = cap;
-          config = config.normalized();
-          const auto key = config.canonical_key();
-          EXPECT_EQ(PipelineConfig::parse(key), config) << key;
-          EXPECT_EQ(PipelineConfig::parse(key).canonical_key(), key) << key;
-          ++combinations;
+  for (const auto& rewrite : registry::list("rewrite")) {
+    for (const auto& select : registry::list("select")) {
+      for (const auto& alloc : registry::list("alloc")) {
+        for (const auto& fault_model : registry::list("fault")) {
+          for (const auto cap : {std::optional<std::uint64_t>{},
+                                 std::optional<std::uint64_t>{10}}) {
+            PipelineConfig config;
+            config.rewrite = {rewrite.key, {}};
+            config.selection = {select.key, {}};
+            config.allocation = {alloc.key, {}};
+            config.fault = {fault_model.key, {}};
+            config.max_writes = cap;
+            config = config.normalized();
+            const auto key = config.canonical_key();
+            EXPECT_EQ(PipelineConfig::parse(key), config) << key;
+            EXPECT_EQ(PipelineConfig::parse(key).canonical_key(), key) << key;
+            ++combinations;
+          }
         }
       }
     }
   }
-  // 4 rewrites x 4 selectors x 5 allocators x 2 cap variants.
-  EXPECT_EQ(combinations, 160u);
+  // 4 rewrites x 4 selectors x 7 allocators x 5 fault models x 2 cap variants.
+  EXPECT_EQ(combinations, 1120u);
 }
 
 TEST(ConfigSpec, NonDefaultParametersSurviveTheRoundTrip) {

@@ -135,6 +135,38 @@ TEST(StoreSerialize, ReportRoundTripsBitExactly) {
   EXPECT_EQ(decoded.writes.mean, report.writes.mean);
   EXPECT_EQ(decoded.writes.stdev, report.writes.stdev);
   expect_same_program(report.program, decoded.program);
+  EXPECT_FALSE(decoded.fault_sweep.has_value());
+}
+
+TEST(StoreSerialize, FaultSweepBlockRoundTripsExactly) {
+  // A report compiled under a fault config carries the distribution through
+  // the store (and therefore the pipeline cache and the wire) unchanged.
+  auto report = sample_report();
+  report.config = core::PipelineConfig::parse(
+      "full,fault=stuck:rate=0.02:endurance=60:trials=4:runs=30");
+  fault::LifetimeDistribution dist;
+  dist.trials = 4;
+  dist.runs_cap = 30;
+  dist.censored = 1;
+  dist.lifetime_min = 3;
+  dist.lifetime_p50 = 11;
+  dist.lifetime_p99 = 29;
+  dist.lifetime_max = 30;
+  dist.lifetime_mean = 18.25;
+  dist.failed_cells_min = 1;
+  dist.failed_cells_max = 6;
+  dist.failed_cells_mean = 3.5;
+  dist.remapped_total = 2;
+  dist.dropped_writes = 17;
+  report.fault_sweep = dist;
+
+  util::ByteWriter out;
+  encode(out, report);
+  util::ByteReader in(out.bytes());
+  const auto decoded = decode_report(in);
+  EXPECT_EQ(decoded.config, report.config);
+  ASSERT_TRUE(decoded.fault_sweep.has_value());
+  EXPECT_EQ(*decoded.fault_sweep, dist);
 }
 
 TEST(StoreSerialize, TruncatedPayloadThrowsInsteadOfMisdecoding) {

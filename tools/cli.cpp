@@ -11,6 +11,7 @@
 
 #include "benchmarks/suite.hpp"
 #include "core/lifetime.hpp"
+#include "fault/fault.hpp"
 #include "core/registry.hpp"
 #include "flow/runner.hpp"
 #include "flow/service.hpp"
@@ -284,6 +285,20 @@ int print_compile_details(const Options& options, const flow::JobResult& result,
       << "energy:          " << cost.energy_pj << " pJ (" << cost.cell_reads
       << " reads, " << cost.cell_writes << " writes)\n";
 
+  if (const auto& sweep = report.fault_sweep) {
+    out << "fault model:     " << report.config.fault.canonical() << '\n'
+        << "lifetime (" << sweep->trials
+        << " trials): min/p50/p99/max " << sweep->lifetime_min << "/"
+        << sweep->lifetime_p50 << "/" << sweep->lifetime_p99 << "/"
+        << sweep->lifetime_max << " of " << sweep->runs_cap << " runs ("
+        << sweep->censored << " censored)\n"
+        << "failed cells:    " << sweep->failed_cells_min << ".."
+        << sweep->failed_cells_max << " (mean "
+        << util::Table::fixed(sweep->failed_cells_mean) << ")\n"
+        << "remap/dropped:   " << sweep->remapped_total << "/"
+        << sweep->dropped_writes << '\n';
+  }
+
   if (options.verify) {
     const bool ok =
         plim::program_matches_mig(report.program, *result.prepared, 16, 1);
@@ -304,6 +319,38 @@ const std::vector<std::string>& summary_columns() {
       "benchmark", "gates", "#I", "#R", "min/max", "STDEV",
       "executions@1e10"};
   return columns;
+}
+
+/// Extra columns for batches whose config requests a fault sweep. Kept out
+/// of summary_columns() so serve/submit job streams (which mix per-line
+/// configs) and fault-free batches stay byte-identical to previous releases.
+const std::vector<std::string>& fault_columns() {
+  static const std::vector<std::string> columns = {
+      "trials", "life min/p50/p99/max", "failed cells", "remap/drop"};
+  return columns;
+}
+
+void append_fault_cells(std::vector<std::string>& row,
+                        const flow::JobResult& result) {
+  const auto& sweep = result.report.fault_sweep;
+  if (!sweep) {
+    row.insert(row.end(), fault_columns().size(), "-");
+    return;
+  }
+  std::string trials = std::to_string(sweep->trials);
+  if (sweep->censored != 0) {
+    trials += " (" + std::to_string(sweep->censored) + " cens)";
+  }
+  row.push_back(std::move(trials));
+  row.push_back(std::to_string(sweep->lifetime_min) + "/" +
+                std::to_string(sweep->lifetime_p50) + "/" +
+                std::to_string(sweep->lifetime_p99) + "/" +
+                std::to_string(sweep->lifetime_max));
+  row.push_back(std::to_string(sweep->failed_cells_min) + ".." +
+                std::to_string(sweep->failed_cells_max) + " (" +
+                util::Table::fixed(sweep->failed_cells_mean) + ")");
+  row.push_back(std::to_string(sweep->remapped_total) + "/" +
+                std::to_string(sweep->dropped_writes));
 }
 
 /// One summary row for a job outcome. Failed jobs keep their row — error in
@@ -336,6 +383,12 @@ std::pair<bool, bool> batch_rows(const Options& options,
                                  const std::vector<flow::JobResult>& results,
                                  flow::Report& doc) {
   doc.columns = summary_columns();
+  const bool with_fault =
+      !jobs.empty() && fault::active(jobs.front().config.fault);
+  if (with_fault) {
+    doc.columns.insert(doc.columns.end(), fault_columns().begin(),
+                       fault_columns().end());
+  }
   if (options.verify) {
     doc.columns.push_back("verified");
   }
@@ -347,11 +400,16 @@ std::pair<bool, bool> batch_rows(const Options& options,
         result_cells(jobs[i].display_label(), result, doc.columns.size());
     if (!result.ok()) {
       any_failed = true;
-    } else if (options.verify) {
-      const bool ok = plim::program_matches_mig(result.report.program,
-                                                *result.prepared, 16, 1);
-      all_verified &= ok;
-      row.push_back(ok ? "passed" : "FAILED");
+    } else {
+      if (with_fault) {
+        append_fault_cells(row, result);
+      }
+      if (options.verify) {
+        const bool ok = plim::program_matches_mig(result.report.program,
+                                                  *result.prepared, 16, 1);
+        all_verified &= ok;
+        row.push_back(ok ? "passed" : "FAILED");
+      }
     }
     doc.add_row(std::move(row));
   }
@@ -824,7 +882,8 @@ int cmd_policies(const Options& options, std::ostream& out) {
     }
   }
   doc.add_note(
-      "spec grammar: rewrite=KEY[:param=value...],select=KEY,alloc=KEY[,cap=N]");
+      "spec grammar: rewrite=KEY[:param=value...],select=KEY,alloc=KEY"
+      "[,fault=KEY][,cap=N]");
   std::string presets;
   for (const auto& [alias, strategy] : core::strategy_aliases()) {
     if (!presets.empty()) {

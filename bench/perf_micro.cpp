@@ -13,6 +13,9 @@
 #include "flow/suite.hpp"
 #include "mig/rewriting.hpp"
 #include "mig/simulate.hpp"
+#include "pass/manager.hpp"
+#include "pass/pass.hpp"
+#include "pass/seq.hpp"
 #include "plim/compiler.hpp"
 #include "plim/controller.hpp"
 #include "store/disk_store.hpp"
@@ -53,6 +56,21 @@ void BM_RewriteEndurance(benchmark::State& state) {
                           graph.num_gates());
 }
 BENCHMARK(BM_RewriteEndurance)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Same pass list as BM_RewriteEndurance, driven through the pass manager —
+// the delta between the two is the per-pass telemetry + dispatch overhead.
+void BM_PassPipeline(benchmark::State& state) {
+  pass::ensure_registered();
+  const auto manager =
+      pass::make_manager(pass::alias_passes(mig::RewriteKind::Endurance));
+  const auto& graph = adder_graph(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.run(graph, 2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          graph.num_gates());
+}
+BENCHMARK(BM_PassPipeline)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_Compile(benchmark::State& state) {
   const auto& graph = adder_graph(static_cast<unsigned>(state.range(0)));

@@ -5,6 +5,7 @@
 
 #include "fault/fault.hpp"
 #include "mig/rewriting.hpp"
+#include "pass/pass.hpp"
 #include "plim/allocator.hpp"
 #include "plim/selector.hpp"
 #include "util/enum_names.hpp"
@@ -34,6 +35,22 @@ constexpr std::array<std::pair<std::string_view, Strategy>, 5> kAliases{{
     {"endurance-rewrite", Strategy::MinWriteEnduranceRewrite},
     {"full", Strategy::FullEndurance},
 }};
+
+/// True iff `rest` (the text following a comma) starts a new config clause:
+/// a known field name immediately followed by '='. Policy parameter values
+/// may themselves contain commas (the seq flow's `passes=maj,dist,...`
+/// list), so a comma alone does not separate clauses — only a comma followed
+/// by `field=`. Pass keys are [a-z0-9_]+ identifiers distinct from the five
+/// field names, so the two grammars cannot collide.
+bool starts_clause(std::string_view rest) {
+  const auto delim = rest.find_first_of("=,:");
+  if (delim == std::string_view::npos || rest[delim] != '=') {
+    return false;
+  }
+  const auto field = rest.substr(0, delim);
+  return field == "rewrite" || field == "select" || field == "alloc" ||
+         field == "fault" || field == "cap";
+}
 
 std::uint64_t parse_cap(std::string_view text, std::string_view spec) {
   std::uint64_t value = 0;
@@ -111,6 +128,7 @@ std::string PipelineConfig::canonical_key() const {
 
 PipelineConfig PipelineConfig::normalized() const {
   rlim::fault::ensure_registered();
+  rlim::pass::ensure_registered();
   PipelineConfig out = *this;
   out.rewrite = mig::rewrites().normalize(rewrite);
   out.selection = plim::selectors().normalize(selection);
@@ -136,7 +154,13 @@ PipelineConfig PipelineConfig::parse(std::string_view spec) {
 
   std::size_t start = 0;
   while (start <= spec.size()) {
+    // The next clause-separating comma — commas inside a parameter value
+    // (e.g. rewrite=seq:passes=maj,dist,...) belong to the clause.
     auto end = spec.find(',', start);
+    while (end != std::string_view::npos &&
+           !starts_clause(spec.substr(end + 1))) {
+      end = spec.find(',', end + 1);
+    }
     if (end == std::string_view::npos) {
       end = spec.size();
     }

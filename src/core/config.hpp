@@ -89,8 +89,11 @@ struct PipelineConfig {
   ///   full,cap=100
   ///   full,fault=stuck:rate=1e-4:seed=7:trials=32
   ///   rewrite=endurance:effort=5,select=wear_quota:quota=4,alloc=start_gap
-  /// Every policy is validated against its registry (unknown keys and
-  /// parameters are hard errors).
+  ///   rewrite=seq:passes=maj,dist,inv,inv3,select=endurance,alloc=min_write
+  /// A comma separates clauses only when followed by `field=`; otherwise it
+  /// belongs to the current policy parameter value, as in the seq flow's
+  /// pass list above. Every policy is validated against its registry
+  /// (unknown keys and parameters are hard errors).
   [[nodiscard]] static PipelineConfig parse(std::string_view spec);
 
   bool operator==(const PipelineConfig&) const = default;

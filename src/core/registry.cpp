@@ -4,14 +4,28 @@
 
 namespace rlim::registry {
 
+namespace {
+
+/// Every facade entry point registers the lazily-added policies first, so
+/// discovery always sees the full set regardless of call order.
+void ensure_registered() {
+  fault::ensure_registered();
+  pass::ensure_registered();
+}
+
+}  // namespace
+
 std::vector<std::string_view> kinds() {
-  return {"rewrite", "select", "alloc", "fault"};
+  return {"rewrite", "pass", "select", "alloc", "fault"};
 }
 
 std::vector<util::PolicyInfo> list(std::string_view kind) {
-  fault::ensure_registered();
+  ensure_registered();
   if (kind == "rewrite") {
     return mig::rewrites().list();
+  }
+  if (kind == "pass") {
+    return pass::passes().list();
   }
   if (kind == "select") {
     return plim::selectors().list();
@@ -23,13 +37,16 @@ std::vector<util::PolicyInfo> list(std::string_view kind) {
     return fault::models().list();
   }
   throw Error("unknown policy kind '" + std::string(kind) +
-              "' (expected rewrite, select, alloc, fault)");
+              "' (expected rewrite, pass, select, alloc, fault)");
 }
 
 const util::PolicyInfo& describe(std::string_view kind, std::string_view key) {
-  fault::ensure_registered();
+  ensure_registered();
   if (kind == "rewrite") {
     return mig::rewrites().describe(key);
+  }
+  if (kind == "pass") {
+    return pass::passes().describe(key);
   }
   if (kind == "select") {
     return plim::selectors().describe(key);
@@ -41,11 +58,17 @@ const util::PolicyInfo& describe(std::string_view kind, std::string_view key) {
     return fault::models().describe(key);
   }
   throw Error("unknown policy kind '" + std::string(kind) +
-              "' (expected rewrite, select, alloc, fault)");
+              "' (expected rewrite, pass, select, alloc, fault)");
 }
 
 mig::RewriteFn make_rewrite(const util::PolicySpec& spec) {
+  ensure_registered();
   return mig::make_rewrite(spec);
+}
+
+pass::PassPtr make_pass(const util::PolicySpec& spec) {
+  ensure_registered();
+  return pass::make_pass(spec);
 }
 
 plim::SelectorPtr make_selector(const util::PolicySpec& spec) {
@@ -53,7 +76,7 @@ plim::SelectorPtr make_selector(const util::PolicySpec& spec) {
 }
 
 plim::AllocatorPtr make_allocator(const util::PolicySpec& spec) {
-  fault::ensure_registered();
+  ensure_registered();
   return plim::make_allocator(spec);
 }
 

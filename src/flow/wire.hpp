@@ -26,7 +26,7 @@ namespace rlim::flow::wire {
 /// changes, so two processes either agree on the bytes or refuse loudly.
 
 inline constexpr std::string_view kMagic = "RLWM";
-inline constexpr std::uint32_t kWireVersion = 3;  // v3: fault-sweep block in reports
+inline constexpr std::uint32_t kWireVersion = 4;  // v4: per-pass RewriteStats
 
 /// Ceiling a frame consumer should enforce on any untrusted length prefix
 /// *before* allocating or resizing a buffer — an absurd u32 from a damaged

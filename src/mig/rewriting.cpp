@@ -1,5 +1,6 @@
 #include "mig/rewriting.hpp"
 
+#include <chrono>
 #include <functional>
 #include <span>
 
@@ -8,10 +9,6 @@
 #include "util/error.hpp"
 
 namespace rlim::mig {
-
-static_assert(static_cast<std::size_t>(RewriteKind::LevelBalanced) + 1 ==
-                  kRewriteKindCount,
-              "kRewriteKindCount is out of sync with RewriteKind");
 
 namespace {
 
@@ -40,23 +37,60 @@ RewriteKind parse_rewrite_kind(std::string_view name) {
 
 namespace {
 
-using Pass = PassResult (*)(const Mig&);
+/// One pipeline position of an enum-era flow: the axiom pass plus the key it
+/// shares with the rlim::pass registry, so per-pass telemetry and the seq
+/// aliases name the steps identically.
+struct FlowStep {
+  std::string_view name;
+  PassResult (*fn)(const Mig&);
+};
 
-Mig run_flow(const Mig& mig, std::span<const Pass> passes, int effort,
+constexpr FlowStep kMaj{"maj", pass_majority};
+constexpr FlowStep kDist{"dist", pass_distributivity_rl};
+constexpr FlowStep kAssoc{"assoc", pass_associativity};
+constexpr FlowStep kComp{"comp", pass_comp_assoc};
+constexpr FlowStep kInv{"inv", pass_inv_reduce};
+constexpr FlowStep kInvThree{"inv3", pass_inv_three};
+constexpr FlowStep kRelief{"relief", pass_level_balance};
+
+Mig run_flow(const Mig& mig, std::span<const FlowStep> steps, int effort,
              RewriteStats* stats) {
   require(effort >= 0, "rewrite: effort must be non-negative");
   RewriteStats local;
   local.initial_gates = mig.num_gates();
   local.initial_complement_edges = mig.complement_edge_count();
+  local.per_pass.resize(steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    local.per_pass[i].name = steps[i].name;
+  }
 
   Mig current = mig.cleanup();
   for (int cycle = 0; cycle < effort; ++cycle) {
     std::size_t cycle_applications = 0;
     const auto gates_before = current.num_gates();
-    for (const auto pass : passes) {
-      auto result = pass(current);
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      auto& slot = local.per_pass[i];
+      const auto pass_gates = current.num_gates();
+      const auto pass_edges = current.complement_edge_count();
+      const auto pass_depth = current.depth();
+      const auto started = std::chrono::steady_clock::now();
+      auto result = steps[i].fn(current);
+      const auto finished = std::chrono::steady_clock::now();
       cycle_applications += result.applications;
       current = std::move(result.mig);
+      ++slot.runs;
+      slot.applications += result.applications;
+      slot.gate_delta += static_cast<std::int64_t>(current.num_gates()) -
+                         static_cast<std::int64_t>(pass_gates);
+      slot.complement_delta +=
+          static_cast<std::int64_t>(current.complement_edge_count()) -
+          static_cast<std::int64_t>(pass_edges);
+      slot.depth_delta += static_cast<std::int64_t>(current.depth()) -
+                          static_cast<std::int64_t>(pass_depth);
+      slot.wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(finished -
+                                                               started)
+              .count());
     }
     ++local.cycles_run;
     local.total_applications += cycle_applications;
@@ -68,48 +102,75 @@ Mig run_flow(const Mig& mig, std::span<const Pass> passes, int effort,
   local.final_gates = current.num_gates();
   local.final_complement_edges = current.complement_edge_count();
   if (stats != nullptr) {
-    *stats = local;
+    *stats = std::move(local);
   }
   return current;
 }
 
+constexpr FlowStep kPlim21Flow[] = {
+    kMaj, kDist,         // step 2
+    kAssoc, kComp,       // step 3
+    kMaj, kDist,         // step 4
+    kInv,                // step 5
+    kInvThree,           // step 6
+};
+
+constexpr FlowStep kEnduranceFlow[] = {
+    kMaj, kDist,         // step 2
+    kInv,                // step 3
+    kInvThree,           // step 4
+    kAssoc,              // step 5
+    kInv,                // step 6
+    kInvThree,           // step 7
+    kMaj, kDist,         // step 8
+    kInvThree,           // step 9
+};
+
+constexpr FlowStep kLevelBalancedFlow[] = {
+    kMaj, kDist,
+    kInv, kInvThree,
+    kRelief,             // §III-B.4 objective
+    kInv, kInvThree,
+    kMaj, kDist,
+    kInvThree,
+};
+
+template <std::size_t N>
+constexpr std::array<std::string_view, N> step_names(
+    const FlowStep (&steps)[N]) {
+  std::array<std::string_view, N> names{};
+  for (std::size_t i = 0; i < N; ++i) {
+    names[i] = steps[i].name;
+  }
+  return names;
+}
+
+constexpr auto kPlim21Names = step_names(kPlim21Flow);
+constexpr auto kEnduranceNames = step_names(kEnduranceFlow);
+constexpr auto kLevelBalancedNames = step_names(kLevelBalancedFlow);
+
 }  // namespace
 
+std::span<const std::string_view> flow_pass_keys(RewriteKind kind) {
+  switch (kind) {
+    case RewriteKind::None: return {};
+    case RewriteKind::Plim21: return kPlim21Names;
+    case RewriteKind::Endurance: return kEnduranceNames;
+    case RewriteKind::LevelBalanced: return kLevelBalancedNames;
+  }
+  throw Error("flow_pass_keys: unknown kind");
+}
+
 Mig rewrite_plim21(const Mig& mig, int effort, RewriteStats* stats) {
-  static constexpr Pass kFlow[] = {
-      pass_majority, pass_distributivity_rl,      // step 2
-      pass_associativity, pass_comp_assoc,        // step 3
-      pass_majority, pass_distributivity_rl,      // step 4
-      pass_inv_reduce,                            // step 5
-      pass_inv_three,                             // step 6
-  };
-  return run_flow(mig, kFlow, effort, stats);
+  return run_flow(mig, kPlim21Flow, effort, stats);
 }
 
 Mig rewrite_endurance(const Mig& mig, int effort, RewriteStats* stats) {
-  static constexpr Pass kFlow[] = {
-      pass_majority, pass_distributivity_rl,      // step 2
-      pass_inv_reduce,                            // step 3
-      pass_inv_three,                             // step 4
-      pass_associativity,                         // step 5
-      pass_inv_reduce,                            // step 6
-      pass_inv_three,                             // step 7
-      pass_majority, pass_distributivity_rl,      // step 8
-      pass_inv_three,                             // step 9
-  };
-  return run_flow(mig, kFlow, effort, stats);
+  return run_flow(mig, kEnduranceFlow, effort, stats);
 }
 
 Mig rewrite_level_balanced(const Mig& mig, int effort, RewriteStats* stats) {
-  static constexpr Pass kFlow[] = {
-      pass_majority, pass_distributivity_rl,
-      pass_inv_reduce, pass_inv_three,
-      pass_level_balance,                      // §III-B.4 objective
-      pass_inv_reduce, pass_inv_three,
-      pass_majority, pass_distributivity_rl,
-      pass_inv_three,
-  };
-  return run_flow(mig, kFlow, effort, stats);
+  return run_flow(mig, kLevelBalancedFlow, effort, stats);
 }
 
 Mig rewrite(const Mig& mig, RewriteKind kind, int effort, RewriteStats* stats) {

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,7 +15,28 @@
 
 namespace rlim::mig {
 
-/// Telemetry of one rewriting run (per cycle and total).
+/// Telemetry of one pipeline position in a rewriting run. `name` is the pass
+/// key shared with the rlim::pass registry ("maj", "dist", ...); the deltas
+/// are signed after-minus-before differences summed over every cycle the
+/// pass executed, so a shrinking pass accumulates a negative gate_delta.
+/// `wall_ns` is wall-clock measurement — everything else is deterministic
+/// for a given input graph and sequence.
+struct PassStats {
+  std::string name;
+  std::uint64_t runs = 0;             ///< times the pass executed
+  std::uint64_t applications = 0;     ///< rule firings, summed over runs
+  std::int64_t gate_delta = 0;        ///< gate-count delta, summed
+  std::int64_t complement_delta = 0;  ///< complemented-fanin-edge delta
+  std::int64_t depth_delta = 0;       ///< graph-depth (level) delta
+  std::uint64_t wall_ns = 0;          ///< accumulated wall time
+
+  bool operator==(const PassStats&) const = default;
+};
+
+/// Telemetry of one rewriting run (per cycle and total). `per_pass` holds
+/// one entry per pipeline position, in execution order — filled by both the
+/// enum-era flows below and pass::PassManager, so `rlim compile` verbose
+/// output and the ablation drivers see the same breakdown either way.
 struct RewriteStats {
   std::size_t initial_gates = 0;
   std::size_t final_gates = 0;
@@ -20,6 +44,7 @@ struct RewriteStats {
   std::size_t final_complement_edges = 0;
   int cycles_run = 0;
   std::size_t total_applications = 0;
+  std::vector<PassStats> per_pass;
 };
 
 /// Which rewriting flow to run before compilation.
@@ -30,8 +55,28 @@ enum class RewriteKind {
   LevelBalanced,  ///< §III-B.4 experimental flow (rewrite_level_balanced)
 };
 
-/// Number of RewriteKind enumerators — keep in sync when extending the enum.
-inline constexpr std::size_t kRewriteKindCount = 4;
+/// Every RewriteKind enumerator, in declaration order. The static_assert
+/// below pins each table position to its enumerator value, so extending the
+/// enum without extending the table fails to compile instead of silently
+/// desynchronizing the count.
+inline constexpr std::array kRewriteKinds{
+    RewriteKind::None,
+    RewriteKind::Plim21,
+    RewriteKind::Endurance,
+    RewriteKind::LevelBalanced,
+};
+inline constexpr std::size_t kRewriteKindCount = kRewriteKinds.size();
+static_assert(
+    [] {
+      for (std::size_t i = 0; i < kRewriteKinds.size(); ++i) {
+        if (static_cast<std::size_t>(kRewriteKinds[i]) != i) {
+          return false;
+        }
+      }
+      return true;
+    }(),
+    "kRewriteKinds must list every RewriteKind enumerator in declaration "
+    "order — extend the table when extending the enum");
 
 [[nodiscard]] std::string to_string(RewriteKind kind);
 /// Inverse of to_string over every enumerator (throws rlim::Error).
@@ -54,6 +99,13 @@ using RewriteFactory = std::function<RewriteFn(const util::Params&)>;
 /// Registry key of an enum-backed flow ("none", "plim21", "endurance",
 /// "level_balanced").
 [[nodiscard]] std::string_view rewrite_key(RewriteKind kind);
+
+/// The named pass sequence an enum flow runs each cycle, as pass-registry
+/// keys ("maj", "dist", ...). None maps to the empty sequence. This is the
+/// single source of the `rewrite=seq:` alias pass lists (pass/seq.cpp joins
+/// it), so the enum flows and their seq spellings cannot drift apart.
+[[nodiscard]] std::span<const std::string_view> flow_pass_keys(
+    RewriteKind kind);
 
 /// Paper Algorithm 1 — MIG rewriting of the PLiM compiler [21]:
 ///   Ω.M; Ω.D(R→L); Ω.A; Ψ.C; Ω.M; Ω.D(R→L); Ω.I(R→L)(1–3); Ω.I(R→L)

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pass/manager.hpp"
+
+namespace rlim::pass {
+
+/// GraphDumper-style annotated textual dump: a `#`-prefixed summary header
+/// (PI/PO/gate counts, depth, complemented edges), then one line per PI,
+/// gate (fanins with `'` complement marks, level, fanout count), and PO.
+/// Byte-deterministic for equal graphs — the dump-determinism tests and the
+/// alias byte-identity tests diff this output directly.
+void dump_graph(const mig::Mig& graph, std::ostream& os);
+
+/// Dump hook streaming to `os`: an `== cycle C step S: pass ==` banner, then
+/// dump_graph. `os` must outlive the returned hook.
+[[nodiscard]] DumpHook dump_to_stream(std::ostream& os);
+
+/// Dump hook writing one file per executed pass into `directory` (created,
+/// with parents, on first dump): `cycle<C>_step<S>_<pass>.txt`, zero-padded
+/// to two digits so shell globs sort in execution order.
+[[nodiscard]] DumpHook dump_to_directory(std::string directory);
+
+}  // namespace rlim::pass

@@ -1,0 +1,98 @@
+#include "pass/manager.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rlim::pass {
+
+PassManager& PassManager::add(PassPtr pass) {
+  require(pass != nullptr, "PassManager::add: null pass");
+  sequence_.push_back(std::move(pass));
+  return *this;
+}
+
+PassManager& PassManager::until(std::string name) {
+  until_ = std::move(name);
+  return *this;
+}
+
+PassManager& PassManager::on_dump(DumpHook hook) {
+  dump_ = std::move(hook);
+  return *this;
+}
+
+mig::Mig PassManager::run(const mig::Mig& graph, int effort,
+                          mig::RewriteStats* stats) const {
+  require(effort >= 0, "PassManager::run: effort must be non-negative");
+
+  // Resolve the --until limit to a prefix length up front, so the loop below
+  // is literally the k-prefix run the equivalence tests compare against.
+  std::size_t length = sequence_.size();
+  if (!until_.empty()) {
+    length = 0;
+    while (length < sequence_.size() &&
+           sequence_[length]->name() != until_) {
+      ++length;
+    }
+    require(length < sequence_.size(),
+            "PassManager::run: until='" + until_ +
+                "' matches no pass in the sequence");
+    ++length;  // inclusive: the named pass still runs
+  }
+
+  mig::RewriteStats local;
+  local.initial_gates = graph.num_gates();
+  local.initial_complement_edges = graph.complement_edge_count();
+  local.per_pass.resize(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    local.per_pass[i].name = sequence_[i]->name();
+  }
+
+  mig::Mig current = graph.cleanup();
+  for (int cycle = 0; cycle < effort; ++cycle) {
+    std::size_t cycle_applications = 0;
+    const auto gates_before = current.num_gates();
+    for (std::size_t i = 0; i < length; ++i) {
+      auto& slot = local.per_pass[i];
+      const auto pass_gates = current.num_gates();
+      const auto pass_edges = current.complement_edge_count();
+      const auto pass_depth = current.depth();
+      const auto apps_before = slot.applications;
+      const auto started = std::chrono::steady_clock::now();
+      sequence_[i]->run(current, slot);
+      const auto finished = std::chrono::steady_clock::now();
+      cycle_applications += slot.applications - apps_before;
+      ++slot.runs;
+      slot.gate_delta += static_cast<std::int64_t>(current.num_gates()) -
+                         static_cast<std::int64_t>(pass_gates);
+      slot.complement_delta +=
+          static_cast<std::int64_t>(current.complement_edge_count()) -
+          static_cast<std::int64_t>(pass_edges);
+      slot.depth_delta += static_cast<std::int64_t>(current.depth()) -
+                          static_cast<std::int64_t>(pass_depth);
+      slot.wall_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(finished -
+                                                               started)
+              .count());
+      if (dump_) {
+        dump_(current, DumpContext{cycle, i, sequence_[i]->name()});
+      }
+    }
+    ++local.cycles_run;
+    local.total_applications += cycle_applications;
+    if (cycle_applications == 0 && current.num_gates() == gates_before) {
+      break;  // fixpoint: further cycles cannot change the graph
+    }
+  }
+
+  local.final_gates = current.num_gates();
+  local.final_complement_edges = current.complement_edge_count();
+  if (stats != nullptr) {
+    *stats = std::move(local);
+  }
+  return current;
+}
+
+}  // namespace rlim::pass

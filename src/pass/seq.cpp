@@ -1,0 +1,108 @@
+#include "pass/seq.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "pass/pass.hpp"
+#include "util/error.hpp"
+
+namespace rlim::pass {
+
+namespace {
+
+std::string join_flow_keys(mig::RewriteKind kind) {
+  std::string out;
+  for (const auto key : mig::flow_pass_keys(kind)) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += key;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> split_pass_list(std::string_view list) {
+  require(!list.empty(), "pass list is empty");
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    auto end = list.find(',', start);
+    if (end == std::string_view::npos) {
+      end = list.size();
+    }
+    const auto element = list.substr(start, end - start);
+    require(!element.empty(), "pass list '" + std::string(list) +
+                                  "' has an empty element");
+    out.emplace_back(element);
+    if (end == list.size()) {
+      break;
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+PassManager make_manager(std::string_view list, std::string_view until) {
+  PassManager manager;
+  for (const auto& key : split_pass_list(list)) {
+    manager.add(make_pass(util::PolicySpec{key, {}}));
+  }
+  if (!until.empty()) {
+    bool found = false;
+    for (const auto& pass : manager.sequence()) {
+      if (pass->name() == until) {
+        found = true;
+        break;
+      }
+    }
+    require(found, "pass list '" + std::string(list) + "': until='" +
+                       std::string(until) + "' names no pass in the list");
+    manager.until(std::string(until));
+  }
+  return manager;
+}
+
+std::string_view alias_passes(mig::RewriteKind kind) {
+  require(kind != mig::RewriteKind::None,
+          "alias_passes: the 'none' flow runs no passes");
+  // One joined string per kind, built on first use and immutable after.
+  static const std::string plim21 = join_flow_keys(mig::RewriteKind::Plim21);
+  static const std::string endurance =
+      join_flow_keys(mig::RewriteKind::Endurance);
+  static const std::string level_balanced =
+      join_flow_keys(mig::RewriteKind::LevelBalanced);
+  switch (kind) {
+    case mig::RewriteKind::Plim21: return plim21;
+    case mig::RewriteKind::Endurance: return endurance;
+    case mig::RewriteKind::LevelBalanced: return level_balanced;
+    case mig::RewriteKind::None: break;
+  }
+  throw Error("alias_passes: unknown kind");
+}
+
+void register_seq_rewrite() {
+  mig::rewrites().add(
+      {"seq",
+       "ordered pass sequence — the pass-manager flow (`rlim policies` "
+       "lists the passes)",
+       {{"passes", std::string(alias_passes(mig::RewriteKind::Endurance)),
+         "comma-separated pass keys, run in order each cycle"},
+        {"effort", "5", "rewriting cycles before the fixpoint check"},
+        {"until", "",
+         "limit every cycle to the prefix ending at this pass (empty: run "
+         "the whole sequence)"}}},
+      [](const util::Params& params) -> mig::RewriteFn {
+        const int effort = util::param_int(params, "effort");
+        require(effort >= 0, "rewrite flow 'seq': effort must be non-negative");
+        auto manager = std::make_shared<const PassManager>(
+            make_manager(params.at("passes"), params.at("until")));
+        return [manager, effort](const mig::Mig& graph,
+                                 mig::RewriteStats* stats) {
+          return manager->run(graph, effort, stats);
+        };
+      });
+}
+
+}  // namespace rlim::pass

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pass/manager.hpp"
+
+namespace rlim::pass {
+
+/// Splits a comma-separated pass list ("maj,dist,inv3") into its elements.
+/// Rejects empty lists and empty elements; element validity against the
+/// registry is checked by make_manager.
+[[nodiscard]] std::vector<std::string> split_pass_list(std::string_view list);
+
+/// Builds a PassManager from a `seq` parameter set: `list` as accepted by
+/// split_pass_list (each element a bare pass key — `:` already separates
+/// spec parameters, so passes run with their declared defaults), `until` an
+/// optional pass key limiting every cycle to the prefix ending at its first
+/// occurrence. Throws rlim::Error for unknown passes or an `until` key
+/// absent from the list.
+[[nodiscard]] PassManager make_manager(std::string_view list,
+                                       std::string_view until = {});
+
+/// The comma-joined pass list equivalent to an enum flow — e.g. Plim21 →
+/// "maj,dist,assoc,comp,maj,dist,inv,inv3". Joined from
+/// mig::flow_pass_keys(), so it cannot drift from what the enum flow runs.
+/// Throws for RewriteKind::None (the empty flow has no pass spelling).
+[[nodiscard]] std::string_view alias_passes(mig::RewriteKind kind);
+
+/// Registers the `seq` rewriting flow into mig::rewrites():
+///   rewrite=seq:passes=maj,dist,...[:effort=N][:until=KEY]
+/// The canonical key keeps the comma-separated value verbatim, so seq specs
+/// flow unchanged through the pipeline cache, disk store, wire format, and
+/// cluster CLI. Called once by ensure_registered() — use that instead.
+void register_seq_rewrite();
+
+}  // namespace rlim::pass

@@ -18,7 +18,9 @@ inline constexpr std::string_view kMagic = "RLIM";
 /// u32-lane variant — v1 entries are evicted and recomputed on first touch.
 /// v3: EnduranceReport gained the optional Monte-Carlo fault-sweep block
 /// (u8 presence flag + fault::LifetimeDistribution).
-inline constexpr std::uint32_t kFormatVersion = 3;
+/// v4: RewriteStats gained the per-pass telemetry breakdown
+/// (count-prefixed list of named PassStats records).
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /// What an entry file holds. Part of the content address, so the two cache
 /// levels never alias even for equal (fingerprint, key) pairs.

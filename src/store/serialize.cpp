@@ -97,6 +97,16 @@ void encode(util::ByteWriter& out, const mig::RewriteStats& stats) {
       .u64(stats.final_complement_edges)
       .u32(static_cast<std::uint32_t>(stats.cycles_run))
       .u64(stats.total_applications);
+  out.u32(static_cast<std::uint32_t>(stats.per_pass.size()));
+  for (const auto& pass : stats.per_pass) {
+    out.str(pass.name)
+        .u64(pass.runs)
+        .u64(pass.applications)
+        .u64(static_cast<std::uint64_t>(pass.gate_delta))
+        .u64(static_cast<std::uint64_t>(pass.complement_delta))
+        .u64(static_cast<std::uint64_t>(pass.depth_delta))
+        .u64(pass.wall_ns);
+  }
 }
 
 mig::RewriteStats decode_rewrite_stats(util::ByteReader& in) {
@@ -107,6 +117,16 @@ mig::RewriteStats decode_rewrite_stats(util::ByteReader& in) {
   stats.final_complement_edges = in.u64();
   stats.cycles_run = static_cast<int>(in.u32());
   stats.total_applications = in.u64();
+  stats.per_pass.resize(in.u32());
+  for (auto& pass : stats.per_pass) {
+    pass.name = in.str();
+    pass.runs = in.u64();
+    pass.applications = in.u64();
+    pass.gate_delta = static_cast<std::int64_t>(in.u64());
+    pass.complement_delta = static_cast<std::int64_t>(in.u64());
+    pass.depth_delta = static_cast<std::int64_t>(in.u64());
+    pass.wall_ns = in.u64();
+  }
   return stats;
 }
 

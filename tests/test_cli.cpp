@@ -185,9 +185,61 @@ TEST(Cli, RewriteLevelFlow) {
   EXPECT_EQ(result.code, 0) << result.err;
 }
 
+TEST(Cli, RewriteSeqFlowMatchesNamedAlias) {
+  const auto input = temp_netlist();
+  const auto by_alias = ::testing::TempDir() + "/cli_seq_alias.mig";
+  const auto by_list = ::testing::TempDir() + "/cli_seq_list.mig";
+  const auto alias = run_cli({"rewrite", input, by_alias, "--flow", "endurance"});
+  const auto listed =
+      run_cli({"rewrite", input, by_list, "--flow", "seq", "--passes",
+               "maj,dist,inv,inv3,assoc,inv,inv3,maj,dist,inv3"});
+  ASSERT_EQ(alias.code, 0) << alias.err;
+  ASSERT_EQ(listed.code, 0) << listed.err;
+  EXPECT_NE(listed.out.find("passes:"), std::string::npos);
+  // Same pass sequence, same graph: the rewritten netlists must be identical.
+  std::ifstream a(by_alias), b(by_list);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(Cli, RewriteUntilStopsAfterNamedPass) {
+  const auto input = temp_netlist();
+  const auto output = ::testing::TempDir() + "/cli_until.mig";
+  const auto result = run_cli({"rewrite", input, output, "--flow", "endurance",
+                               "--until", "dist"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  // Passes after the cut must not appear in the breakdown.
+  EXPECT_NE(result.out.find("dist"), std::string::npos);
+  EXPECT_EQ(result.out.find("inv3"), std::string::npos) << result.out;
+  EXPECT_EQ(run_cli({"rewrite", input, output, "--flow", "endurance",
+                     "--until", "bogus"})
+                .code,
+            1);
+}
+
+TEST(Cli, RewriteDumpAfterStreamsToStderr) {
+  const auto input = temp_netlist();
+  const auto output = ::testing::TempDir() + "/cli_dumped.mig";
+  const auto result = run_cli({"rewrite", input, output, "--flow", "plim21",
+                               "--dump-after", "-"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.err.find("== cycle 0 step 0: maj =="), std::string::npos);
+  EXPECT_NE(result.err.find("# MIG:"), std::string::npos);
+}
+
 TEST(Cli, BadStrategyAndFlowFail) {
   EXPECT_EQ(run_cli({"compile", temp_netlist(), "--strategy", "bogus"}).code, 1);
   EXPECT_EQ(run_cli({"rewrite", temp_netlist(), "/tmp/x.mig", "--flow", "bogus"})
+                .code,
+            1);
+  // seq requires --passes, and --passes only makes sense with seq.
+  EXPECT_EQ(
+      run_cli({"rewrite", temp_netlist(), "/tmp/x.mig", "--flow", "seq"}).code,
+      1);
+  EXPECT_EQ(run_cli({"rewrite", temp_netlist(), "/tmp/x.mig", "--flow",
+                     "plim21", "--passes", "maj"})
                 .code,
             1);
 }
@@ -214,8 +266,9 @@ TEST(Cli, PoliciesListsEveryRegistryKind) {
   const auto result = run_cli({"policies"});
   EXPECT_EQ(result.code, 0) << result.err;
   for (const auto* needle :
-       {"rewrite", "select", "alloc", "endurance", "wear_quota", "start_gap",
-        "min_write", "quota=8", "interval=16", "presets:"}) {
+       {"rewrite", "pass", "select", "alloc", "endurance", "wear_quota",
+        "start_gap", "min_write", "quota=8", "interval=16", "presets:", "seq",
+        "pass sequences:", "seq aliases:"}) {
     EXPECT_NE(result.out.find(needle), std::string::npos) << needle;
   }
 }
@@ -259,6 +312,34 @@ TEST(Cli, ConfigSpecReachesRegistryOnlyPolicies) {
             std::string::npos)
       << result.out;
   EXPECT_NE(result.out.find("verification:    passed"), std::string::npos);
+}
+
+TEST(Cli, SeqConfigMatchesEnumFlowAndShowsPassBreakdown) {
+  // A seq spec spelling out the endurance pass list must reproduce the enum
+  // flow's compile table byte for byte (modulo the title line naming the key).
+  const auto by_enum = run_cli({"compile", "bench:ctrl", "--config",
+                                "rewrite=endurance,cap=10", "--format", "csv"});
+  const auto by_seq = run_cli(
+      {"compile", "bench:ctrl", "--config",
+       "rewrite=seq:passes=maj,dist,inv,inv3,assoc,inv,inv3,maj,dist,inv3,"
+       "cap=10",
+       "--format", "csv"});
+  ASSERT_EQ(by_enum.code, 0) << by_enum.err;
+  ASSERT_EQ(by_seq.code, 0) << by_seq.err;
+  const auto body = [](const std::string& text) {
+    return text.substr(text.find('\n'));
+  };
+  EXPECT_EQ(body(by_enum.out), body(by_seq.out));
+
+  // Verbose compile surfaces the per-pass attribution of RewriteStats.
+  const auto verbose = run_cli(
+      {"compile", temp_netlist(), "--config",
+       "rewrite=seq:passes=maj,dist,inv,inv3:effort=3", "--verify"});
+  ASSERT_EQ(verbose.code, 0) << verbose.err;
+  EXPECT_NE(verbose.out.find("rewrite passes ("), std::string::npos)
+      << verbose.out;
+  EXPECT_NE(verbose.out.find("maj"), std::string::npos);
+  EXPECT_NE(verbose.out.find("applications"), std::string::npos);
 }
 
 TEST(Cli, BadConfigSpecFails) {

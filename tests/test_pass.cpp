@@ -1,0 +1,318 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/arithmetic.hpp"
+#include "core/config.hpp"
+#include "core/endurance.hpp"
+#include "core/registry.hpp"
+#include "mig/io.hpp"
+#include "mig/rewriting.hpp"
+#include "mig/simulate.hpp"
+#include "pass/dump.hpp"
+#include "pass/pass.hpp"
+#include "pass/seq.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace rlim {
+namespace {
+
+using core::PipelineConfig;
+
+/// Canonical text of a graph — the byte-identity oracle of this suite.
+std::string graph_text(const mig::Mig& graph) {
+  std::ostringstream os;
+  mig::write_mig(graph, os);
+  return os.str();
+}
+
+/// The deterministic slice of a per-pass breakdown (wall time zeroed), so
+/// enum-flow and PassManager telemetry can be compared exactly.
+std::vector<mig::PassStats> without_wall(std::vector<mig::PassStats> per_pass) {
+  for (auto& pass : per_pass) {
+    pass.wall_ns = 0;
+  }
+  return per_pass;
+}
+
+class PassEnv : public ::testing::Test {
+protected:
+  void SetUp() override { pass::ensure_registered(); }
+};
+
+// ---- registry ---------------------------------------------------------------
+
+TEST_F(PassEnv, BuiltinPassesConstructAndSelfDescribe) {
+  for (const auto& info : pass::passes().list()) {
+    const auto built = pass::make_pass({info.key, {}});
+    ASSERT_NE(built, nullptr) << info.key;
+    EXPECT_EQ(built->name(), info.key);
+    EXPECT_EQ(built->params().size(), info.params.size()) << info.key;
+  }
+  EXPECT_THROW(static_cast<void>(pass::make_pass({"warp", {}})), Error);
+}
+
+TEST_F(PassEnv, EveryBuiltinPassPreservesFunction) {
+  const auto graph = test::random_mig(91, 6, 60, 4);
+  mig::RewriteStats stats;
+  for (const auto& info : pass::passes().list()) {
+    pass::PassManager manager;
+    manager.add(pass::make_pass({info.key, {}}));
+    const auto out = manager.run(graph, 2, &stats);
+    EXPECT_TRUE(equivalent_exhaustive(graph, out)) << info.key;
+  }
+}
+
+TEST_F(PassEnv, SplitPassListValidates) {
+  EXPECT_EQ(pass::split_pass_list("maj"), (std::vector<std::string>{"maj"}));
+  EXPECT_EQ(pass::split_pass_list("maj,dist,inv3"),
+            (std::vector<std::string>{"maj", "dist", "inv3"}));
+  EXPECT_THROW(static_cast<void>(pass::split_pass_list("")), Error);
+  EXPECT_THROW(static_cast<void>(pass::split_pass_list("maj,,dist")), Error);
+  EXPECT_THROW(static_cast<void>(pass::split_pass_list("maj,")), Error);
+  EXPECT_THROW(static_cast<void>(pass::make_manager("maj,bogus")), Error);
+  EXPECT_THROW(static_cast<void>(pass::make_manager("maj,dist", "inv")),
+               Error);
+}
+
+// ---- alias byte-identity ----------------------------------------------------
+
+TEST_F(PassEnv, AliasSequencesMatchEnumFlowsByteForByte) {
+  // The acceptance criterion: running an enum flow's alias pass list through
+  // the PassManager reproduces the enum-era graph exactly, for every flow,
+  // effort, and a spread of graphs.
+  const auto graphs = {test::random_mig(3, 8, 120, 6),
+                       test::random_mig(77, 5, 40, 3),
+                       bench::make_adder(16)};
+  for (const auto& graph : graphs) {
+    for (const auto kind :
+         {mig::RewriteKind::Plim21, mig::RewriteKind::Endurance,
+          mig::RewriteKind::LevelBalanced}) {
+      for (const int effort : {0, 1, 5}) {
+        mig::RewriteStats enum_stats;
+        const auto golden = mig::rewrite(graph, kind, effort, &enum_stats);
+        mig::RewriteStats seq_stats;
+        const auto manager =
+            pass::make_manager(pass::alias_passes(kind));
+        const auto rebuilt = manager.run(graph, effort, &seq_stats);
+        EXPECT_EQ(graph_text(golden), graph_text(rebuilt))
+            << to_string(kind) << " effort " << effort;
+        // Telemetry matches too (modulo wall time): same pass names, runs,
+        // applications, and deltas in the same order.
+        EXPECT_EQ(without_wall(enum_stats.per_pass),
+                  without_wall(seq_stats.per_pass))
+            << to_string(kind) << " effort " << effort;
+        EXPECT_EQ(enum_stats.cycles_run, seq_stats.cycles_run);
+        EXPECT_EQ(enum_stats.total_applications, seq_stats.total_applications);
+      }
+    }
+  }
+}
+
+TEST_F(PassEnv, PerPassBreakdownIsConsistentWithTotals) {
+  const auto graph = bench::make_adder(16);
+  mig::RewriteStats stats;
+  const auto out = mig::rewrite_endurance(graph, 5, &stats);
+  const auto keys = mig::flow_pass_keys(mig::RewriteKind::Endurance);
+  ASSERT_EQ(stats.per_pass.size(), keys.size());
+  std::size_t applications = 0;
+  std::int64_t gate_delta = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(stats.per_pass[i].name, keys[i]);
+    EXPECT_EQ(stats.per_pass[i].runs,
+              static_cast<std::uint64_t>(stats.cycles_run));
+    applications += stats.per_pass[i].applications;
+    gate_delta += stats.per_pass[i].gate_delta;
+  }
+  EXPECT_EQ(applications, stats.total_applications);
+  // The pass deltas account for everything the cycles changed; the initial
+  // cleanup happens before the first pass, so compare against the cleaned
+  // gate count.
+  EXPECT_EQ(static_cast<std::int64_t>(graph.cleanup().num_gates()) +
+                gate_delta,
+            static_cast<std::int64_t>(out.num_gates()));
+}
+
+// ---- until ------------------------------------------------------------------
+
+TEST_F(PassEnv, UntilEqualsPrefixSequence) {
+  const auto graph = test::random_mig(13, 7, 90, 5);
+  const auto full = pass::split_pass_list(
+      pass::alias_passes(mig::RewriteKind::Endurance));
+  // Running until pass k must equal running the k-prefix sequence, for every
+  // prefix cut at the *first* occurrence of the pass name.
+  std::set<std::string> seen;
+  for (std::size_t k = 0; k < full.size(); ++k) {
+    if (!seen.insert(full[k]).second) {
+      continue;  // until stops at the first occurrence — later cuts differ
+    }
+    std::string prefix;
+    for (std::size_t i = 0; i <= k; ++i) {
+      prefix += (i != 0 ? "," : "") + full[i];
+    }
+    mig::RewriteStats until_stats;
+    const auto via_until =
+        pass::make_manager(pass::alias_passes(mig::RewriteKind::Endurance),
+                           full[k])
+            .run(graph, 3, &until_stats);
+    mig::RewriteStats prefix_stats;
+    const auto via_prefix =
+        pass::make_manager(prefix).run(graph, 3, &prefix_stats);
+    EXPECT_EQ(graph_text(via_until), graph_text(via_prefix)) << full[k];
+    EXPECT_EQ(without_wall(until_stats.per_pass),
+              without_wall(prefix_stats.per_pass))
+        << full[k];
+  }
+}
+
+TEST_F(PassEnv, UntilValidatesAtRunTime) {
+  pass::PassManager manager;
+  manager.add(pass::make_pass({"maj", {}})).until("dist");
+  EXPECT_THROW(static_cast<void>(manager.run(test::random_mig(1, 4, 10, 2), 1)),
+               Error);
+  EXPECT_THROW(static_cast<void>(manager.run(test::random_mig(1, 4, 10, 2),
+                                             -1)),
+               Error);
+}
+
+// ---- dumps ------------------------------------------------------------------
+
+TEST_F(PassEnv, DumpAfterPassIsDeterministic) {
+  const auto graph = test::random_mig(29, 6, 50, 4);
+  const auto run_with_dump = [&] {
+    std::ostringstream dumps;
+    auto manager = pass::make_manager("maj,dist,inv");
+    manager.on_dump(pass::dump_to_stream(dumps));
+    static_cast<void>(manager.run(graph, 2));
+    return dumps.str();
+  };
+  const auto first = run_with_dump();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run_with_dump());  // byte-identical across runs
+  EXPECT_NE(first.find("== cycle 0 step 0: maj =="), std::string::npos);
+  EXPECT_NE(first.find("# MIG: "), std::string::npos);
+}
+
+TEST_F(PassEnv, DumpToDirectoryWritesOneDeterministicFilePerPass) {
+  const auto graph = test::random_mig(31, 5, 30, 3);
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "rlim_pass_dumps";
+  std::filesystem::remove_all(dir);
+  auto manager = pass::make_manager("maj,dist");
+  manager.on_dump(pass::dump_to_directory(dir.string()));
+  static_cast<void>(manager.run(graph, 1));
+
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  ASSERT_EQ(names, (std::vector<std::string>{"cycle00_step00_maj.txt",
+                                             "cycle00_step01_dist.txt"}));
+  // The final dump equals a direct dump of the final graph.
+  std::ostringstream expected;
+  pass::dump_graph(manager.run(graph, 1), expected);
+  std::ifstream last(dir / "cycle00_step01_dist.txt");
+  std::stringstream actual;
+  actual << last.rdbuf();
+  EXPECT_EQ(actual.str(), expected.str());
+  std::filesystem::remove_all(dir);
+}
+
+// ---- seq specs through the config grammar -----------------------------------
+
+TEST_F(PassEnv, SeqSpecCanonicalKeyRoundTrips) {
+  const auto config = PipelineConfig::parse(
+      "rewrite=seq:passes=maj,dist,inv,inv3:effort=3:until=inv,"
+      "select=endurance,alloc=min_write,cap=64");
+  EXPECT_EQ(config.rewrite.key, "seq");
+  EXPECT_EQ(config.rewrite.params.at("passes"), "maj,dist,inv,inv3");
+  EXPECT_EQ(config.rewrite.params.at("until"), "inv");
+  EXPECT_EQ(config.effort(), 3);
+  const auto key = config.canonical_key();
+  EXPECT_EQ(key,
+            "rewrite=seq:effort=3:passes=maj,dist,inv,inv3:until=inv,"
+            "select=endurance,alloc=min_write,cap=64");
+  EXPECT_EQ(PipelineConfig::parse(key), config);
+  EXPECT_EQ(PipelineConfig::parse(key).canonical_key(), key);
+}
+
+TEST_F(PassEnv, SeqSpecRejectsInvalidPassLists) {
+  EXPECT_THROW(static_cast<void>(PipelineConfig::parse(
+                   "rewrite=seq:passes=maj,warp,select=naive,alloc=lifo")),
+               Error);
+  EXPECT_THROW(static_cast<void>(PipelineConfig::parse(
+                   "rewrite=seq:passes=maj:until=dist,select=naive,"
+                   "alloc=lifo")),
+               Error);
+  EXPECT_THROW(static_cast<void>(PipelineConfig::parse(
+                   "rewrite=seq:passes=maj:effort=-2,select=naive,"
+                   "alloc=lifo")),
+               Error);
+}
+
+TEST_F(PassEnv, SeqFlowMatchesEnumFlowThroughTheFullPipeline) {
+  // End to end through core::run_pipeline: a seq spec spelled as the
+  // endurance alias produces the identical report.
+  const auto graph = test::random_mig(41, 8, 80, 5);
+  const auto via_enum = core::run_pipeline(
+      graph,
+      PipelineConfig::parse("rewrite=endurance,select=endurance,"
+                            "alloc=min_write"),
+      "x");
+  const auto via_seq = core::run_pipeline(
+      graph,
+      PipelineConfig::parse(
+          "rewrite=seq:passes=" +
+          std::string(pass::alias_passes(mig::RewriteKind::Endurance)) +
+          ",select=endurance,alloc=min_write"),
+      "x");
+  EXPECT_EQ(via_enum.instructions, via_seq.instructions);
+  EXPECT_EQ(via_enum.rrams, via_seq.rrams);
+  EXPECT_DOUBLE_EQ(via_enum.writes.stdev, via_seq.writes.stdev);
+  EXPECT_EQ(via_enum.gates_after_rewrite, via_seq.gates_after_rewrite);
+}
+
+// ---- downstream registration ------------------------------------------------
+
+TEST_F(PassEnv, DownstreamPassesComposeWithSeqSpecs) {
+  // Register a custom pass once and drive it through the config grammar —
+  // the same pluggability contract as the selector/allocator registries.
+  static bool registered = false;
+  if (!registered) {
+    pass::passes().add(
+        {"test_noop", "does nothing (test-only)", {}},
+        [](const util::Params& params) -> pass::PassPtr {
+          class NoopPass final : public pass::Pass {
+          public:
+            explicit NoopPass(util::Params params)
+                : params_(std::move(params)) {}
+            std::string_view name() const override { return "test_noop"; }
+            const util::Params& params() const override { return params_; }
+            void run(mig::Mig&, pass::PassStats&) const override {}
+
+          private:
+            util::Params params_;
+          };
+          return std::make_shared<NoopPass>(params);
+        });
+    registered = true;
+  }
+  const auto graph = test::random_mig(59, 6, 40, 3);
+  const auto config = PipelineConfig::parse(
+      "rewrite=seq:passes=test_noop,maj,test_noop,select=naive,alloc=lifo");
+  EXPECT_EQ(PipelineConfig::parse(config.canonical_key()), config);
+  const auto report = core::run_pipeline(graph, config, "noop");
+  EXPECT_EQ(report.gates_before_rewrite, graph.num_gates());
+}
+
+}  // namespace
+}  // namespace rlim

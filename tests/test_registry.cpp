@@ -21,11 +21,12 @@ using core::Strategy;
 
 TEST(Registry, KindsCoverTheSpecGrammar) {
   const auto kinds = registry::kinds();
-  ASSERT_EQ(kinds.size(), 4u);
+  ASSERT_EQ(kinds.size(), 5u);
   EXPECT_EQ(kinds[0], "rewrite");
-  EXPECT_EQ(kinds[1], "select");
-  EXPECT_EQ(kinds[2], "alloc");
-  EXPECT_EQ(kinds[3], "fault");
+  EXPECT_EQ(kinds[1], "pass");  // the building blocks of rewrite=seq:
+  EXPECT_EQ(kinds[2], "select");
+  EXPECT_EQ(kinds[3], "alloc");
+  EXPECT_EQ(kinds[4], "fault");
 }
 
 TEST(Registry, BuiltinsAreListed) {
@@ -37,8 +38,14 @@ TEST(Registry, BuiltinsAreListed) {
     return out;
   };
   const auto rewrite = keys("rewrite");
-  for (const auto* key : {"none", "plim21", "endurance", "level_balanced"}) {
+  for (const auto* key :
+       {"none", "plim21", "endurance", "level_balanced", "seq"}) {
     EXPECT_TRUE(rewrite.count(key)) << key;
+  }
+  const auto pass_keys = keys("pass");
+  for (const auto* key : {"maj", "dist", "assoc", "comp", "inv", "inv3",
+                          "relief", "cleanup"}) {
+    EXPECT_TRUE(pass_keys.count(key)) << key;
   }
   const auto select = keys("select");
   for (const auto* key : {"naive", "plim21", "endurance", "wear_quota"}) {
@@ -230,8 +237,10 @@ TEST(ConfigSpec, ParseCanonicalKeyRoundTripsEveryRegisteredCombination) {
       }
     }
   }
-  // 4 rewrites x 4 selectors x 7 allocators x 5 fault models x 2 cap variants.
-  EXPECT_EQ(combinations, 1120u);
+  // 5 rewrites x 4 selectors x 7 allocators x 5 fault models x 2 cap variants
+  // — the seq flow (default passes = the endurance alias list) round-trips
+  // through the grammar like every enum-backed flow.
+  EXPECT_EQ(combinations, 1400u);
 }
 
 TEST(ConfigSpec, NonDefaultParametersSurviveTheRoundTrip) {

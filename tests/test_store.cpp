@@ -47,6 +47,9 @@ mig::RewriteStats sample_stats() {
   stats.final_complement_edges = 7;
   stats.cycles_run = 3;
   stats.total_applications = 19;
+  // Negative deltas exercise the signed u64 cast in the codec.
+  stats.per_pass.push_back({"maj", 3, 12, -4, -5, -1, 1234});
+  stats.per_pass.push_back({"dist", 3, 7, 0, 2, 0, 567});
   return stats;
 }
 
@@ -112,6 +115,7 @@ TEST(StoreSerialize, RewriteStatsRoundTrip) {
   EXPECT_EQ(decoded.final_complement_edges, stats.final_complement_edges);
   EXPECT_EQ(decoded.cycles_run, stats.cycles_run);
   EXPECT_EQ(decoded.total_applications, stats.total_applications);
+  EXPECT_EQ(decoded.per_pass, stats.per_pass);  // incl. signed deltas + wall
 }
 
 TEST(StoreSerialize, ReportRoundTripsBitExactly) {

@@ -19,6 +19,8 @@
 #include "flow/wire.hpp"
 #include "mig/io.hpp"
 #include "mig/rewriting.hpp"
+#include "pass/dump.hpp"
+#include "pass/seq.hpp"
 #include "net/client.hpp"
 #include "net/router.hpp"
 #include "net/server.hpp"
@@ -41,6 +43,9 @@ struct Options {
   std::optional<std::uint64_t> cap;
   std::string config_spec;  // --config: the registry-keyed spec grammar
   std::string flow = "endurance";
+  std::string passes;      // rewrite: explicit pass list for --flow seq
+  std::string until;       // rewrite: stop each cycle after this pass
+  std::string dump_after;  // rewrite: dump directory, or "-" for stderr
   std::optional<int> effort;
   unsigned jobs = 0;  // 0 = hardware concurrency
   // --format when given; most commands default to Table (format_of), serve
@@ -94,6 +99,16 @@ Options parse(const std::vector<std::string>& args) {
       options.config_spec = next();
     } else if (arg == "--flow") {
       options.flow = next();
+    } else if (arg == "--passes") {
+      options.passes = next();
+      require(!options.passes.empty(), "--passes needs a pass list");
+    } else if (arg == "--until") {
+      options.until = next();
+      require(!options.until.empty(), "--until needs a pass name");
+    } else if (arg == "--dump-after") {
+      options.dump_after = next();
+      require(!options.dump_after.empty(),
+              "--dump-after needs a directory (or - for stderr)");
     } else if (arg == "--effort") {
       options.effort = std::stoi(next());
     } else if (arg == "--jobs") {
@@ -233,26 +248,72 @@ int cmd_info(const Options& options, std::ostream& out) {
   return 0;
 }
 
-int cmd_rewrite(const Options& options, std::ostream& out) {
-  require(options.positional.size() == 2, "rewrite needs <input> <output>");
-  const auto graph = load_netlist(options.positional[0]);
-  mig::RewriteStats stats;
-  mig::Mig rewritten;
-  const int effort = options.effort.value_or(5);
-  if (options.flow == "plim21") {
-    rewritten = mig::rewrite_plim21(graph, effort, &stats);
-  } else if (options.flow == "endurance") {
-    rewritten = mig::rewrite_endurance(graph, effort, &stats);
-  } else if (options.flow == "level") {
-    rewritten = mig::rewrite_level_balanced(graph, effort, &stats);
-  } else {
-    throw Error("unknown flow '" + options.flow + "'");
+/// One human-readable line per pipeline position of a per-pass breakdown.
+/// Wall time is deliberately omitted from `compile` verbose output (it must
+/// stay byte-identical between cold and warm cache runs) but shown by
+/// `rewrite`, which always executes the flow.
+void print_pass_breakdown(const std::vector<mig::PassStats>& per_pass,
+                          std::ostream& out, bool wall) {
+  for (const auto& pass : per_pass) {
+    out << "  " << pass.name << std::string(pass.name.size() < 8
+                                                ? 8 - pass.name.size()
+                                                : 1,
+                                            ' ')
+        << "runs " << pass.runs << ", applications " << pass.applications
+        << ", gates " << (pass.gate_delta > 0 ? "+" : "") << pass.gate_delta
+        << ", complement edges " << (pass.complement_delta > 0 ? "+" : "")
+        << pass.complement_delta << ", depth "
+        << (pass.depth_delta > 0 ? "+" : "") << pass.depth_delta;
+    if (wall) {
+      out << ", " << pass.wall_ns / 1000 << " us";
+    }
+    out << '\n';
   }
+}
+
+int cmd_rewrite(const Options& options, std::ostream& out, std::ostream& err) {
+  require(options.positional.size() == 2, "rewrite needs <input> <output>");
+  pass::ensure_registered();
+  const auto graph = load_netlist(options.positional[0]);
+
+  // Resolve --flow (+ --passes for seq) to a pass list, so every flow runs
+  // through the same PassManager and supports --until / --dump-after. The
+  // named flows use their alias sequences — byte-identical to the enum-era
+  // mig::rewrite_* entry points (the test suite pins this down).
+  std::string list;
+  if (options.flow == "seq") {
+    require(!options.passes.empty(), "--flow seq needs --passes");
+    list = options.passes;
+  } else {
+    require(options.passes.empty(), "--passes needs --flow seq");
+    if (options.flow == "plim21") {
+      list = pass::alias_passes(mig::RewriteKind::Plim21);
+    } else if (options.flow == "endurance") {
+      list = pass::alias_passes(mig::RewriteKind::Endurance);
+    } else if (options.flow == "level") {
+      list = pass::alias_passes(mig::RewriteKind::LevelBalanced);
+    } else {
+      throw Error("unknown flow '" + options.flow +
+                  "' (expected plim21, endurance, level, seq)");
+    }
+  }
+  auto manager = pass::make_manager(list, options.until);
+  if (options.dump_after == "-") {
+    manager.on_dump(pass::dump_to_stream(err));
+  } else if (!options.dump_after.empty()) {
+    manager.on_dump(pass::dump_to_directory(options.dump_after));
+  }
+
+  mig::RewriteStats stats;
+  const auto rewritten =
+      manager.run(graph, options.effort.value_or(5), &stats);
   save_netlist(rewritten, options.positional[1]);
   out << "gates: " << stats.initial_gates << " -> " << stats.final_gates << '\n'
       << "complement edges: " << stats.initial_complement_edges << " -> "
       << stats.final_complement_edges << '\n'
-      << "cycles run: " << stats.cycles_run << '\n';
+      << "cycles run: " << stats.cycles_run << '\n'
+      << "passes:\n";
+  print_pass_breakdown(stats.per_pass, out, /*wall=*/true);
   return 0;
 }
 
@@ -272,8 +333,16 @@ int print_compile_details(const Options& options, const flow::JobResult& result,
   }
   out << '\n'
       << "gates:           " << report.gates_before_rewrite << " -> "
-      << report.gates_after_rewrite << '\n'
-      << "instructions:    " << report.instructions << '\n'
+      << report.gates_after_rewrite << '\n';
+  if (!result.rewrite_stats.per_pass.empty()) {
+    // Deterministic per-pass attribution (wall time excluded): a warm run
+    // decoding the stats from the store prints the same bytes as the cold
+    // run that computed them.
+    out << "rewrite passes (" << result.rewrite_stats.cycles_run
+        << " cycles):\n";
+    print_pass_breakdown(result.rewrite_stats.per_pass, out, /*wall=*/false);
+  }
+  out << "instructions:    " << report.instructions << '\n'
       << "rram cells:      " << report.rrams << '\n'
       << "writes min/max:  " << report.writes.min << "/" << report.writes.max
       << '\n'
@@ -884,6 +953,16 @@ int cmd_policies(const Options& options, std::ostream& out) {
   doc.add_note(
       "spec grammar: rewrite=KEY[:param=value...],select=KEY,alloc=KEY"
       "[,fault=KEY][,cap=N]");
+  doc.add_note(
+      "pass sequences: rewrite=seq:passes=PASS,PASS,...[:until=PASS] runs "
+      "`pass`-kind entries in order");
+  doc.add_note(
+      "seq aliases: plim21 = " +
+      std::string(pass::alias_passes(mig::RewriteKind::Plim21)) +
+      "; endurance = " +
+      std::string(pass::alias_passes(mig::RewriteKind::Endurance)) +
+      "; level_balanced = " +
+      std::string(pass::alias_passes(mig::RewriteKind::LevelBalanced)));
   std::string presets;
   for (const auto& [alias, strategy] : core::strategy_aliases()) {
     if (!presets.empty()) {
@@ -995,7 +1074,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
       return cmd_info(options, out);
     }
     if (options.command == "rewrite") {
-      return cmd_rewrite(options, out);
+      return cmd_rewrite(options, out, err);
     }
     if (options.command == "compile") {
       return cmd_compile(options, out, err);

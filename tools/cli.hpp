@@ -35,7 +35,8 @@ namespace rlim::cli {
 ///   stats   --connect EP[,EP...]          — ping every shard, render its
 ///                                           service/cache/store counters
 ///   policies                              — list the registered rewrite /
-///                                           selection / allocation policies
+///                                           pass / selection / allocation
+///                                           policies
 ///   cache   stats|gc|clear|verify         — maintain the persistent
 ///                                           pipeline store (see --cache-dir)
 ///   version (or --version)                — project + store format version
@@ -46,8 +47,14 @@ namespace rlim::cli {
 ///   --config SPEC  registry-keyed pipeline spec, e.g.        (compile, suite)
 ///                  "rewrite=endurance:effort=5,select=wear_quota:quota=4,
 ///                   alloc=start_gap,cap=100" or "full,cap=100"
-///                  (replaces --strategy/--cap; see `rlim policies`)
-///   --flow plim21|endurance|level                              (rewrite)
+///                  (replaces --strategy/--cap; see `rlim policies`).
+///                  `rewrite=seq:passes=maj,dist,...` runs an explicit pass
+///                  sequence (see the `pass` kind in `rlim policies`)
+///   --flow plim21|endurance|level|seq                          (rewrite)
+///   --passes P,P,...  pass list for --flow seq                 (rewrite)
+///   --until PASS   stop each cycle after the named pass        (rewrite)
+///   --dump-after DIR|-  dump the MIG after every pass run to
+///                  one file per snapshot in DIR, or to stderr  (rewrite)
 ///   --effort N     rewriting cycles (default 5)
 ///   --jobs N       worker threads for batch compiles     (compile, serve)
 ///                  (default: hardware concurrency)

@@ -1,10 +1,13 @@
 #include "fault/sweep.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <vector>
 
 #include "fault/array.hpp"
 #include "mig/simulate.hpp"
 #include "plim/controller.hpp"
+#include "sched/sched.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -20,6 +23,45 @@ constexpr std::uint64_t kInputSalt = 0x696e70757473ULL;  // "inputs"
 std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, unsigned p) {
   const auto n = sorted.size();
   return sorted[(p * (n - 1) + 50) / 100];
+}
+
+/// Everything one trial contributes to the distribution. Trials write into
+/// pre-sized index-addressed slots, so the parallel path aggregates in trial
+/// order afterward and the result stays byte-identical to a serial run.
+struct TrialOutcome {
+  std::uint64_t lifetime = 0;
+  std::uint64_t failed_cells = 0;
+  std::uint64_t remapped = 0;
+  std::uint64_t dropped_writes = 0;
+};
+
+TrialOutcome run_trial(const plim::Program& program, const mig::Mig& reference,
+                       const SweepSpec& spec,
+                       const std::vector<bool>& memory_cells,
+                       std::uint32_t trial) {
+  FaultArray array(program.num_cells(), spec.profile,
+                   util::mix_seed(spec.seed, trial), memory_cells);
+  util::Xoshiro256 inputs(
+      util::mix_seed(util::mix_seed(spec.seed, kInputSalt), trial));
+
+  std::vector<std::uint64_t> pi_values(program.pi_cells().size());
+  std::uint64_t correct_runs = 0;
+  for (; correct_runs < spec.runs; ++correct_runs) {
+    for (auto& word : pi_values) {
+      word = inputs();
+    }
+    const auto got = plim::evaluate(program, pi_values, &array);
+    if (got != mig::simulate(reference, pi_values)) {
+      break;
+    }
+  }
+
+  TrialOutcome outcome;
+  outcome.lifetime = correct_runs;
+  outcome.failed_cells = static_cast<std::uint64_t>(array.failed_cell_count());
+  outcome.remapped = array.remapped_count();
+  outcome.dropped_writes = array.dropped_writes();
+  return outcome;
 }
 
 }  // namespace
@@ -42,45 +84,57 @@ LifetimeDistribution run_sweep(const plim::Program& program,
   dist.trials = spec.trials;
   dist.runs_cap = spec.runs;
 
+  // Trials are embarrassingly parallel and fully seeded (array and input
+  // streams derive from (spec.seed, trial)), so when this sweep already
+  // runs on a scheduler worker — a compile job inside flow::Service — it
+  // forks the trials as child tasks and helps execute them. Each trial
+  // writes its own pre-sized slot; aggregation below walks the slots in
+  // trial order, so serial and parallel sweeps produce identical bytes.
+  std::vector<TrialOutcome> outcomes(spec.trials);
+  auto* scheduler = sched::Scheduler::current();
+  if (scheduler != nullptr && spec.trials > 1) {
+    std::vector<std::function<void()>> children;
+    children.reserve(spec.trials);
+    for (std::uint32_t trial = 0; trial < spec.trials; ++trial) {
+      children.push_back([&, trial] {
+        outcomes[trial] =
+            run_trial(program, reference, spec, memory_cells, trial);
+      });
+    }
+    // High: these are subtasks of a job someone is already waiting on —
+    // they must not queue behind freshly arrived external work.
+    scheduler->run_children(std::move(children), sched::Priority::High);
+  } else {
+    for (std::uint32_t trial = 0; trial < spec.trials; ++trial) {
+      outcomes[trial] =
+          run_trial(program, reference, spec, memory_cells, trial);
+    }
+  }
+
   std::vector<std::uint64_t> lifetimes;
   lifetimes.reserve(spec.trials);
   std::uint64_t failed_sum = 0;
   double lifetime_sum = 0.0;
-
-  std::vector<std::uint64_t> pi_values(program.pi_cells().size());
   for (std::uint32_t trial = 0; trial < spec.trials; ++trial) {
-    FaultArray array(program.num_cells(), spec.profile,
-                     util::mix_seed(spec.seed, trial), memory_cells);
-    util::Xoshiro256 inputs(
-        util::mix_seed(util::mix_seed(spec.seed, kInputSalt), trial));
-
-    std::uint64_t correct_runs = 0;
-    for (; correct_runs < spec.runs; ++correct_runs) {
-      for (auto& word : pi_values) {
-        word = inputs();
-      }
-      const auto got = plim::evaluate(program, pi_values, &array);
-      if (got != mig::simulate(reference, pi_values)) {
-        break;
-      }
-    }
-    if (correct_runs == spec.runs) {
+    const auto& outcome = outcomes[trial];
+    if (outcome.lifetime == spec.runs) {
       ++dist.censored;
     }
-    lifetimes.push_back(correct_runs);
-    lifetime_sum += static_cast<double>(correct_runs);
+    lifetimes.push_back(outcome.lifetime);
+    lifetime_sum += static_cast<double>(outcome.lifetime);
 
-    const auto failed = static_cast<std::uint64_t>(array.failed_cell_count());
-    failed_sum += failed;
+    failed_sum += outcome.failed_cells;
     if (trial == 0) {
-      dist.failed_cells_min = failed;
-      dist.failed_cells_max = failed;
+      dist.failed_cells_min = outcome.failed_cells;
+      dist.failed_cells_max = outcome.failed_cells;
     } else {
-      dist.failed_cells_min = std::min(dist.failed_cells_min, failed);
-      dist.failed_cells_max = std::max(dist.failed_cells_max, failed);
+      dist.failed_cells_min =
+          std::min(dist.failed_cells_min, outcome.failed_cells);
+      dist.failed_cells_max =
+          std::max(dist.failed_cells_max, outcome.failed_cells);
     }
-    dist.remapped_total += array.remapped_count();
-    dist.dropped_writes += array.dropped_writes();
+    dist.remapped_total += outcome.remapped;
+    dist.dropped_writes += outcome.dropped_writes;
   }
 
   std::sort(lifetimes.begin(), lifetimes.end());

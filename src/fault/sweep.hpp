@@ -38,6 +38,11 @@ struct LifetimeDistribution {
 /// Per-trial array and input streams derive from `spec.seed` via
 /// util::mix_seed, so results are deterministic in (program, mig, spec) and
 /// trials never alias across nearby base seeds.
+///
+/// When the caller is already a sched::Scheduler worker (a compile job on
+/// flow::Service), the trials fork as high-priority child tasks and run in
+/// parallel across the pool — aggregation stays in trial order, so the
+/// distribution is byte-identical to a serial run whatever the worker count.
 [[nodiscard]] LifetimeDistribution run_sweep(const plim::Program& program,
                                              const mig::Mig& reference,
                                              const SweepSpec& spec);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -10,6 +11,7 @@
 #include "core/endurance.hpp"
 #include "mig/mig.hpp"
 #include "mig/rewriting.hpp"
+#include "sched/deque.hpp"
 
 namespace rlim::bench {
 struct BenchmarkSpec;
@@ -80,6 +82,14 @@ struct Job {
   core::PipelineConfig config;
   /// Report label; defaults to the source's label when empty.
   std::string label;
+  /// Dequeue-order hints, honored by the Service's work-stealing scheduler.
+  /// Neither affects the result bytes — a job computes the same report in
+  /// any band — only when it runs relative to its queue peers.
+  sched::Priority priority = sched::Priority::Normal;
+  /// Soft latency budget, relative to submission; the Service converts it
+  /// to an absolute deadline at submit time (earliest-deadline-first within
+  /// the priority band). nullopt = no deadline.
+  std::optional<std::chrono::milliseconds> deadline{};
 
   [[nodiscard]] const std::string& display_label() const {
     return label.empty() ? source->label() : label;

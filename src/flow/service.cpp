@@ -27,6 +27,11 @@ struct Service::Task {
   bool cancelled = false;
   JobResult result;
   std::shared_ptr<BatchHandle::Progress> batch;
+  /// Scheduling hints, frozen from the Job at submit time (the deadline
+  /// made absolute); may strengthen later when a stronger duplicate
+  /// coalesces into this task (escalate_locked).
+  sched::Priority priority = sched::Priority::Normal;
+  std::optional<sched::Deadline> deadline;
   /// Registered as the coalescing primary under `key`.
   bool registered = false;
   DupKey key;
@@ -63,20 +68,14 @@ Service::Service(ServiceOptions options) : options_(std::move(options)) {
     cache_.attach_store(
         std::make_shared<store::DiskStore>(options_.cache_dir));
   }
-  target_workers_ = options_.jobs;
-  if (target_workers_ == 0) {
-    target_workers_ = std::max(1u, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(target_workers_);
-  // Workers spawn lazily (ensure_worker_locked), one per enqueued job up to
-  // the ceiling — the synchronous façade's small batches keep the old
+  sched::SchedulerOptions sched_options;
+  sched_options.workers = options_.jobs;
+  sched_options.deque_capacity = options_.deque_capacity;
+  sched_options.single_queue = options_.single_queue;
+  // Worker threads spawn lazily inside the scheduler, one per enqueued job
+  // up to the ceiling — the synchronous façade's small batches keep the old
   // min(workers, job_count) thread cost instead of paying for a full pool.
-}
-
-void Service::ensure_worker_locked() {
-  if (!stopping_ && workers_.size() < target_workers_) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+  scheduler_ = std::make_unique<sched::Scheduler>(sched_options);
 }
 
 Service::~Service() { shutdown(); }
@@ -88,17 +87,15 @@ void Service::shutdown() {
     if (!stopping_) {
       stopping_ = true;
       cancel_all_pending_locked(finished);
-      queue_.clear();
       done_cv_.notify_all();
     }
   }
   notify_finished(finished);
-  queue_cv_.notify_all();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) {
-      worker.join();
-    }
-  }
+  // The cancel drain tombstoned every queued task, so the scheduler's
+  // shutdown drain costs one Pending check per closure; running jobs
+  // finish normally before their workers exit. Never joined under mutex_ —
+  // workers take it in scheduler_run()/finish().
+  scheduler_->shutdown();
 }
 
 // ---- submission ------------------------------------------------------------
@@ -141,6 +138,12 @@ BatchHandle Service::submit_batch(std::vector<Job> jobs) {
     const auto key = duplicate_key(job, /*may_build=*/false);
 
     auto task = std::make_shared<Task>();
+    task->priority = job.priority;
+    if (job.deadline) {
+      // Relative budget → absolute point, frozen at submission: two jobs
+      // with the same budget race in arrival order, as they should.
+      task->deadline = std::chrono::steady_clock::now() + *job.deadline;
+    }
     task->job = std::move(job);
     task->batch = handle.progress_;
 
@@ -157,6 +160,7 @@ BatchHandle Service::submit_batch(std::vector<Job> jobs) {
       if (it != inflight_.end()) {
         it->second->followers.push_back(task);
         ++stats_.coalesced;
+        escalate_locked(it->second, task);
         queued = false;
       } else {
         inflight_.emplace(*key, task);
@@ -165,39 +169,57 @@ BatchHandle Service::submit_batch(std::vector<Job> jobs) {
       }
     }
     if (queued) {
-      queue_.push_back(task);
-      ensure_worker_locked();
-      queue_cv_.notify_one();
+      enqueue_locked(task);
     }
   }
   return handle;
 }
 
+void Service::enqueue_locked(const TaskPtr& task) {
+  // The closure holds the TaskPtr: a task stays alive while any queue entry
+  // references it, however the ticket side resolves. Lock order is strictly
+  // Service::mutex_ → scheduler internals; the scheduler never calls back
+  // while holding its own locks.
+  scheduler_->submit({[this, task] { scheduler_run(task); },
+                      task->priority, task->deadline});
+}
+
+void Service::escalate_locked(const TaskPtr& primary, const TaskPtr& follower) {
+  if (primary->state != Task::State::Pending) {
+    return;  // running or done — dequeue order no longer matters
+  }
+  bool improved = false;
+  if (follower->priority > primary->priority) {
+    primary->priority = follower->priority;
+    improved = true;
+  }
+  if (follower->deadline &&
+      (!primary->deadline || *follower->deadline < *primary->deadline)) {
+    primary->deadline = follower->deadline;
+    improved = true;
+  }
+  if (improved) {
+    // Re-queue under the stronger hint. The earlier queue entry becomes a
+    // tombstone: whichever closure claims the task first flips it to
+    // Running, the other sees non-Pending in scheduler_run() and drops out.
+    enqueue_locked(primary);
+  }
+}
+
 // ---- worker side -----------------------------------------------------------
 
-void Service::worker_loop() {
-  // Worker-lifetime scratch: the disk tier's read/write buffers are
-  // recycled across every job this thread serves.
-  store::IoScratch scratch;
-  std::unique_lock lock(mutex_);
-  while (true) {
-    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stopping_) {
-        return;
-      }
-      continue;
-    }
-    const auto task = queue_.front();
-    queue_.pop_front();
+void Service::scheduler_run(const TaskPtr& task) {
+  {
+    const std::scoped_lock lock(mutex_);
     if (task->state != Task::State::Pending) {
-      continue;  // cancelled while queued
+      return;  // tombstone: cancelled, escalated-and-claimed, or re-queued
     }
     task->state = Task::State::Running;
-    lock.unlock();
-    run_task(task, &scratch);
-    lock.lock();
   }
+  // Thread-lifetime scratch: the disk tier's read/write buffers are
+  // recycled across every job this scheduler worker serves.
+  thread_local store::IoScratch scratch;
+  run_task(task, &scratch);
 }
 
 void Service::run_task(const TaskPtr& task, store::IoScratch* scratch) {
@@ -212,6 +234,7 @@ void Service::run_task(const TaskPtr& task, store::IoScratch* scratch) {
         // blocking this worker on the same computation.
         it->second->followers.push_back(task);
         ++stats_.coalesced;
+        escalate_locked(it->second, task);
         return;
       }
       inflight_.emplace(*key, task);
@@ -337,22 +360,17 @@ void Service::cancel_locked(const TaskPtr& task,
   // themselves: re-queue them. The first one dequeued re-registers as the
   // new primary and the rest re-coalesce behind it. A dequeue-time follower
   // carries state Running (its worker moved on after attaching) — flip it
-  // back to Pending or the queue skip-check would drop the ticket forever.
-  bool requeued = false;
+  // back to Pending or the scheduler_run claim-check would drop the ticket
+  // forever.
   for (auto& follower : task->followers) {
     if (follower->state == Task::State::Done) {
       continue;  // cancelled while attached — already fulfilled
     }
     follower->state = Task::State::Pending;
-    queue_.push_back(std::move(follower));
-    ensure_worker_locked();
-    requeued = true;
+    enqueue_locked(follower);
   }
   task->followers.clear();
   complete_locked(task, finished);
-  if (requeued) {
-    queue_cv_.notify_all();
-  }
 }
 
 bool Service::cancel(Ticket ticket) {
@@ -385,11 +403,8 @@ std::size_t Service::cancel_all_pending_locked(std::vector<Ticket>& finished) {
       }
     }
   }
-  // Everything the drain touched is Done now; drop the tombstones so
-  // workers do not churn through them.
-  std::erase_if(queue_, [](const TaskPtr& task) {
-    return task->state != Task::State::Pending;
-  });
+  // Everything the drain touched is Done now; the matching queue entries
+  // are tombstones the scheduler workers drop at their Pending check.
   return count;
 }
 
@@ -447,6 +462,10 @@ std::vector<JobResult> Service::collect(const BatchHandle& batch) {
 ServiceStats Service::stats() const {
   const std::scoped_lock lock(mutex_);
   return stats_;
+}
+
+sched::SchedulerStats Service::scheduler_stats() const {
+  return scheduler_->stats();
 }
 
 }  // namespace rlim::flow

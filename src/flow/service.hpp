@@ -2,20 +2,19 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "flow/cache.hpp"
 #include "flow/job.hpp"
+#include "sched/sched.hpp"
 
 namespace rlim::store {
 struct IoScratch;
@@ -33,6 +32,14 @@ struct ServiceOptions {
   /// Threads spawn lazily (one per enqueued job, up to the ceiling) and
   /// live until shutdown().
   unsigned jobs = 0;
+  /// Per-worker deque bound of the work-stealing scheduler; pushes that find
+  /// every deque full spill to its unbounded shared injector queue.
+  std::size_t deque_capacity = 1024;
+  /// Benchmark baseline: funnel every job through one shared queue instead
+  /// of per-worker deques + stealing (the pre-scheduler convoy shape).
+  /// BM_ServeLoad flips this for an apples-to-apples comparison; production
+  /// code leaves it false.
+  bool single_queue = false;
   /// Share rewritten graphs across jobs via the cache's rewrite level.
   /// Disabling also disables program caching (it measures cold cost).
   bool cache_rewrites = true;
@@ -101,12 +108,20 @@ private:
 };
 
 /// Asynchronous execution service over the endurance pipeline: jobs are
-/// submitted incrementally, run on a fixed worker pool above the shared
+/// submitted incrementally, run on a work-stealing scheduler
+/// (sched::Scheduler — per-worker priority deques, so Job::priority and
+/// Job::deadline bias which queued job runs next) above the shared
 /// two-level PipelineCache (+ optional disk store), and are awaited — in any
 /// order — by ticket. This is the execution engine behind flow::Runner (a
 /// synchronous façade over submit_batch + collect) and the CLI `rlim serve`
-/// front-end; a future socket front-end submits decoded flow::wire frames
-/// here.
+/// front-end; the socket front-end (net::Server) submits decoded flow::wire
+/// frames here.
+///
+/// Priority interacts with coalescing in one deliberate way: when a
+/// duplicate submission attaches to a *pending* primary with a weaker
+/// priority (or later deadline), the primary inherits the stronger hint and
+/// is re-queued under it — a high-priority duplicate must not wait behind
+/// the low-priority twin it coalesced into.
 ///
 /// Determinism: execution order is unspecified, but every result is a pure
 /// function of its job, so collecting a batch in ticket order yields
@@ -156,10 +171,13 @@ public:
   void shutdown();
 
   [[nodiscard]] ServiceStats stats() const;
+  /// Scheduler-side counters (steals, parks, queue depth, priority mix) —
+  /// the serving-shape telemetry behind the wire StatsReply gauges.
+  [[nodiscard]] sched::SchedulerStats scheduler_stats() const;
   /// The configured worker-pool ceiling (threads spawn lazily, one per
   /// enqueued job, up to this many — a two-job batch never pays for a
   /// 64-thread pool).
-  [[nodiscard]] unsigned workers() const { return target_workers_; }
+  [[nodiscard]] unsigned workers() const { return scheduler_->workers(); }
   [[nodiscard]] const PipelineCache& cache() const { return cache_; }
 
 private:
@@ -168,7 +186,17 @@ private:
   /// Coalescing key: (graph fingerprint, canonical config key).
   using DupKey = std::pair<std::uint64_t, std::string>;
 
-  void worker_loop();
+  /// Entry point of every scheduled closure: claims the task (Pending →
+  /// Running; a tombstoned — cancelled or re-queued — task is dropped here)
+  /// and runs it with the thread's recycled I/O scratch.
+  void scheduler_run(const TaskPtr& task);
+  /// Hands one claimable task to the scheduler under the task's priority /
+  /// deadline. Caller holds mutex_.
+  void enqueue_locked(const TaskPtr& task);
+  /// Lets a *pending* coalescing primary inherit a stronger follower hint
+  /// (higher priority or earlier deadline) and re-queues it under the new
+  /// ordering; the stale queue entry tombstones via the Pending check.
+  void escalate_locked(const TaskPtr& primary, const TaskPtr& follower);
   /// `scratch` is the calling worker's recyclable I/O buffer set, threaded
   /// down to the disk tier so steady-state serve traffic reuses the same
   /// buffers instead of allocating per job.
@@ -185,8 +213,6 @@ private:
   std::size_t cancel_all_pending_locked(std::vector<Ticket>& finished);
   /// Runs the on_finished hook (if any) for every collected ticket.
   void notify_finished(const std::vector<Ticket>& finished) const;
-  /// Spawns one more worker when the pool is below its ceiling.
-  void ensure_worker_locked();
   [[nodiscard]] std::optional<DupKey> duplicate_key(const Job& job,
                                                     bool may_build) const;
 
@@ -194,17 +220,16 @@ private:
   PipelineCache cache_;
 
   mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;  ///< wakes workers
-  std::condition_variable done_cv_;   ///< wakes wait()ers
-  std::deque<TaskPtr> queue_;
+  std::condition_variable done_cv_;  ///< wakes wait()ers
   std::unordered_map<Ticket, TaskPtr> tasks_;
   std::map<DupKey, TaskPtr> inflight_;  ///< coalescing primaries
   Ticket next_ticket_ = 1;
   bool stopping_ = false;
   ServiceStats stats_;
 
-  unsigned target_workers_ = 1;
-  std::vector<std::thread> workers_;
+  /// The worker pool + queues. Last member: constructed after (and torn
+  /// down before) everything its closures may touch.
+  std::unique_ptr<sched::Scheduler> scheduler_;
 };
 
 }  // namespace rlim::flow

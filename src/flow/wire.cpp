@@ -94,6 +94,10 @@ Job JobSpec::to_job() const {
   }
   job.config = core::PipelineConfig::parse(config_spec);
   job.label = label;
+  job.priority = priority;
+  if (deadline_ms) {
+    job.deadline = std::chrono::milliseconds(*deadline_ms);
+  }
   return job;
 }
 
@@ -108,6 +112,11 @@ std::string encode(const JobSpec& spec) {
   }
   out.str(spec.config_spec);
   out.str(spec.label);
+  out.u8(static_cast<std::uint8_t>(spec.priority));
+  out.u8(spec.deadline_ms.has_value() ? 1 : 0);
+  if (spec.deadline_ms) {
+    out.u64(*spec.deadline_ms);
+  }
   return seal(std::move(out));
 }
 
@@ -125,6 +134,14 @@ JobSpec decode_job_spec(std::string_view bytes) {
   }
   spec.config_spec = in.str();
   spec.label = in.str();
+  const auto priority = in.u8();
+  require(priority < sched::kPriorityBands, "wire: bad JobSpec priority");
+  spec.priority = static_cast<sched::Priority>(priority);
+  const auto has_deadline = in.u8();
+  require(has_deadline <= 1, "wire: bad JobSpec deadline tag");
+  if (has_deadline == 1) {
+    spec.deadline_ms = in.u64();
+  }
   in.expect_end();
   // Validate eagerly, exactly like the disk store's report decoder: a spec
   // naming a policy this build does not register is rejected at the wire
@@ -204,6 +221,14 @@ std::string encode(const StatsReply& stats) {
         .u64(stats.store_evicted_version);
   }
   out.u32(stats.workers);
+  out.u64(stats.sched_queue_depth)
+      .u64(stats.sched_stolen)
+      .u64(stats.sched_parks)
+      .u64(stats.sched_overflows)
+      .u64(stats.sched_forked)
+      .u64(stats.sched_low)
+      .u64(stats.sched_normal)
+      .u64(stats.sched_high);
   return seal(std::move(out));
 }
 
@@ -232,6 +257,14 @@ StatsReply decode_stats(std::string_view bytes) {
     stats.store_evicted_version = in.u64();
   }
   stats.workers = in.u32();
+  stats.sched_queue_depth = in.u64();
+  stats.sched_stolen = in.u64();
+  stats.sched_parks = in.u64();
+  stats.sched_overflows = in.u64();
+  stats.sched_forked = in.u64();
+  stats.sched_low = in.u64();
+  stats.sched_normal = in.u64();
+  stats.sched_high = in.u64();
   in.expect_end();
   return stats;
 }

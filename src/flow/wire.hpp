@@ -26,7 +26,9 @@ namespace rlim::flow::wire {
 /// changes, so two processes either agree on the bytes or refuse loudly.
 
 inline constexpr std::string_view kMagic = "RLWM";
-inline constexpr std::uint32_t kWireVersion = 4;  // v4: per-pass RewriteStats
+// v4: per-pass RewriteStats; v5: JobSpec priority/deadline + StatsReply
+// scheduler gauges.
+inline constexpr std::uint32_t kWireVersion = 5;
 
 /// Ceiling a frame consumer should enforce on any untrusted length prefix
 /// *before* allocating or resizing a buffer — an absurd u32 from a damaged
@@ -69,6 +71,13 @@ struct JobSpec {
   std::string graph_label;        ///< Source label of an inline graph
   std::string config_spec;        ///< PipelineConfig spec-grammar string
   std::string label;              ///< Job::label (report label override)
+  /// Scheduling hints (wire v5), honored by the executing Service's
+  /// work-stealing scheduler. Neither changes the result bytes.
+  sched::Priority priority = sched::Priority::Normal;
+  /// Soft latency budget in milliseconds, relative to arrival at the
+  /// executing shard (shipping an absolute time point across machines
+  /// would smuggle clock skew into dequeue order).
+  std::optional<std::uint64_t> deadline_ms{};
 
   /// A by-reference spec (the config is stored as its canonical key).
   [[nodiscard]] static JobSpec reference(std::string ref,
@@ -113,6 +122,18 @@ struct StatsReply {
   std::uint64_t store_evicted_version = 0;
   // Serving-side shape.
   std::uint32_t workers = 0;
+  // sched::SchedulerStats gauges (wire v5): how the shard's work-stealing
+  // scheduler is coping. queue_depth is a point-in-time gauge; the rest are
+  // lifetime counters. sched_low/normal/high count accepted tasks per
+  // priority band.
+  std::uint64_t sched_queue_depth = 0;
+  std::uint64_t sched_stolen = 0;
+  std::uint64_t sched_parks = 0;
+  std::uint64_t sched_overflows = 0;
+  std::uint64_t sched_forked = 0;
+  std::uint64_t sched_low = 0;
+  std::uint64_t sched_normal = 0;
+  std::uint64_t sched_high = 0;
 
   bool operator==(const StatsReply&) const = default;
 };

@@ -14,6 +14,7 @@
 
 #include "net/framing.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace rlim::net {
 
@@ -30,8 +31,33 @@ struct TransportFailure {
 
 }  // namespace
 
+std::chrono::milliseconds backoff_delay(const ClientOptions& options,
+                                        unsigned attempt,
+                                        util::Xoshiro256& rng) {
+  const auto full = std::min(
+      options.backoff_cap,
+      options.backoff_base * (std::int64_t{1} << std::min(attempt, 20u)));
+  const auto count = full.count();
+  if (count <= 0) {
+    return std::chrono::milliseconds{0};
+  }
+  // Half-jitter: [full/2, full]. The floor keeps the exponential shape
+  // (attempt n+1 never retries sooner than attempt n's floor); the spread
+  // decorrelates clients that failed at the same instant.
+  const auto floor = count / 2;
+  return std::chrono::milliseconds(
+      floor + static_cast<std::int64_t>(
+                  rng.below(static_cast<std::uint64_t>(count - floor) + 1)));
+}
+
 Client::Client(Endpoint endpoint, ClientOptions options)
-    : endpoint_(std::move(endpoint)), options_(options) {}
+    : endpoint_(std::move(endpoint)),
+      options_(options),
+      backoff_rng_(options.backoff_seed != 0
+                       ? options.backoff_seed
+                       : util::mix_seed(
+                             util::fnv1a64(endpoint_.to_string()),
+                             reinterpret_cast<std::uintptr_t>(this))) {}
 
 void Client::ensure_connected() {
   if (fd_.valid()) {
@@ -66,10 +92,8 @@ void Client::exchange(
                     " attempts: " + failure.reason);
       }
       ++telemetry_.retries;
-      const auto backoff = std::min(
-          options_.backoff_cap,
-          options_.backoff_base * (std::int64_t{1} << std::min(attempt, 20u)));
-      std::this_thread::sleep_for(backoff);
+      std::this_thread::sleep_for(
+          backoff_delay(options_, attempt, backoff_rng_));
     }
   }
 }

@@ -10,6 +10,7 @@
 #include "flow/job.hpp"
 #include "flow/wire.hpp"
 #include "net/socket.hpp"
+#include "util/rng.hpp"
 
 namespace rlim::net {
 
@@ -25,12 +26,26 @@ struct ClientOptions {
   /// their spec (idempotent), so unacknowledged requests are simply resent
   /// on the fresh connection.
   unsigned max_retries = 3;
-  /// Exponential backoff between attempts: base * 2^attempt, capped.
+  /// Exponential backoff between attempts: base * 2^attempt, capped, then
+  /// jittered uniformly into [delay/2, delay] — simultaneous clients that
+  /// lost the same shard must not retry in lockstep against it as it
+  /// recovers (the classic thundering-herd shape).
   std::chrono::milliseconds backoff_base{50};
   std::chrono::milliseconds backoff_cap{2000};
+  /// Seed of the jitter stream; 0 (the default) derives a per-client seed
+  /// from the endpoint and the client's identity, so a fleet of clients
+  /// decorrelates without configuration. Fix it for reproducible timing.
+  std::uint64_t backoff_seed = 0;
   /// Ceiling on one received framed message.
   std::size_t max_frame_bytes = flow::wire::kDefaultMaxFrameBytes;
 };
+
+/// The retry delay before reconnect attempt `attempt` (0-based): the bounded
+/// exponential backoff_base * 2^attempt (capped at backoff_cap), jittered
+/// uniformly into [delay/2, delay] with one draw from `rng`. Exposed as a
+/// free function so the bounds are unit-testable without a socket.
+[[nodiscard]] std::chrono::milliseconds backoff_delay(
+    const ClientOptions& options, unsigned attempt, util::Xoshiro256& rng);
 
 /// Client-side lifetime counters (reads happen between calls; the client is
 /// not thread-safe).
@@ -107,6 +122,7 @@ class Client {
   ClientOptions options_;
   Fd fd_;
   ClientTelemetry telemetry_;
+  util::Xoshiro256 backoff_rng_;  ///< jitter stream; see backoff_seed
 };
 
 }  // namespace rlim::net

@@ -121,6 +121,18 @@ flow::wire::StatsReply Server::stats_reply() const {
     reply.store_evicted_version = counters.evicted_version;
   }
   reply.workers = service_->workers();
+  const auto sched = service_->scheduler_stats();
+  reply.sched_queue_depth = sched.queue_depth;
+  reply.sched_stolen = sched.stolen;
+  reply.sched_parks = sched.parks;
+  reply.sched_overflows = sched.overflows;
+  reply.sched_forked = sched.forked;
+  reply.sched_low = sched.by_priority[static_cast<std::size_t>(
+      sched::Priority::Low)];
+  reply.sched_normal = sched.by_priority[static_cast<std::size_t>(
+      sched::Priority::Normal)];
+  reply.sched_high = sched.by_priority[static_cast<std::size_t>(
+      sched::Priority::High)];
   return reply;
 }
 

@@ -1,0 +1,95 @@
+#include "sched/deque.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace rlim::sched {
+
+Priority parse_priority(std::string_view text) {
+  if (text == "low") {
+    return Priority::Low;
+  }
+  if (text == "normal") {
+    return Priority::Normal;
+  }
+  if (text == "high") {
+    return Priority::High;
+  }
+  throw Error("sched: unknown priority '" + std::string(text) +
+              "' (expected low|normal|high)");
+}
+
+bool WorkDeque::push(Task& task) {
+  const std::scoped_lock lock(mutex_);
+  if (capacity_ != 0 && size_ >= capacity_) {
+    return false;
+  }
+  auto& band = bands_[static_cast<std::size_t>(task.priority)];
+  if (task.deadline) {
+    // Earliest-first, stable for equal deadlines (FIFO among ties).
+    const auto at = std::upper_bound(
+        band.timed.begin(), band.timed.end(), *task.deadline,
+        [](const Deadline& deadline, const Task& queued) {
+          return deadline < *queued.deadline;
+        });
+    band.timed.insert(at, std::move(task));
+  } else if (task.child) {
+    band.children.push_back(std::move(task));
+  } else {
+    band.external.push_back(std::move(task));
+  }
+  ++size_;
+  return true;
+}
+
+std::optional<Task> WorkDeque::take_locked(bool owner) {
+  for (std::size_t band = kPriorityBands; band-- > 0;) {
+    auto& timed = bands_[band].timed;
+    if (!timed.empty()) {
+      Task task = std::move(timed.front());
+      timed.pop_front();
+      --size_;
+      return task;
+    }
+    auto& children = bands_[band].children;
+    if (!children.empty()) {
+      Task task;
+      if (owner) {
+        task = std::move(children.back());
+        children.pop_back();
+      } else {
+        task = std::move(children.front());
+        children.pop_front();
+      }
+      --size_;
+      return task;
+    }
+    auto& external = bands_[band].external;
+    if (!external.empty()) {
+      Task task = std::move(external.front());
+      external.pop_front();
+      --size_;
+      return task;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Task> WorkDeque::pop() {
+  const std::scoped_lock lock(mutex_);
+  return take_locked(/*owner=*/true);
+}
+
+std::optional<Task> WorkDeque::steal() {
+  const std::scoped_lock lock(mutex_);
+  return take_locked(/*owner=*/false);
+}
+
+std::size_t WorkDeque::size() const {
+  const std::scoped_lock lock(mutex_);
+  return size_;
+}
+
+}  // namespace rlim::sched

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rlim::sched {
+
+/// Priority bands of one schedulable task. Three coarse bands (ponyc-style
+/// schedulers get away with none; serve traffic wants "this probe beats the
+/// batch backfill" without a full priority lattice). Wire code relies on the
+/// numeric values: they are serialized as a u8 in flow::wire v5.
+enum class Priority : std::uint8_t {
+  Low = 0,     ///< backfill — yields to everything
+  Normal = 1,  ///< default
+  High = 2,    ///< latency-sensitive — dequeued before both other bands
+};
+
+inline constexpr std::size_t kPriorityBands = 3;
+
+[[nodiscard]] constexpr std::string_view to_string(Priority priority) {
+  switch (priority) {
+    case Priority::Low:
+      return "low";
+    case Priority::Normal:
+      return "normal";
+    case Priority::High:
+      return "high";
+  }
+  return "unknown";
+}
+
+/// Parses "low" / "normal" / "high" (throws rlim::Error on anything else).
+[[nodiscard]] Priority parse_priority(std::string_view text);
+
+/// Soft deadline: a steady-clock point the scheduler *biases toward*, never a
+/// guarantee — within a priority band, deadline-bearing tasks run earliest-
+/// first and ahead of undated ones. Missing a deadline has no effect beyond
+/// the ordering bias.
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// One schedulable unit: a closure plus its dequeue-order hints.
+struct Task {
+  std::function<void()> fn;
+  Priority priority = Priority::Normal;
+  std::optional<Deadline> deadline{};
+  /// A fork-join child (run_children) rather than an external submission.
+  /// Children pop LIFO — the fork recursion order — and, within their band,
+  /// ahead of external tasks; external tasks keep FIFO arrival order, the
+  /// fairness a serving queue owes its clients.
+  bool child = false;
+};
+
+/// A bounded, priority-banded work deque — the per-worker queue of the
+/// work-stealing scheduler. Owner and thieves converge on one internal
+/// mutex (uncontended in the common case: thieves only arrive when their
+/// own deques are dry), which keeps the structure trivially TSan-clean;
+/// the lock is never held while a task runs.
+///
+/// Ordering within the structure:
+///   - higher priority bands are always drained first, by owner and thief
+///     alike;
+///   - within a band, deadline-bearing tasks go earliest-deadline-first and
+///     ahead of undated ones (the "soft deadline" bias);
+///   - undated children: the owner pops LIFO (its freshest fork —
+///     cache-warm, and the fork-join recursion order), a thief steals FIFO
+///     (the oldest fork — the largest remaining subtree, and the one the
+///     owner is least likely to touch next);
+///   - undated external tasks come after a band's children and keep FIFO
+///     arrival order for owner and thief alike — a serving queue owes its
+///     clients arrival fairness, and thieves want the oldest (most
+///     starved) job anyway.
+class WorkDeque {
+ public:
+  /// `capacity` bounds the total task count; 0 means unbounded (the shared
+  /// injector queue uses that).
+  explicit WorkDeque(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  /// Owner-side push. Returns false (task untouched) when full.
+  [[nodiscard]] bool push(Task& task);
+
+  /// Owner-side take: highest band; inside it deadline-first, then the
+  /// freshest child (LIFO), then the oldest external task (FIFO).
+  [[nodiscard]] std::optional<Task> pop();
+
+  /// Thief-side take: highest band; inside it deadline-first, then the
+  /// oldest child and oldest external task (FIFO).
+  [[nodiscard]] std::optional<Task> steal();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  struct Band {
+    /// Deadline-bearing tasks, kept earliest-first (stable for ties).
+    std::deque<Task> timed;
+    /// Undated fork-join children: push_back; owner pops back (LIFO),
+    /// thief pops front (FIFO).
+    std::deque<Task> children;
+    /// Undated external tasks: push_back; everyone pops front (FIFO).
+    std::deque<Task> external;
+  };
+
+  [[nodiscard]] std::optional<Task> take_locked(bool owner);
+
+  mutable std::mutex mutex_;
+  Band bands_[kPriorityBands];
+  std::size_t size_ = 0;
+  std::size_t capacity_;
+};
+
+}  // namespace rlim::sched

@@ -20,7 +20,11 @@ inline constexpr std::string_view kMagic = "RLIM";
 /// (u8 presence flag + fault::LifetimeDistribution).
 /// v4: RewriteStats gained the per-pass telemetry breakdown
 /// (count-prefixed list of named PassStats records).
-inline constexpr std::uint32_t kFormatVersion = 4;
+/// v5: no store payload layout changed, but flow::wire v5 (JobSpec
+/// priority/deadline, StatsReply scheduler gauges) bumped in lockstep per
+/// the shared-version convention — v4 entries are evicted and recomputed
+/// on first touch.
+inline constexpr std::uint32_t kFormatVersion = 5;
 
 /// What an entry file holds. Part of the content address, so the two cache
 /// levels never alias even for equal (fingerprint, key) pairs.

@@ -21,6 +21,7 @@
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace rlim::net {
 namespace {
@@ -422,6 +423,47 @@ TEST(NetInjection, DelayedAcceptsAreToleratedByPatientClients) {
   const auto results = client.run({ctrl_spec(21)});
   ASSERT_TRUE(results[0].ok()) << results[0].error;
   EXPECT_EQ(client.telemetry().retries, 0u);
+}
+
+// ---- retry backoff jitter --------------------------------------------------
+
+TEST(NetBackoff, DelayStaysInHalfToFullWindowAtEveryAttempt) {
+  net::ClientOptions options;  // production defaults: base 50 ms, cap 2 s
+  util::Xoshiro256 rng(7);
+  for (unsigned attempt = 0; attempt < 40; ++attempt) {
+    const auto full = std::min<std::int64_t>(
+        options.backoff_cap.count(),
+        options.backoff_base.count() *
+            (std::int64_t{1} << std::min(attempt, 20u)));
+    for (int draw = 0; draw < 64; ++draw) {
+      const auto delay = net::backoff_delay(options, attempt, rng).count();
+      EXPECT_GE(delay, full / 2) << "attempt " << attempt;
+      EXPECT_LE(delay, full) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(NetBackoff, JitterIsSeedReproducibleAndActuallySpreads) {
+  const net::ClientOptions options;
+  util::Xoshiro256 same_a(99);
+  util::Xoshiro256 same_b(99);
+  util::Xoshiro256 other(100);
+  bool spread = false;
+  for (int draw = 0; draw < 32; ++draw) {
+    const auto delay = net::backoff_delay(options, 3, same_a);
+    EXPECT_EQ(delay, net::backoff_delay(options, 3, same_b));
+    spread |= delay != net::backoff_delay(options, 3, other);
+  }
+  EXPECT_TRUE(spread);  // two fleets with different seeds must decorrelate
+}
+
+TEST(NetBackoff, ZeroBaseMeansNoSleep) {
+  net::ClientOptions options;
+  options.backoff_base = std::chrono::milliseconds(0);
+  util::Xoshiro256 rng(1);
+  for (unsigned attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(net::backoff_delay(options, attempt, rng).count(), 0);
+  }
 }
 
 // ---- loopback: the cluster -------------------------------------------------

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -13,7 +14,9 @@
 #include "flow/runner.hpp"
 #include "flow/service.hpp"
 #include "flow/suite.hpp"
+#include "sched/deque.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace rlim::flow {
 namespace {
@@ -149,6 +152,39 @@ TEST(FlowService, CollectedReportsByteIdenticalAcrossWorkerCounts) {
     EXPECT_EQ(render(serial_results, format), render(parallel_results, format))
         << to_string(format);
     EXPECT_EQ(render(serial_results, format), render(runner_results, format))
+        << to_string(format);
+  }
+}
+
+TEST(FlowService, ByteIdenticalAcrossWorkerCountsUnderRandomPriorities) {
+  // Scheduling hints shape execution order, never results: the same sweep
+  // with randomized priorities and deadlines must stay byte-identical
+  // between one worker and eight.
+  const auto& specs = bench::mini_suite();
+  std::vector<SourcePtr> sources;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sources.push_back(Source::benchmark(specs[i]));
+  }
+  auto jobs = strategy_sweep(sources);
+  util::Xoshiro256 rng(2026);
+  for (auto& job : jobs) {
+    job.priority =
+        static_cast<sched::Priority>(rng.below(sched::kPriorityBands));
+    if (rng.below(3) == 0) {
+      job.deadline = std::chrono::milliseconds(5 + rng.below(100));
+    }
+  }
+
+  Service serial({.jobs = 1});
+  Service parallel({.jobs = 8});
+  const auto serial_results = serial.collect(serial.submit_batch(jobs));
+  const auto parallel_results = parallel.collect(parallel.submit_batch(jobs));
+  throw_on_error(serial_results);
+  throw_on_error(parallel_results);
+
+  for (const auto format :
+       {ReportFormat::Table, ReportFormat::Csv, ReportFormat::Json}) {
+    EXPECT_EQ(render(serial_results, format), render(parallel_results, format))
         << to_string(format);
   }
 }
@@ -355,6 +391,59 @@ TEST(FlowService, DuplicateSubmissionsCoalesceWhilePending) {
   EXPECT_EQ(service.cache().program_hits(), 0u);
   EXPECT_TRUE(service.wait(blocker).ok());
   EXPECT_EQ(service.stats().executed, 2u);
+}
+
+TEST(FlowService, CoalescingEscalatesPrimaryPriority) {
+  // A High-priority duplicate attaching to a Low-priority pending primary
+  // must drag the primary up with it: after escalation the primary runs
+  // ahead of Normal work that was queued between them.
+  const auto gate = std::make_shared<Gate>();
+  std::mutex order_mutex;
+  std::vector<Ticket> finish_order;
+  ServiceOptions options;
+  options.jobs = 1;
+  options.on_finished = [&](Ticket ticket) {
+    const std::scoped_lock lock(order_mutex);
+    finish_order.push_back(ticket);
+  };
+  Service service(options);
+  const auto blocker =
+      service.submit({gated_source(gate),
+                      core::make_config(core::Strategy::Naive),
+                      {}});
+  gate->await_entered();  // the lone worker is pinned; queue order decides
+
+  const auto source = Source::graph(bench::make_adder(8), "adder8");
+  const auto config = core::make_config(core::Strategy::FullEndurance);
+  Job slow{source, config, "slow-lane"};
+  slow.priority = sched::Priority::Low;
+  const auto primary = service.submit(slow);
+
+  const auto filler =
+      service.submit({Source::graph(bench::make_adder(6), "adder6"),
+                      core::make_config(core::Strategy::Naive),
+                      "mid"});  // Normal: beats Low until escalation
+
+  Job urgent{source, config, "urgent"};
+  urgent.priority = sched::Priority::High;
+  const auto duplicate = service.submit(urgent);
+  EXPECT_EQ(service.stats().coalesced, 1u)
+      << "the urgent twin must coalesce, not queue";
+
+  gate->release();
+  ASSERT_TRUE(service.wait(primary).ok());
+  ASSERT_TRUE(service.wait(duplicate).ok());
+  ASSERT_TRUE(service.wait(filler).ok());
+  ASSERT_TRUE(service.wait(blocker).ok());
+
+  const std::scoped_lock lock(order_mutex);
+  const auto position = [&](Ticket ticket) {
+    return std::find(finish_order.begin(), finish_order.end(), ticket) -
+           finish_order.begin();
+  };
+  EXPECT_LT(position(primary), position(filler))
+      << "escalated primary must finish before the Normal-priority filler";
+  EXPECT_EQ(service.stats().executed, 3u);  // blocker + primary + filler
 }
 
 TEST(FlowService, CancellingThePrimaryRequeuesItsFollowers) {

@@ -69,6 +69,43 @@ TEST(FlowWire, InlineGraphJobSpecRoundTrips) {
   expect_reports_equal(via_wire.report, direct.report);
 }
 
+TEST(FlowWire, JobSpecSchedulingFieldsRoundTrip) {
+  // v5 additions: priority band plus an optional soft deadline.
+  auto spec = JobSpec::reference("bench:ctrl", sample_config(), "hot");
+  spec.priority = sched::Priority::High;
+  spec.deadline_ms = 250;
+  const auto decoded = decode_job_spec(encode(spec));
+  EXPECT_EQ(decoded.priority, sched::Priority::High);
+  ASSERT_TRUE(decoded.deadline_ms.has_value());
+  EXPECT_EQ(*decoded.deadline_ms, 250u);
+  EXPECT_EQ(encode(decoded), encode(spec));
+
+  const auto job = decoded.to_job();
+  EXPECT_EQ(job.priority, sched::Priority::High);
+  ASSERT_TRUE(job.deadline.has_value());
+  EXPECT_EQ(job.deadline->count(), 250);
+}
+
+TEST(FlowWire, JobSpecDefaultSchedulingFieldsRoundTrip) {
+  // A spec that never touches the scheduling fields must arrive with the
+  // defaults intact: Normal priority, no deadline.
+  const auto spec = JobSpec::reference("bench:ctrl", sample_config());
+  const auto decoded = decode_job_spec(encode(spec));
+  EXPECT_EQ(decoded.priority, sched::Priority::Normal);
+  EXPECT_FALSE(decoded.deadline_ms.has_value());
+  EXPECT_EQ(encode(decoded), encode(spec));
+  EXPECT_FALSE(decoded.to_job().deadline.has_value());
+}
+
+TEST(FlowWire, EveryPriorityBandRoundTrips) {
+  for (const auto priority : {sched::Priority::Low, sched::Priority::Normal,
+                              sched::Priority::High}) {
+    auto spec = JobSpec::reference("bench:ctrl", sample_config());
+    spec.priority = priority;
+    EXPECT_EQ(decode_job_spec(encode(spec)).priority, priority);
+  }
+}
+
 TEST(FlowWire, JobSpecValidatesConfigAtDecode) {
   auto spec = JobSpec::reference("bench:ctrl", sample_config());
   spec.config_spec = "select=unregistered";
@@ -158,6 +195,14 @@ StatsReply sample_stats() {
   stats.store_evicted_corrupt = 2;
   stats.store_evicted_version = 3;
   stats.workers = 16;
+  stats.sched_queue_depth = 4;
+  stats.sched_stolen = 12;
+  stats.sched_parks = 5;
+  stats.sched_overflows = 2;
+  stats.sched_forked = 48;
+  stats.sched_low = 11;
+  stats.sched_normal = 70;
+  stats.sched_high = 20;
   return stats;
 }
 
@@ -232,6 +277,27 @@ TEST(FlowWire, EveryBitFlipIsRejected) {
   for (std::size_t i = 0; i < frame.size(); ++i) {
     auto corrupt = frame;
     corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    EXPECT_THROW(static_cast<void>(decode_job_spec(corrupt)), Error)
+        << "flip at byte " << i << " must not decode";
+  }
+}
+
+TEST(FlowWire, DeadlineFrameTruncationsAndBitFlipsAreRejected) {
+  // The v5 scheduling tail (priority byte + optional deadline) is covered by
+  // the same frame hash as everything else: damage anywhere in a
+  // deadline-bearing frame must throw, never decode to a different deadline.
+  auto spec = JobSpec::reference("bench:ctrl", sample_config());
+  spec.priority = sched::Priority::Low;
+  spec.deadline_ms = 1234;
+  const auto frame = encode(spec);
+  for (std::size_t length = 0; length < frame.size(); ++length) {
+    EXPECT_THROW(
+        static_cast<void>(decode_job_spec({frame.data(), length})), Error)
+        << "prefix of " << length << " bytes must not decode";
+  }
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    auto corrupt = frame;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x08);
     EXPECT_THROW(static_cast<void>(decode_job_spec(corrupt)), Error)
         << "flip at byte " << i << " must not decode";
   }

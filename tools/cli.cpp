@@ -1,10 +1,13 @@
 #include "cli.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <deque>
 #include <filesystem>
 #include <iostream>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include <signal.h>
@@ -29,7 +32,9 @@
 #include "store/gc.hpp"
 #include "plim/controller.hpp"
 #include "plim/cost_model.hpp"
+#include "sched/deque.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace rlim::cli {
@@ -63,6 +68,13 @@ struct Options {
   std::string cache_dir;  // --cache-dir: overrides RLIM_CACHE_DIR
   std::optional<std::uint64_t> max_bytes;     // cache gc
   std::optional<std::uint64_t> max_age_days;  // cache gc
+  std::optional<std::string> priority;        // serve/submit/loadgen default
+  std::optional<std::uint64_t> deadline_ms;   // serve/submit/loadgen default
+  std::optional<std::uint64_t> count;         // loadgen: total jobs
+  std::optional<unsigned> streams;            // loadgen: closed-loop streams
+  std::optional<std::uint64_t> seed;          // loadgen: stream seed
+  std::optional<unsigned> duplicate_pct;      // loadgen: duplicate ratio
+  bool single_queue = false;  // loadgen: scheduler-off baseline
 };
 
 /// Strict unsigned parse: digits only, fully consumed. std::stoull would
@@ -83,7 +95,7 @@ Options parse(const std::vector<std::string>& args) {
   Options options;
   require(!args.empty(),
           "missing command (info, rewrite, compile, suite, serve, submit, "
-          "stats, policies, cache, version)");
+          "stats, loadgen, policies, cache, version)");
   options.command = args[0] == "--version" ? "version" : args[0];
   for (std::size_t i = 1; i < args.size(); ++i) {
     const auto& arg = args[i];
@@ -144,6 +156,21 @@ Options parse(const std::vector<std::string>& args) {
       options.max_bytes = parse_u64(arg, next());
     } else if (arg == "--max-age-days") {
       options.max_age_days = parse_u64(arg, next());
+    } else if (arg == "--priority") {
+      options.priority = next();
+    } else if (arg == "--deadline-ms") {
+      options.deadline_ms = parse_u64(arg, next());
+      require(*options.deadline_ms > 0, "--deadline-ms must be > 0");
+    } else if (arg == "--count") {
+      options.count = parse_u64(arg, next());
+    } else if (arg == "--streams") {
+      options.streams = static_cast<unsigned>(parse_u64(arg, next()));
+    } else if (arg == "--seed") {
+      options.seed = parse_u64(arg, next());
+    } else if (arg == "--duplicate-pct") {
+      options.duplicate_pct = static_cast<unsigned>(parse_u64(arg, next()));
+    } else if (arg == "--single-queue") {
+      options.single_queue = true;
     } else if (arg.rfind("--", 0) == 0) {
       throw Error("unknown option " + arg);
     } else {
@@ -566,26 +593,66 @@ int cmd_suite(const Options& options, std::ostream& out, std::ostream& err) {
   return all_verified ? 0 : 2;
 }
 
-/// Splits one job-stream line (`NETLIST [CONFIG-SPEC]`) into the netlist
-/// label and the optional config spec; nullopt for blank and `#` comment
-/// lines. Shared by `serve --stdin-jobs` and `submit` so the two transports
-/// accept byte-identical streams.
-std::optional<std::pair<std::string, std::optional<std::string>>>
-split_job_line(const std::string& line) {
+/// One parsed job-stream line: `NETLIST [CONFIG-SPEC] [@PRIO[:DEADLINE_MS]]`.
+/// The trailing scheduling token stays raw text ('@' stripped) so parse
+/// failures surface inside the per-line error handling of serve/submit —
+/// an error row in stream position — instead of killing the stream.
+struct JobLine {
+  std::string label;
+  std::optional<std::string> config;
+  std::optional<std::string> sched;
+};
+
+/// Splits one job-stream line into its parts; nullopt for blank and `#`
+/// comment lines. Shared by `serve --stdin-jobs` and `submit` so the two
+/// transports accept byte-identical streams.
+std::optional<JobLine> split_job_line(const std::string& line) {
   const auto first = line.find_first_not_of(" \t\r");
   if (first == std::string::npos || line[first] == '#') {
     return std::nullopt;
   }
   const auto last = line.find_last_not_of(" \t\r");
-  const auto text = line.substr(first, last - first + 1);
+  auto text = line.substr(first, last - first + 1);
+
+  JobLine item;
+  // Peel the optional trailing `@...` scheduling token. Only the last
+  // whitespace-separated token qualifies, so config specs stay free to
+  // contain '@' should a policy ever want one.
+  const auto tail = text.find_last_of(" \t");
+  if (tail != std::string::npos && text[tail + 1] == '@') {
+    item.sched = text.substr(tail + 2);
+    text = text.substr(0, text.find_last_not_of(" \t", tail) + 1);
+  }
   const auto space = text.find_first_of(" \t");
   if (space == std::string::npos) {
-    return std::make_pair(text, std::nullopt);
+    item.label = std::move(text);
+  } else {
+    item.label = text.substr(0, space);
+    item.config = text.substr(text.find_first_not_of(" \t", space));
   }
-  return std::make_pair(
-      text.substr(0, space),
-      std::optional<std::string>(
-          text.substr(text.find_first_not_of(" \t", space))));
+  return item;
+}
+
+/// Parses the body of a job line's `@PRIO[:DEADLINE_MS]` token. Throws
+/// rlim::Error for unknown priorities and malformed deadlines.
+std::pair<sched::Priority, std::optional<std::uint64_t>> parse_sched_token(
+    const std::string& body) {
+  const auto colon = body.find(':');
+  const auto priority = sched::parse_priority(body.substr(0, colon));
+  std::optional<std::uint64_t> deadline;
+  if (colon != std::string::npos) {
+    deadline = parse_u64("@" + body.substr(0, colon) + " deadline",
+                         body.substr(colon + 1));
+    require(*deadline > 0, "@" + body.substr(0, colon) +
+                               " deadline must be > 0 milliseconds");
+  }
+  return {priority, deadline};
+}
+
+/// The --priority flag resolved to a default (Normal when absent).
+sched::Priority default_priority(const Options& options) {
+  return options.priority ? sched::parse_priority(*options.priority)
+                          : sched::Priority::Normal;
 }
 
 /// Client/router knobs from the command line (defaults from ClientOptions).
@@ -697,14 +764,23 @@ int cmd_submit(const Options& options, std::istream& in, std::ostream& out,
       continue;
     }
     Line item;
-    item.label = split->first;
+    item.label = split->label;
     try {
-      const auto config = split->second
-                              ? core::PipelineConfig::parse(*split->second)
+      const auto config = split->config
+                              ? core::PipelineConfig::parse(*split->config)
                               : default_config;
+      auto spec = flow::wire::JobSpec::reference(item.label, config, item.label);
+      spec.priority = default_priority(options);
+      spec.deadline_ms = options.deadline_ms;
+      if (split->sched) {
+        const auto [priority, deadline] = parse_sched_token(*split->sched);
+        spec.priority = priority;
+        if (deadline) {
+          spec.deadline_ms = deadline;
+        }
+      }
       item.spec = specs.size();
-      specs.push_back(
-          flow::wire::JobSpec::reference(item.label, config, item.label));
+      specs.push_back(std::move(spec));
     } catch (const std::exception& error) {
       item.error = error.what();
     }
@@ -829,6 +905,45 @@ int cmd_stats(const Options& options, std::ostream& out) {
       doc.add_row(std::move(row));
     }
   }
+  // Scheduler gauges follow the same rule: a freshly started fleet whose
+  // shards have never queued, stolen, or parked renders the exact table of
+  // previous releases (all-zero gauges stay omitted).
+  const std::pair<const char*, Field> sched_metrics[] = {
+      {"sched queue depth", [](const flow::wire::StatsReply& r) {
+         return r.sched_queue_depth; }},
+      {"sched stolen", [](const flow::wire::StatsReply& r) {
+         return r.sched_stolen; }},
+      {"sched parks", [](const flow::wire::StatsReply& r) {
+         return r.sched_parks; }},
+      {"sched overflows", [](const flow::wire::StatsReply& r) {
+         return r.sched_overflows; }},
+      {"sched forked", [](const flow::wire::StatsReply& r) {
+         return r.sched_forked; }},
+      {"sched jobs low", [](const flow::wire::StatsReply& r) {
+         return r.sched_low; }},
+      {"sched jobs normal", [](const flow::wire::StatsReply& r) {
+         return r.sched_normal; }},
+      {"sched jobs high", [](const flow::wire::StatsReply& r) {
+         return r.sched_high; }},
+  };
+  bool any_sched = false;
+  for (const auto& reply : replies) {
+    if (!reply) {
+      continue;
+    }
+    for (const auto& [name, field] : sched_metrics) {
+      any_sched |= field(*reply) != 0;
+    }
+  }
+  if (any_sched) {
+    for (const auto& [name, field] : sched_metrics) {
+      std::vector<std::string> row{name};
+      for (const auto& reply : replies) {
+        row.push_back(reply ? std::to_string(field(*reply)) : "-");
+      }
+      doc.add_row(std::move(row));
+    }
+  }
   flow::make_sink(format_of(options))->write(doc, out);
   return any_unreachable ? 1 : 0;
 }
@@ -908,13 +1023,26 @@ int cmd_serve(const Options& options, std::istream& in, std::ostream& out,
       continue;
     }
     Pending item;
-    item.label = split->first;
+    item.label = split->label;
     try {
       flow::Job job;
       job.source = flow::Source::netlist(item.label);
       job.label = item.label;
-      job.config = split->second ? core::PipelineConfig::parse(*split->second)
+      job.config = split->config ? core::PipelineConfig::parse(*split->config)
                                  : default_config;
+      job.priority = default_priority(options);
+      if (options.deadline_ms) {
+        job.deadline = std::chrono::milliseconds(
+            static_cast<std::int64_t>(*options.deadline_ms));
+      }
+      if (split->sched) {
+        const auto [priority, deadline] = parse_sched_token(*split->sched);
+        job.priority = priority;
+        if (deadline) {
+          job.deadline = std::chrono::milliseconds(
+              static_cast<std::int64_t>(*deadline));
+        }
+      }
       item.ticket = service.submit(std::move(job));
       ++accepted;
     } catch (const std::exception& error) {
@@ -931,6 +1059,198 @@ int cmd_serve(const Options& options, std::istream& in, std::ostream& out,
       << " coalesced, " << failures << " failed\n";
   print_store_summary(service.cache(), err);
   return failures == 0 ? 0 : 1;
+}
+
+/// `rlim loadgen`: closed-loop load generator over the serve path. Replays a
+/// seeded stream of mini-suite compiles — mixed graph sizes, randomized
+/// priorities, occasional soft deadlines, a configurable duplicate ratio —
+/// through `--streams` concurrent closed-loop clients, then reports
+/// throughput and nearest-rank latency percentiles. Default target: an
+/// in-process flow::Service on `--jobs` workers (`--single-queue` flips the
+/// scheduler baseline for A/B runs); with --connect, every stream ships
+/// inline-graph JobSpecs to the shard fleet through its own router — the
+/// same bytes `rlim submit` would send. The job stream is a pure function
+/// of --seed; the measured latencies of course are not.
+int cmd_loadgen(const Options& options, std::ostream& out, std::ostream& err) {
+  require(options.positional.empty(), "loadgen takes no positional arguments");
+  require(!options.disasm && !options.verify,
+          "loadgen: --disasm/--verify are compile-only");
+  const auto count = options.count.value_or(100);
+  require(count > 0, "--count must be > 0");
+  const auto streams = std::max(1u, options.streams.value_or(2));
+  const auto duplicate_pct = options.duplicate_pct.value_or(25);
+  require(duplicate_pct <= 100, "--duplicate-pct is a percentage (0..100)");
+  const auto config = config_from(options);
+
+  // The generators are cheap; build each graph once so the per-job cost the
+  // rig measures is the compile, not graph construction.
+  const auto& benchmarks = bench::mini_suite();
+  std::vector<mig::Mig> graphs;
+  graphs.reserve(benchmarks.size());
+  for (const auto& spec : benchmarks) {
+    graphs.push_back(spec.build());
+  }
+
+  /// One generated request of the replayed stream.
+  struct LoadJob {
+    std::size_t bench = 0;
+    sched::Priority priority = sched::Priority::Normal;
+    std::optional<std::uint64_t> deadline_ms;
+  };
+  util::Xoshiro256 rng(options.seed.value_or(0x10adull));
+  std::vector<LoadJob> stream;
+  stream.reserve(count);
+  std::uint64_t duplicates = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LoadJob job;
+    if (!stream.empty() && rng.below(100) < duplicate_pct) {
+      // Re-issue an earlier request verbatim: in flight it coalesces, later
+      // it exercises the result caches — both paths the rig should cover.
+      job = stream[rng.below(stream.size())];
+      ++duplicates;
+    } else {
+      job.bench = rng.below(graphs.size());
+      job.priority = static_cast<sched::Priority>(
+          rng.below(sched::kPriorityBands));
+      if (rng.below(4) == 0) {
+        job.deadline_ms = 20 + rng.below(200);
+      }
+    }
+    // Flags pin the whole stream to one priority/deadline (for measuring a
+    // uniform load) instead of the randomized mix.
+    if (options.priority) {
+      job.priority = default_priority(options);
+    }
+    if (options.deadline_ms) {
+      job.deadline_ms = *options.deadline_ms;
+    }
+    stream.push_back(job);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> latency_ms(count, 0.0);
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> failed{0};
+  // Closed loop: each stream issues its next request only after the
+  // previous one completed, so per-request latency is directly observable.
+  const auto drive = [&](const std::function<bool(const LoadJob&)>& execute) {
+    while (true) {
+      const auto index = next.fetch_add(1);
+      if (index >= count) {
+        return;
+      }
+      const auto start = Clock::now();
+      bool ok = false;
+      try {
+        ok = execute(stream[index]);
+      } catch (const std::exception&) {
+        ok = false;  // transport exhausted its retries; count and move on
+      }
+      latency_ms[index] =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      if (!ok) {
+        failed.fetch_add(1);
+      }
+    }
+  };
+  const auto run_streams = [&](const std::function<void()>& stream_body) {
+    std::vector<std::thread> threads;
+    threads.reserve(streams);
+    for (unsigned i = 0; i < streams; ++i) {
+      threads.emplace_back(stream_body);
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  };
+
+  std::string target;
+  double wall_ms = 0.0;
+  if (options.connect.empty()) {
+    flow::ServiceOptions service_options;
+    service_options.jobs = options.jobs;
+    service_options.single_queue = options.single_queue;
+    service_options.cache_dir = resolve_cache_dir(options);
+    flow::Service service(service_options);
+    std::vector<flow::SourcePtr> sources;
+    sources.reserve(benchmarks.size());
+    for (const auto& spec : benchmarks) {
+      sources.push_back(flow::Source::benchmark(spec));
+    }
+    const auto begin = Clock::now();
+    run_streams([&] {
+      drive([&](const LoadJob& item) {
+        flow::Job job;
+        job.source = sources[item.bench];
+        job.config = config;
+        job.label = benchmarks[item.bench].name;
+        job.priority = item.priority;
+        if (item.deadline_ms) {
+          job.deadline = std::chrono::milliseconds(
+              static_cast<std::int64_t>(*item.deadline_ms));
+        }
+        return service.wait(service.submit(std::move(job))).ok();
+      });
+    });
+    wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - begin)
+                  .count();
+    const auto stats = service.stats();
+    const auto sched_stats = service.scheduler_stats();
+    target = "service (" + std::to_string(service.workers()) + " workers" +
+             (options.single_queue ? ", single queue)" : ")");
+    err << "rlim: loadgen: " << stats.executed << " executed, "
+        << stats.coalesced << " coalesced, " << sched_stats.stolen
+        << " steals, " << sched_stats.parks << " parks, "
+        << sched_stats.forked << " forked\n";
+  } else {
+    require(!options.single_queue,
+            "--single-queue tunes the in-process service; the remote shards "
+            "own their schedulers");
+    const auto endpoints = net::parse_endpoints(options.connect);
+    const auto begin = Clock::now();
+    run_streams([&] {
+      // One router (own connections) per stream: streams model independent
+      // clients, so they must not serialize on a shared socket.
+      net::ShardRouter router(endpoints, client_options_from(options));
+      drive([&](const LoadJob& item) {
+        auto spec = flow::wire::JobSpec::inline_graph(
+            graphs[item.bench], benchmarks[item.bench].name, config,
+            benchmarks[item.bench].name);
+        spec.priority = item.priority;
+        spec.deadline_ms = item.deadline_ms;
+        return router.run({std::move(spec)}).front().ok();
+      });
+    });
+    wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - begin)
+                  .count();
+    target = options.connect;
+  }
+
+  std::sort(latency_ms.begin(), latency_ms.end());
+  const auto permille = [&](unsigned p) {
+    return latency_ms[(p * (latency_ms.size() - 1) + 500) / 1000];
+  };
+  flow::Report doc;
+  doc.title = "loadgen — " + std::to_string(count) + " jobs, " +
+              std::to_string(streams) + " streams, " +
+              config_label(options, config) + " -> " + target;
+  doc.columns = {"metric", "value"};
+  doc.add_row({"jobs", std::to_string(count)});
+  doc.add_row({"streams", std::to_string(streams)});
+  doc.add_row({"duplicates", std::to_string(duplicates)});
+  doc.add_row({"failed", std::to_string(failed.load())});
+  doc.add_row({"wall_ms", util::Table::fixed(wall_ms)});
+  doc.add_row({"jobs_per_sec",
+               util::Table::fixed(wall_ms > 0.0
+                                      ? static_cast<double>(count) * 1000.0 /
+                                            wall_ms
+                                      : 0.0)});
+  doc.add_row({"p50_ms", util::Table::fixed(permille(500))});
+  doc.add_row({"p99_ms", util::Table::fixed(permille(990))});
+  doc.add_row({"p999_ms", util::Table::fixed(permille(999))});
+  flow::make_sink(format_of(options))->write(doc, out);
+  return failed.load() == 0 ? 0 : 1;
 }
 
 int cmd_policies(const Options& options, std::ostream& out) {
@@ -1091,6 +1411,9 @@ int run(const std::vector<std::string>& args, std::istream& in,
     if (options.command == "stats") {
       return cmd_stats(options, out);
     }
+    if (options.command == "loadgen") {
+      return cmd_loadgen(options, out, err);
+    }
     if (options.command == "policies") {
       return cmd_policies(options, out);
     }
@@ -1104,7 +1427,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
   } catch (const std::exception& error) {
     err << "rlim_cli: " << error.what() << '\n'
         << "usage: rlim_cli info|rewrite|compile|suite|serve|submit|stats|"
-           "policies|cache|version ... (see tools/cli.hpp)\n";
+           "loadgen|policies|cache|version ... (see tools/cli.hpp)\n";
     return 1;
   }
 }

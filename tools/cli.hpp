@@ -33,7 +33,19 @@ namespace rlim::cli {
 ///                                           consistent hashing with retry +
 ///                                           failover, prints the same CSV
 ///   stats   --connect EP[,EP...]          — ping every shard, render its
-///                                           service/cache/store counters
+///                                           service/cache/store/scheduler
+///                                           counters (scheduler rows render
+///                                           only once any gauge is nonzero)
+///   loadgen [--connect EP[,EP...]] [opts] — closed-loop load generator:
+///                                           replays a seeded stream of
+///                                           mini-suite compiles (mixed
+///                                           sizes, randomized priorities and
+///                                           deadlines, duplicate ratio)
+///                                           through --streams concurrent
+///                                           clients against an in-process
+///                                           service (default) or a shard
+///                                           fleet; reports jobs/sec and
+///                                           p50/p99/p999 latency
 ///   policies                              — list the registered rewrite /
 ///                                           pass / selection / allocation
 ///                                           policies
@@ -80,6 +92,19 @@ namespace rlim::cli {
 ///                  summary line on stderr (stdout stays byte-identical).
 ///   --max-bytes N  size cap for `cache gc` (evicts oldest-first)
 ///   --max-age-days N  age cap for `cache gc`
+///   --priority low|normal|high  default scheduling priority for jobs whose
+///                  line carries no `@` token (serve, submit); pins the whole
+///                  stream's priority for loadgen
+///   --deadline-ms N  default soft deadline, milliseconds relative to arrival
+///                  at the executing shard (serve, submit, loadgen)
+///   --count N      total jobs to replay (loadgen, default 100)
+///   --streams N    concurrent closed-loop clients (loadgen, default 2)
+///   --seed N       job-stream seed (loadgen; the stream is a pure
+///                  function of it)
+///   --duplicate-pct N  percentage of jobs that re-issue an earlier job
+///                  verbatim, exercising coalescing and caches (default 25)
+///   --single-queue route every job through one shared queue instead of the
+///                  work-stealing scheduler (loadgen baseline A/B)
 ///
 /// `compile` accepts any number of netlists and runs them as one
 /// flow::Runner batch: rewriting results are shared through the content-
@@ -89,8 +114,11 @@ namespace rlim::cli {
 /// ReportSink.
 ///
 /// `serve --stdin-jobs` runs an asynchronous job loop over flow::Service:
-/// each input line is `NETLIST [CONFIG-SPEC]` (blank lines and `#` comments
-/// skipped; lines without a config use --config/--strategy, default `full`).
+/// each input line is `NETLIST [CONFIG-SPEC] [@PRIO[:DEADLINE_MS]]` (blank
+/// lines and `#` comments skipped; lines without a config use
+/// --config/--strategy, default `full`; the optional trailing `@` token —
+/// e.g. `@high` or `@low:250` — selects the job's scheduling priority and
+/// soft deadline, defaulting to --priority/--deadline-ms, else normal).
 /// Jobs are submitted — and start executing on `--jobs` workers — as their
 /// lines arrive; duplicate submissions coalesce on (fingerprint, canonical
 /// config key). Results stream to stdout as CSV rows in submission order
